@@ -1,0 +1,70 @@
+// Command fgcachebox runs FloodGuard's data plane cache as a standalone
+// service, the deployment shape of the paper's prototype (a separate
+// server machine between the data and control planes).
+//
+// It dials the migration agent's dpcproto endpoint, listens for migrated
+// frames from switch-side shims, and replays them under the agent's rate
+// control:
+//
+//	fgcachebox -agent 10.0.0.1:6653 -ingest :7654 -queue 4096 -rate 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"floodguard/internal/cachebox"
+	"floodguard/internal/dpcache"
+)
+
+func main() {
+	agent := flag.String("agent", "127.0.0.1:6653", "migration agent dpcproto address")
+	ingest := flag.String("ingest", ":7654", "listen address for migrated frames")
+	queue := flag.Int("queue", 4096, "per-protocol queue capacity (packets)")
+	rate := flag.Float64("rate", 50, "initial replay rate (packets/second)")
+	stats := flag.Duration("stats", time.Second, "health report interval")
+	flag.Parse()
+
+	if err := run(*agent, *ingest, *queue, *rate, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "fgcachebox:", err)
+		os.Exit(1)
+	}
+}
+
+func run(agent, ingest string, queue int, rate float64, statsEvery time.Duration) error {
+	box, addr, err := cachebox.Start(cachebox.Config{
+		AgentAddr:  agent,
+		IngestAddr: ingest,
+		Cache: dpcache.Config{
+			QueueCapacity:   queue,
+			InitialRatePPS:  rate,
+			ProcessingDelay: 100 * time.Microsecond,
+		},
+		StatsInterval: statsEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer box.Close()
+	fmt.Printf("fgcachebox: ingesting on %v, replaying to %s\n", addr, agent)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\nfgcachebox: shutting down")
+			return nil
+		case <-tick.C:
+			st := box.Stats()
+			fmt.Printf("fgcachebox: in=%d out=%d dropped=%d backlog=%d\n",
+				st.Enqueued, st.Emitted, st.Dropped, st.Backlog)
+		}
+	}
+}

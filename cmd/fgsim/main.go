@@ -1,0 +1,182 @@
+// Command fgsim regenerates the paper's evaluation artefacts: every
+// figure and table of §V plus the §II baseline. Each experiment runs the
+// Figure 9 topology on the deterministic discrete-event engine and prints
+// the series the paper reports.
+//
+// Usage:
+//
+//	fgsim <experiment> [flags]
+//
+// Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4, all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"floodguard/internal/experiments"
+)
+
+var asCSV bool
+
+func main() {
+	trials := flag.Int("trials", 5, "probe flows for tab4")
+	iters := flag.Int("iters", 50, "derivation repetitions for fig13")
+	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *trials, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "fgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fgsim [flags] <experiment>
+
+experiments:
+  sec2-baseline   §II: software switch collapse under table-miss UDP flood
+  fig10           bandwidth vs attack rate, software environment
+  fig11           bandwidth vs attack rate, hardware environment
+  fig12           per-app CPU utilization timeline under attack (with FloodGuard)
+  fig13           proactive flow rule generation overhead per application
+  tab3            state-sensitive variables per application
+  tab4            average first-packet delay (OpenFlow vs FloodGuard)
+  compare         FloodGuard vs AvantGuard vs no defense, per flood protocol
+  all             run everything in paper order
+
+flags:`)
+	flag.PrintDefaults()
+}
+
+func run(name string, trials, iters int) error {
+	switch name {
+	case "sec2-baseline":
+		return sec2()
+	case "fig10":
+		return fig10()
+	case "fig11":
+		return fig11()
+	case "fig12":
+		return fig12()
+	case "fig13":
+		return fig13(iters)
+	case "tab3":
+		return tab3()
+	case "tab4":
+		return tab4(trials)
+	case "compare":
+		return compare()
+	case "all":
+		for _, fn := range []func() error{
+			sec2, fig10, fig11, fig12,
+			func() error { return fig13(iters) },
+			tab3,
+			func() error { return tab4(trials) },
+			compare,
+		} {
+			if err := fn(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (try: fgsim -h)", name)
+	}
+}
+
+func sec2() error {
+	pts, err := experiments.RunSec2Baseline()
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return experiments.WriteCSVCollapse(os.Stdout, pts)
+	}
+	experiments.PrintCollapse(os.Stdout, pts)
+	return nil
+}
+
+func fig10() error {
+	r, err := experiments.RunFig10()
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func fig11() error {
+	r, err := experiments.RunFig11()
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func fig12() error {
+	r, err := experiments.RunFig12()
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func fig13(iters int) error {
+	costs, err := experiments.RunFig13(experiments.DefaultFig13State(), iters)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return experiments.WriteCSVFig13(os.Stdout, costs)
+	}
+	experiments.PrintFig13(os.Stdout, costs)
+	return nil
+}
+
+func tab3() error {
+	rows, err := experiments.RunTable3()
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable3(os.Stdout, rows)
+	return nil
+}
+
+func compare() error {
+	cells, err := experiments.RunComparison(300)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return experiments.WriteCSVComparison(os.Stdout, cells)
+	}
+	experiments.PrintComparison(os.Stdout, cells, 300)
+	return nil
+}
+
+func tab4(trials int) error {
+	r, err := experiments.RunTab4(trials)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}

@@ -1,0 +1,68 @@
+// Attack: the data-to-control plane saturation attack against an
+// unprotected OpenFlow network (paper §II). A single attacker sprays
+// spoofed table-miss packets; the switch buffer fills, packet_ins start
+// carrying whole frames (amplification), the controller's work backlog
+// grows without bound, and the datapath's usable bandwidth collapses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"floodguard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("Saturation attack against an UNPROTECTED software switch (1.7 Gbps baseline)")
+	fmt.Printf("%-12s %-14s %-12s %-14s %-14s\n",
+		"attack(PPS)", "bandwidth", "buffer", "amplified", "ctl-backlog")
+
+	for _, rate := range []float64{0, 100, 250, 500} {
+		net := floodguard.NewNetwork()
+		sw := net.AddSwitch(0x1, floodguard.SoftwareSwitch())
+		if _, err := net.AddHost(sw, "alice", 1, "00:00:00:00:00:0a", "10.0.0.1"); err != nil {
+			return err
+		}
+		if _, err := net.AddHost(sw, "bob", 2, "00:00:00:00:00:0b", "10.0.0.2"); err != nil {
+			return err
+		}
+		mallory, err := net.AddHost(sw, "mallory", 3, "00:00:00:00:00:0c", "10.0.0.3")
+		if err != nil {
+			return err
+		}
+		// A deliberately loaded controller (as in a real deployment
+		// handling many switches): 5 ms per packet_in.
+		app := floodguard.L2Learning()
+		app.CostPerEvent = 5 * time.Millisecond
+		net.RegisterApp(app)
+		net.Deploy()
+
+		flood := net.NewFlooder(mallory, 7, floodguard.FloodUDP)
+		if rate > 0 {
+			flood.Start(rate)
+		}
+		net.Run(5 * time.Second)
+
+		st := sw.Stats()
+		share := sw.GoodputShare()
+		fmt.Printf("%-12.0f %-14s %3d/%-8d %-14d %-14v\n",
+			rate,
+			fmt.Sprintf("%.2f Gbps", share*sw.Profile().DataRateBits/1e9),
+			st.BufferUsed, st.BufferSlots,
+			st.AmplifiedIns,
+			net.Controller().Backlog().Round(time.Millisecond))
+		net.Close()
+	}
+
+	fmt.Println("\nThe paper's §II observation: ~500 packets/second of table-miss UDP")
+	fmt.Println("renders the software switch dysfunctional — no defense required beyond")
+	fmt.Println("one host generating spoofed microflows.")
+	return nil
+}

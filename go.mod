@@ -1,0 +1,3 @@
+module floodguard
+
+go 1.22

@@ -1,0 +1,261 @@
+package appir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PrefixEntry is one row of a longest-prefix-match table.
+type PrefixEntry struct {
+	Prefix Value // KindIP
+	Len    int
+	Val    Value
+}
+
+// State is the global variable store shared by a controller application's
+// handler invocations. It is versioned: every mutation bumps the version,
+// which is how the application tracker notices that previously derived
+// proactive flow rules are stale (paper §IV.D, Figure 8).
+//
+// State is safe for concurrent use; the controller event loop and the
+// analyzer's tracker read it from different goroutines.
+type State struct {
+	mu       sync.RWMutex
+	tables   map[string]map[Value]Value
+	prefixes map[string][]PrefixEntry
+	scalars  map[string]Value
+	version  uint64
+}
+
+// NewState returns an empty store.
+func NewState() *State {
+	return &State{
+		tables:   make(map[string]map[Value]Value),
+		prefixes: make(map[string][]PrefixEntry),
+		scalars:  make(map[string]Value),
+	}
+}
+
+// Version returns the mutation counter.
+func (s *State) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Learn sets table[key] = val.
+func (s *State) Learn(table string, key, val Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[Value]Value)
+		s.tables[table] = t
+	}
+	if old, ok := t[key]; ok && old == val {
+		return // no-op writes do not invalidate derived rules
+	}
+	t[key] = val
+	s.version++
+}
+
+// Unlearn removes table[key].
+func (s *State) Unlearn(table string, key Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return
+	}
+	if _, ok := t[key]; !ok {
+		return
+	}
+	delete(t, key)
+	s.version++
+}
+
+// Contains tests exact-table membership.
+func (s *State) Contains(table string, key Value) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[table][key]
+	return ok
+}
+
+// LookupTable reads table[key].
+func (s *State) LookupTable(table string, key Value) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tables[table][key]
+	return v, ok
+}
+
+// TableLen returns the entry count of an exact table.
+func (s *State) TableLen(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// TableEntries returns a deterministic (key-sorted) snapshot of an exact
+// table — the enumeration step of rule concretization.
+func (s *State) TableEntries(table string) []struct{ Key, Val Value } {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[table]
+	out := make([]struct{ Key, Val Value }, 0, len(t))
+	for k, v := range t {
+		out = append(out, struct{ Key, Val Value }{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Kind != out[j].Key.Kind {
+			return out[i].Key.Kind < out[j].Key.Kind
+		}
+		return out[i].Key.Bits < out[j].Key.Bits
+	})
+	return out
+}
+
+// AddPrefix inserts (or replaces) a prefix route.
+func (s *State) AddPrefix(table string, prefix Value, length int, val Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.prefixes[table]
+	for i, r := range rows {
+		if r.Prefix == prefix && r.Len == length {
+			if r.Val == val {
+				return
+			}
+			rows[i].Val = val
+			s.version++
+			return
+		}
+	}
+	s.prefixes[table] = append(rows, PrefixEntry{Prefix: prefix, Len: length, Val: val})
+	// Keep longest-prefix-first order for LPM and deterministic dumps.
+	sort.Slice(s.prefixes[table], func(i, j int) bool {
+		a, b := s.prefixes[table][i], s.prefixes[table][j]
+		if a.Len != b.Len {
+			return a.Len > b.Len
+		}
+		return a.Prefix.Bits < b.Prefix.Bits
+	})
+	s.version++
+}
+
+// RemovePrefix deletes a prefix route.
+func (s *State) RemovePrefix(table string, prefix Value, length int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows := s.prefixes[table]
+	for i, r := range rows {
+		if r.Prefix == prefix && r.Len == length {
+			s.prefixes[table] = append(rows[:i:i], rows[i+1:]...)
+			s.version++
+			return
+		}
+	}
+}
+
+// LookupLPM returns the value of the longest prefix containing ip.
+func (s *State) LookupLPM(table string, ip Value) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.prefixes[table] { // rows sorted longest-first
+		if ip.IP().InPrefix(r.Prefix.IP(), r.Len) {
+			return r.Val, true
+		}
+	}
+	return Value{}, false
+}
+
+// InAnyPrefix tests whether ip falls inside any prefix of the table.
+func (s *State) InAnyPrefix(table string, ip Value) bool {
+	_, ok := s.LookupLPM(table, ip)
+	return ok
+}
+
+// PrefixEntries returns a snapshot of a prefix table, longest first.
+func (s *State) PrefixEntries(table string) []PrefixEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]PrefixEntry, len(s.prefixes[table]))
+	copy(out, s.prefixes[table])
+	return out
+}
+
+// SetScalar writes a named scalar.
+func (s *State) SetScalar(name string, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.scalars[name]; ok && old == v {
+		return
+	}
+	s.scalars[name] = v
+	s.version++
+}
+
+// Scalar reads a named scalar.
+func (s *State) Scalar(name string) (Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.scalars[name]
+	return v, ok
+}
+
+// Clone returns an independent deep copy of the store (same version).
+func (s *State) Clone() *State {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := NewState()
+	for name, t := range s.tables {
+		nt := make(map[Value]Value, len(t))
+		for k, v := range t {
+			nt[k] = v
+		}
+		out.tables[name] = nt
+	}
+	for name, rows := range s.prefixes {
+		nr := make([]PrefixEntry, len(rows))
+		copy(nr, rows)
+		out.prefixes[name] = nr
+	}
+	for name, v := range s.scalars {
+		out.scalars[name] = v
+	}
+	out.version = s.version
+	return out
+}
+
+// Dump renders the full store for diagnostics.
+func (s *State) Dump() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := ""
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += fmt.Sprintf("table %s (%d entries)\n", n, len(s.tables[n]))
+	}
+	names = names[:0]
+	for n := range s.prefixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += fmt.Sprintf("prefix-table %s (%d entries)\n", n, len(s.prefixes[n]))
+	}
+	names = names[:0]
+	for n := range s.scalars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out += fmt.Sprintf("scalar %s = %s\n", n, s.scalars[n])
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package appir
+
+import (
+	"testing"
+
+	"floodguard/internal/netpkt"
+)
+
+// A toy aging program: any packet from a source already in `stale`
+// forgets that binding; otherwise it is learned into `stale`.
+func agingProgram() *Program {
+	return &Program{
+		Name: "aging",
+		Handler: []Stmt{
+			If{
+				Cond: FieldIn(FEthSrc, "stale"),
+				Then: []Stmt{
+					Unlearn{Table: "stale", Key: FieldRef{F: FEthSrc}},
+					Drop{},
+				},
+				Else: []Stmt{
+					Learn{Table: "stale", Key: FieldRef{F: FEthSrc}, Val: FieldRef{F: FInPort}},
+					PacketOut{Actions: []ActionTemplate{ActFlood{}}},
+				},
+			},
+		},
+	}
+}
+
+func TestUnlearnStatement(t *testing.T) {
+	prog := agingProgram()
+	st := NewState()
+	pkt := netpkt.Packet{EthSrc: netpkt.MustMAC("00:00:00:00:00:01")}
+
+	d, err := Exec(prog, st, &pkt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Learned || !st.Contains("stale", MACValue(pkt.EthSrc)) {
+		t.Fatal("first pass did not learn")
+	}
+	v1 := st.Version()
+
+	d, err = Exec(prog, st, &pkt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dropped {
+		t.Error("second pass did not take the stale branch")
+	}
+	if st.Contains("stale", MACValue(pkt.EthSrc)) {
+		t.Error("Unlearn did not delete the binding")
+	}
+	if !d.Learned || st.Version() == v1 {
+		t.Error("Unlearn did not bump the version / report Learned")
+	}
+}
+
+func TestUnlearnString(t *testing.T) {
+	s := Unlearn{Table: "t", Key: FieldRef{F: FEthSrc}}
+	if s.String() != "delete g.t[pkt.dl_src]" {
+		t.Errorf("String = %q", s.String())
+	}
+}

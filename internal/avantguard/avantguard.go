@@ -1,0 +1,128 @@
+// Package avantguard implements the comparison baseline the paper
+// positions FloodGuard against: AvantGuard's *connection migration*
+// (Shin et al., CCS 2013), a switch-resident SYN proxy that only exposes
+// TCP flows to the control plane after the three-way handshake
+// completes.
+//
+// The mechanism stops TCP SYN floods cold — spoofed sources never answer
+// the proxy's SYN-ACK, so no packet_in is ever generated for them — but
+// it is protocol-specific: UDP, ICMP and other table-miss traffic passes
+// straight through to the controller. The paper's critique ("its
+// limitation is obvious that it is invalid to other protocols", §III) is
+// reproduced by the Figure 10/11-style comparison bench in the root
+// bench harness.
+package avantguard
+
+import (
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/switchsim"
+)
+
+// synTimeout reclaims half-open entries for spoofed sources.
+const synTimeout = 5 * time.Second
+
+// pendingKey identifies a half-open connection attempt at the proxy.
+type pendingKey struct {
+	src   netpkt.IPv4
+	dst   netpkt.IPv4
+	sport uint16
+	dport uint16
+}
+
+// Stats reports the proxy's behaviour.
+type Stats struct {
+	SYNsIntercepted uint64
+	Completed       uint64 // handshakes finished and exposed upstream
+	StaleExpired    uint64 // half-open entries reclaimed
+	NonTCPPassed    uint64 // table-miss packets the proxy cannot help with
+}
+
+// Proxy is the connection-migration stage in front of a switch's miss
+// path. It wraps the switch's Inject entry point: TCP SYNs that would
+// miss are answered locally with a SYN-ACK and absorbed until the
+// handshake completes; everything else proceeds unchanged.
+type Proxy struct {
+	eng *netsim.Engine
+	sw  *switchsim.Switch
+
+	pending  map[pendingKey]*netsim.Event
+	capacity int
+	stats    Stats
+}
+
+// New wraps a switch with connection migration. capacity bounds the
+// half-open table (the TCAM budget AvantGuard spends on it).
+func New(eng *netsim.Engine, sw *switchsim.Switch, capacity int) *Proxy {
+	return &Proxy{
+		eng:      eng,
+		sw:       sw,
+		pending:  make(map[pendingKey]*netsim.Event),
+		capacity: capacity,
+	}
+}
+
+// Stats returns a snapshot.
+func (p *Proxy) Stats() Stats { return p.stats }
+
+// HalfOpen returns the current half-open table occupancy.
+func (p *Proxy) HalfOpen() int { return len(p.pending) }
+
+// Inject is the data plane entry point, replacing direct calls to the
+// switch's Inject for ingress traffic.
+func (p *Proxy) Inject(pkt netpkt.Packet, inPort uint16) {
+	if pkt.NwProto != netpkt.ProtoTCP || !pkt.IsIP() {
+		// Not TCP: connection migration cannot help. The packet takes
+		// the ordinary path (and, if it misses, floods the controller).
+		if p.sw.Table().Peek(&pkt, inPort) == nil {
+			p.stats.NonTCPPassed++
+		}
+		p.sw.Inject(pkt, inPort)
+		return
+	}
+	// TCP with an installed rule: fast path.
+	if p.sw.Table().Peek(&pkt, inPort) != nil {
+		p.sw.Inject(pkt, inPort)
+		return
+	}
+	key := pendingKey{src: pkt.NwSrc, dst: pkt.NwDst, sport: pkt.TpSrc, dport: pkt.TpDst}
+	switch {
+	case pkt.TCPFlags&netpkt.TCPSyn != 0 && pkt.TCPFlags&netpkt.TCPAck == 0:
+		// SYN to an unknown flow: answer with a stateless SYN-ACK
+		// cookie; the real switch datapath and controller never see it.
+		p.stats.SYNsIntercepted++
+		if len(p.pending) >= p.capacity {
+			// Half-open table full: drop (the proxy's own saturation
+			// bound; cookies keep this cheap in real hardware).
+			return
+		}
+		ev := p.eng.Schedule(synTimeout, func() {
+			delete(p.pending, key)
+			p.stats.StaleExpired++
+		})
+		if old, ok := p.pending[key]; ok {
+			old.Cancel()
+		}
+		p.pending[key] = ev
+		// The SYN-ACK back to the client is data-plane local; we do not
+		// model its bytes (the client is either real, and will ACK, or
+		// spoofed, and the SYN-ACK vanishes).
+	case pkt.TCPFlags&netpkt.TCPAck != 0:
+		if ev, ok := p.pending[key]; ok {
+			// Handshake completed: a real endpoint. Expose the flow to
+			// the classic reactive pipeline.
+			ev.Cancel()
+			delete(p.pending, key)
+			p.stats.Completed++
+			syn := pkt
+			syn.TCPFlags = netpkt.TCPSyn
+			p.sw.Inject(syn, inPort) // replayed SYN reaches the controller
+			return
+		}
+		p.sw.Inject(pkt, inPort)
+	default:
+		p.sw.Inject(pkt, inPort)
+	}
+}

@@ -1,0 +1,140 @@
+package avantguard
+
+import (
+	"testing"
+	"time"
+
+	"floodguard/internal/apps"
+	"floodguard/internal/controller"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+	"floodguard/internal/switchsim"
+)
+
+func testBed(t *testing.T) (*netsim.Engine, *switchsim.Switch, *Proxy, *controller.Controller) {
+	t.Helper()
+	eng := netsim.NewEngine()
+	sw := switchsim.New(eng, 0x1, switchsim.SoftwareProfile())
+	sw.Start()
+	t.Cleanup(sw.Stop)
+	ctrl := controller.New(eng)
+	prog, st := apps.L2Learning()
+	ctrl.Register(&controller.App{Prog: prog, State: st, CostPerEvent: time.Millisecond})
+	controller.Bind(ctrl, sw)
+	proxy := New(eng, sw, 1024)
+	return eng, sw, proxy, ctrl
+}
+
+func TestSYNFloodAbsorbed(t *testing.T) {
+	eng, sw, proxy, ctrl := testBed(t)
+	gen := netpkt.NewSpoofGen(1, netpkt.FloodTCP, 0)
+	for i := 0; i < 500; i++ {
+		proxy.Inject(gen.Next(), 1)
+	}
+	eng.RunFor(time.Second)
+
+	if got := ctrl.PacketIns(); got != 0 {
+		t.Errorf("SYN flood produced %d packet_ins; connection migration must absorb it", got)
+	}
+	if got := sw.Stats().Missed; got != 0 {
+		t.Errorf("SYN flood caused %d switch misses", got)
+	}
+	if proxy.Stats().SYNsIntercepted != 500 {
+		t.Errorf("intercepted = %d", proxy.Stats().SYNsIntercepted)
+	}
+	// Spoofed sources never complete; entries expire.
+	eng.RunFor(10 * time.Second)
+	if proxy.HalfOpen() != 0 {
+		t.Errorf("half-open table = %d after timeout, want 0", proxy.HalfOpen())
+	}
+}
+
+func TestLegitimateHandshakeExposed(t *testing.T) {
+	eng, sw, proxy, ctrl := testBed(t)
+	_ = sw
+	flow := netpkt.Flow{
+		SrcMAC: netpkt.MustMAC("00:00:00:00:00:0a"), DstMAC: netpkt.MustMAC("00:00:00:00:00:0b"),
+		SrcIP: netpkt.MustIPv4("10.0.0.1"), DstIP: netpkt.MustIPv4("10.0.0.2"),
+		Proto: netpkt.ProtoTCP, SrcPort: 4000, DstPort: 80,
+	}
+	syn := flow.SYN()
+	proxy.Inject(syn, 1)
+	eng.RunFor(10 * time.Millisecond)
+	if ctrl.PacketIns() != 0 {
+		t.Fatal("SYN reached the controller before the handshake completed")
+	}
+	// The real client answers the proxy's SYN-ACK.
+	ack := flow.Packet(0)
+	ack.TCPFlags = netpkt.TCPAck
+	proxy.Inject(ack, 1)
+	eng.RunFor(time.Second)
+	if ctrl.PacketIns() == 0 {
+		t.Error("completed handshake was not exposed to the controller")
+	}
+	if proxy.Stats().Completed != 1 {
+		t.Errorf("Completed = %d", proxy.Stats().Completed)
+	}
+}
+
+func TestUDPFloodPassesThrough(t *testing.T) {
+	// The paper's critique: AvantGuard is invalid for non-TCP floods.
+	eng, sw, proxy, ctrl := testBed(t)
+	gen := netpkt.NewSpoofGen(2, netpkt.FloodUDP, 64)
+	for i := 0; i < 200; i++ {
+		proxy.Inject(gen.Next(), 1)
+	}
+	eng.RunFor(2 * time.Second)
+	if got := ctrl.PacketIns(); got != 200 {
+		t.Errorf("UDP flood produced %d packet_ins, want 200 (unprotected)", got)
+	}
+	if got := sw.Stats().Missed; got != 200 {
+		t.Errorf("switch misses = %d", got)
+	}
+	if proxy.Stats().NonTCPPassed != 200 {
+		t.Errorf("NonTCPPassed = %d", proxy.Stats().NonTCPPassed)
+	}
+}
+
+func TestHalfOpenCapacityBound(t *testing.T) {
+	eng := netsim.NewEngine()
+	sw := switchsim.New(eng, 0x1, switchsim.SoftwareProfile())
+	proxy := New(eng, sw, 10)
+	gen := netpkt.NewSpoofGen(3, netpkt.FloodTCP, 0)
+	for i := 0; i < 100; i++ {
+		proxy.Inject(gen.Next(), 1)
+	}
+	if proxy.HalfOpen() != 10 {
+		t.Errorf("half-open = %d, want capped at 10", proxy.HalfOpen())
+	}
+}
+
+func TestMatchedTCPBypassesProxy(t *testing.T) {
+	eng, sw, proxy, ctrl := testBed(t)
+	// Install a rule for the flow, then send data packets: no proxy
+	// bookkeeping, direct forwarding.
+	flow := netpkt.Flow{
+		SrcMAC: netpkt.MustMAC("00:00:00:00:00:0a"), DstMAC: netpkt.MustMAC("00:00:00:00:00:0b"),
+		SrcIP: netpkt.MustIPv4("10.0.0.1"), DstIP: netpkt.MustIPv4("10.0.0.2"),
+		Proto: netpkt.ProtoTCP, SrcPort: 4000, DstPort: 80,
+	}
+	_ = ctrl
+	pkt := flow.SYN()
+	// Seed the rule directly into the flow table.
+	if _, err := sw.Table().Apply(openflow.FlowMod{
+		Match:    openflow.ExactFrom(&pkt, 1),
+		Command:  openflow.FlowAdd,
+		Priority: 100,
+		Actions:  []openflow.Action{openflow.Output(2)},
+	}, eng.Now()); err != nil {
+		t.Fatal(err)
+	}
+	proxy.Inject(pkt, 1)
+	eng.RunFor(time.Second)
+	if proxy.Stats().SYNsIntercepted != 0 {
+		t.Error("matched packet hit the proxy's SYN path")
+	}
+	if sw.Stats().Forwarded != 1 {
+		t.Errorf("Forwarded = %d, want 1", sw.Stats().Forwarded)
+	}
+}

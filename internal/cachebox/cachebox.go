@@ -1,0 +1,353 @@
+// Package cachebox runs the data plane cache as a standalone network
+// service — the paper's prototype deployed it as a separate machine
+// ("a server machine that implements data plane cache", §V.B, ~1,000
+// lines of C++). The box ingests migrated table-miss frames from
+// switch-side shims and replays them to the migration agent over the
+// dpcproto sideband, honouring the agent's rate directives.
+//
+// Topology:
+//
+//	switch shim(s) --Replay--> [ Box: dpcache ] --Replay--> agent
+//	                                  ^------Rate-------- agent
+//	                                  -------Stats------> agent
+package cachebox
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"floodguard/internal/dpcache"
+	"floodguard/internal/dpcproto"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+)
+
+// Config parameterises a Box.
+type Config struct {
+	// AgentAddr is the migration agent's dpcproto listener.
+	AgentAddr string
+	// IngestAddr is where switch shims deliver migrated frames
+	// (host:port; port 0 picks an ephemeral one).
+	IngestAddr string
+	// Cache dimensions the internal queues and initial rate.
+	Cache dpcache.Config
+	// StatsInterval is the health-report period to the agent.
+	StatsInterval time.Duration
+}
+
+// Box is a running cache service.
+type Box struct {
+	cfg    Config
+	eng    *netsim.Engine
+	runner *netsim.RealTimeRunner
+	cache  *dpcache.Cache
+
+	mu        sync.Mutex
+	agentConn net.Conn
+	ingestLn  net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+	statsTick *time.Ticker
+	statsDone chan struct{}
+}
+
+// Start dials the agent, begins ingesting, and arms the scheduler. It
+// returns the bound ingest address.
+func Start(cfg Config) (*Box, net.Addr, error) {
+	if cfg.StatsInterval <= 0 {
+		cfg.StatsInterval = time.Second
+	}
+	eng := netsim.NewEngine()
+	b := &Box{
+		cfg:    cfg,
+		eng:    eng,
+		runner: netsim.NewRealTimeRunner(eng),
+	}
+	b.cache = dpcache.New(eng, cfg.Cache, boxSink{b})
+
+	agentConn, err := net.DialTimeout("tcp", cfg.AgentAddr, 5*time.Second)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cachebox: dial agent: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.IngestAddr)
+	if err != nil {
+		agentConn.Close()
+		return nil, nil, fmt.Errorf("cachebox: listen ingest: %w", err)
+	}
+	b.agentConn = agentConn
+	b.ingestLn = ln
+
+	b.runner.Start()
+	b.runner.Do(func() { b.cache.Start() })
+
+	b.wg.Add(2)
+	go b.agentLoop(agentConn)
+	go b.acceptLoop(ln)
+
+	b.statsTick = time.NewTicker(cfg.StatsInterval)
+	b.statsDone = make(chan struct{})
+	b.wg.Add(1)
+	go b.statsLoop()
+
+	return b, ln.Addr(), nil
+}
+
+// boxSink forwards scheduled packets to the agent as Replay records.
+type boxSink struct{ b *Box }
+
+func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
+	frame := pkt.Marshal()
+	s.b.mu.Lock()
+	conn := s.b.agentConn
+	s.b.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = dpcproto.Write(conn, dpcproto.Replay{DPID: origin, InPort: inPort, Frame: frame})
+}
+
+// agentLoop consumes the agent's rate directives.
+func (b *Box) agentLoop(conn net.Conn) {
+	defer b.wg.Done()
+	for {
+		rec, err := dpcproto.Read(conn)
+		if err != nil {
+			return
+		}
+		if rate, ok := rec.(dpcproto.Rate); ok {
+			b.runner.Do(func() { b.cache.SetRate(rate.PPS) })
+		}
+	}
+}
+
+// acceptLoop serves switch-side shims.
+func (b *Box) acceptLoop(ln net.Listener) {
+	defer b.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.ingestLoop(conn)
+	}
+}
+
+// ingestLoop consumes migrated frames from one shim.
+func (b *Box) ingestLoop(conn net.Conn) {
+	defer b.wg.Done()
+	defer conn.Close()
+	for {
+		rec, err := dpcproto.Read(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		rp, ok := rec.(dpcproto.Replay)
+		if !ok {
+			continue
+		}
+		pkt, err := netpkt.Parse(rp.Frame)
+		if err != nil {
+			continue
+		}
+		b.runner.Do(func() { b.cache.Ingest(rp.DPID, pkt) })
+	}
+}
+
+func (b *Box) statsLoop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.statsDone:
+			return
+		case <-b.statsTick.C:
+			var st dpcache.Stats
+			b.runner.Do(func() { st = b.cache.Stats() })
+			b.mu.Lock()
+			conn := b.agentConn
+			b.mu.Unlock()
+			if conn != nil {
+				_ = dpcproto.Write(conn, dpcproto.Stats{
+					Backlog:  uint32(st.Backlog),
+					Enqueued: st.Enqueued,
+					Emitted:  st.Emitted,
+					Dropped:  st.Dropped,
+				})
+			}
+		}
+	}
+}
+
+// Stats reads a cache health snapshot.
+func (b *Box) Stats() dpcache.Stats {
+	var st dpcache.Stats
+	b.runner.Do(func() { st = b.cache.Stats() })
+	return st
+}
+
+// Close shuts everything down and waits for the loops.
+func (b *Box) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.statsTick.Stop()
+	close(b.statsDone)
+	if b.ingestLn != nil {
+		_ = b.ingestLn.Close()
+	}
+	if b.agentConn != nil {
+		_ = b.agentConn.Close()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	b.runner.Do(func() { b.cache.Stop() })
+	b.runner.Stop()
+}
+
+// Shim is the switch-side forwarder: attach its Deliver method as the
+// cache port's peer (e.g. an rtswitch PortFunc) and migrated frames flow
+// to the box over TCP, stamped with the switch's datapath id.
+type Shim struct {
+	dpid uint64
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewShim dials the box's ingest listener on behalf of one datapath.
+func NewShim(boxAddr string, dpid uint64) (*Shim, error) {
+	conn, err := net.DialTimeout("tcp", boxAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cachebox: shim dial: %w", err)
+	}
+	return &Shim{dpid: dpid, conn: conn}, nil
+}
+
+// Deliver forwards one migrated frame; it matches the rtswitch PortFunc
+// signature.
+func (s *Shim) Deliver(pkt netpkt.Packet) {
+	frame := pkt.Marshal()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return
+	}
+	_ = dpcproto.Write(s.conn, dpcproto.Replay{DPID: s.dpid, Frame: frame})
+}
+
+// Close tears the shim's connection down.
+func (s *Shim) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// AgentListener is the controller-side endpoint a Box dials: it receives
+// replayed packets and can steer the box's rate.
+type AgentListener struct {
+	ln net.Listener
+
+	// OnReplay is invoked for every replayed packet (from the box's
+	// connection-serving goroutine).
+	OnReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet)
+	// OnStats is invoked for every health report.
+	OnStats func(s dpcproto.Stats)
+
+	mu     sync.Mutex
+	conn   net.Conn
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ListenAgent binds the agent endpoint.
+func ListenAgent(addr string) (*AgentListener, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cachebox: listen agent: %w", err)
+	}
+	a := &AgentListener{ln: ln}
+	a.wg.Add(1)
+	go a.accept()
+	return a, ln.Addr(), nil
+}
+
+func (a *AgentListener) accept() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		if a.conn != nil {
+			_ = a.conn.Close() // one box per agent endpoint
+		}
+		a.conn = conn
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go a.serve(conn)
+	}
+}
+
+func (a *AgentListener) serve(conn net.Conn) {
+	defer a.wg.Done()
+	for {
+		rec, err := dpcproto.Read(conn)
+		if err != nil {
+			return
+		}
+		switch r := rec.(type) {
+		case dpcproto.Replay:
+			if a.OnReplay != nil {
+				pkt, err := netpkt.Parse(r.Frame)
+				if err == nil {
+					a.OnReplay(r.DPID, r.InPort, pkt)
+				}
+			}
+		case dpcproto.Stats:
+			if a.OnStats != nil {
+				a.OnStats(r)
+			}
+		}
+	}
+}
+
+// SetRate sends a rate directive to the connected box.
+func (a *AgentListener) SetRate(pps float64) error {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return errors.New("cachebox: no box connected")
+	}
+	return dpcproto.Write(conn, dpcproto.Rate{PPS: pps})
+}
+
+// Close shuts the endpoint down.
+func (a *AgentListener) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	_ = a.ln.Close()
+	if a.conn != nil {
+		_ = a.conn.Close()
+	}
+	a.mu.Unlock()
+	a.wg.Wait()
+}

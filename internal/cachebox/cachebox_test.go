@@ -1,0 +1,196 @@
+package cachebox
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"floodguard/internal/dpcache"
+	"floodguard/internal/dpcproto"
+	"floodguard/internal/netpkt"
+)
+
+type replayRec struct {
+	dpid   uint64
+	inPort uint16
+	pkt    netpkt.Packet
+}
+
+type agentCollector struct {
+	mu      sync.Mutex
+	replays []replayRec
+	stats   []dpcproto.Stats
+}
+
+func (c *agentCollector) onReplay(dpid uint64, inPort uint16, pkt netpkt.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replays = append(c.replays, replayRec{dpid, inPort, pkt})
+}
+
+func (c *agentCollector) onStats(s dpcproto.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = append(c.stats, s)
+}
+
+func (c *agentCollector) replayCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.replays)
+}
+
+func (c *agentCollector) statsCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.stats)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// startPair brings up an agent endpoint and a box dialled into it.
+func startPair(t *testing.T, cacheCfg dpcache.Config) (*agentCollector, *AgentListener, *Box, net.Addr) {
+	t.Helper()
+	col := &agentCollector{}
+	agent, agentAddr, err := ListenAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.OnReplay = col.onReplay
+	agent.OnStats = col.onStats
+	t.Cleanup(agent.Close)
+
+	box, ingestAddr, err := Start(Config{
+		AgentAddr:     agentAddr.String(),
+		IngestAddr:    "127.0.0.1:0",
+		Cache:         cacheCfg,
+		StatsInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(box.Close)
+	return col, agent, box, ingestAddr
+}
+
+// taggedFrame builds a migrated frame with the INPORT TOS tag.
+func taggedFrame(inPort uint16, tpDst uint16) []byte {
+	pkt := netpkt.Packet{
+		EthSrc:  netpkt.MustMAC("00:00:00:00:00:01"),
+		EthDst:  netpkt.MustMAC("00:00:00:00:00:02"),
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   netpkt.MustIPv4("10.0.0.1"),
+		NwDst:   netpkt.MustIPv4("10.0.0.2"),
+		NwProto: netpkt.ProtoUDP,
+		NwTOS:   dpcache.EncodeInPortTOS(inPort),
+		TpDst:   tpDst,
+	}
+	return pkt.Marshal()
+}
+
+func TestBoxEndToEndReplay(t *testing.T) {
+	col, _, _, ingestAddr := startPair(t, dpcache.Config{QueueCapacity: 128, InitialRatePPS: 500})
+
+	shim, err := net.Dial("tcp", ingestAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shim.Close()
+	for i := uint16(0); i < 5; i++ {
+		if err := dpcproto.Write(shim, dpcproto.Replay{
+			DPID: 0x42, InPort: 0, Frame: taggedFrame(3, 1000+i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return col.replayCount() == 5 }, "5 replays at the agent")
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	for i, r := range col.replays {
+		if r.dpid != 0x42 {
+			t.Errorf("replay %d dpid = %#x", i, r.dpid)
+		}
+		if r.inPort != 3 {
+			t.Errorf("replay %d inPort = %d, want 3 (decoded from TOS)", i, r.inPort)
+		}
+		if r.pkt.NwTOS != 0 {
+			t.Errorf("replay %d TOS tag not stripped", i)
+		}
+		if r.pkt.TpDst != 1000+uint16(i) {
+			t.Errorf("replay %d out of order: tp_dst=%d", i, r.pkt.TpDst)
+		}
+	}
+}
+
+func TestBoxHonoursRateDirectives(t *testing.T) {
+	col, agent, box, ingestAddr := startPair(t, dpcache.Config{QueueCapacity: 8192, InitialRatePPS: 0})
+
+	shim, err := net.Dial("tcp", ingestAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shim.Close()
+	for i := 0; i < 200; i++ {
+		if err := dpcproto.Write(shim, dpcproto.Replay{DPID: 1, Frame: taggedFrame(1, uint16(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return box.Stats().Enqueued == 200 }, "ingest")
+	// Rate 0: nothing flows.
+	time.Sleep(100 * time.Millisecond)
+	if got := col.replayCount(); got != 0 {
+		t.Fatalf("replays at rate 0 = %d", got)
+	}
+	// Open the valve.
+	if err := agent.SetRate(2000); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.replayCount() == 200 }, "drain after rate raise")
+}
+
+func TestBoxReportsStats(t *testing.T) {
+	col, _, _, ingestAddr := startPair(t, dpcache.Config{QueueCapacity: 64, InitialRatePPS: 100})
+	shim, err := net.Dial("tcp", ingestAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shim.Close()
+	if err := dpcproto.Write(shim, dpcproto.Replay{DPID: 1, Frame: taggedFrame(1, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return col.statsCount() >= 2 }, "periodic stats")
+	col.mu.Lock()
+	last := col.stats[len(col.stats)-1]
+	col.mu.Unlock()
+	if last.Enqueued != 1 {
+		t.Errorf("stats enqueued = %d, want 1", last.Enqueued)
+	}
+}
+
+func TestBoxCleanShutdown(t *testing.T) {
+	_, _, box, _ := startPair(t, dpcache.Config{QueueCapacity: 16, InitialRatePPS: 10})
+	box.Close()
+	box.Close() // idempotent
+}
+
+func TestBoxStartFailsWithoutAgent(t *testing.T) {
+	if _, _, err := Start(Config{
+		AgentAddr:  "127.0.0.1:1", // nothing listens here
+		IngestAddr: "127.0.0.1:0",
+		Cache:      dpcache.Config{QueueCapacity: 8},
+	}); err == nil {
+		t.Fatal("Start succeeded without an agent endpoint")
+	}
+}

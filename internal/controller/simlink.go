@@ -1,0 +1,51 @@
+package controller
+
+import (
+	"floodguard/internal/openflow"
+	"floodguard/internal/switchsim"
+)
+
+// SimDatapath adapts a simulated switch to the controller's Datapath
+// interface; messages traverse the switch's modelled control channel.
+type SimDatapath struct {
+	Switch *switchsim.Switch
+}
+
+var _ Datapath = (*SimDatapath)(nil)
+
+// DPID implements Datapath.
+func (d *SimDatapath) DPID() uint64 { return d.Switch.DPID }
+
+// Send implements Datapath.
+func (d *SimDatapath) Send(f openflow.Framed) { d.Switch.FromController(f) }
+
+// simControlPlane lets the switch deliver messages into the controller.
+type simControlPlane struct {
+	c   *Controller
+	dps map[uint64]*SimDatapath
+}
+
+// FromSwitch implements switchsim.ControlPlane.
+func (s *simControlPlane) FromSwitch(sw *switchsim.Switch, f openflow.Framed) {
+	dp, ok := s.dps[sw.DPID]
+	if !ok {
+		return
+	}
+	s.c.HandleMessage(dp, f)
+}
+
+// Bind wires one or more simulated switches to the controller and opens
+// the sessions. It returns the per-switch datapath handles in the same
+// order.
+func Bind(c *Controller, switches ...*switchsim.Switch) []*SimDatapath {
+	cp := &simControlPlane{c: c, dps: make(map[uint64]*SimDatapath, len(switches))}
+	out := make([]*SimDatapath, len(switches))
+	for i, sw := range switches {
+		dp := &SimDatapath{Switch: sw}
+		cp.dps[sw.DPID] = dp
+		sw.SetControlPlane(cp)
+		out[i] = dp
+		c.Connect(dp)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+)
+
+// TCPServer serves the controller over real TCP connections speaking the
+// OpenFlow 1.0 wire protocol — the deployment shape of a production
+// controller. Incoming messages are marshalled onto the engine's
+// real-time runner so the single-threaded controller discipline holds.
+type TCPServer struct {
+	ctrl   *Controller
+	runner *netsim.RealTimeRunner
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*tcpSession
+	wg       sync.WaitGroup
+	closed   bool
+
+	// OnConnect, when set, is invoked (on the runner goroutine) after a
+	// datapath completes its feature handshake.
+	OnConnect func(dp Datapath)
+}
+
+// NewTCPServer wraps a controller and its real-time runner.
+func NewTCPServer(ctrl *Controller, runner *netsim.RealTimeRunner) *TCPServer {
+	return &TCPServer{
+		ctrl:     ctrl,
+		runner:   runner,
+		sessions: make(map[uint64]*tcpSession),
+	}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// accepting switches. It returns the bound address.
+func (s *TCPServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controller: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// tcpSession is one connected datapath.
+type tcpSession struct {
+	dpid uint64
+	conn net.Conn
+
+	writeMu sync.Mutex
+	xid     uint32
+}
+
+var _ Datapath = (*tcpSession)(nil)
+
+// DPID implements Datapath.
+func (t *tcpSession) DPID() uint64 { return t.dpid }
+
+// Send implements Datapath; safe from any goroutine.
+func (t *tcpSession) Send(f openflow.Framed) {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	xid := f.XID
+	if xid == 0 {
+		t.xid++
+		xid = t.xid
+	}
+	// Write errors surface as a read-side disconnect; a production
+	// controller would log them.
+	_ = openflow.WriteMessage(t.conn, xid, f.Msg)
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	sess, err := s.handshake(conn)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.sessions[sess.dpid] = sess
+	s.mu.Unlock()
+
+	s.runner.Do(func() {
+		s.ctrl.Connect(sess)
+		if s.OnConnect != nil {
+			s.OnConnect(sess)
+		}
+	})
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess.dpid)
+		s.mu.Unlock()
+	}()
+
+	for {
+		f, err := openflow.ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		s.runner.Do(func() { s.ctrl.HandleMessage(sess, f) })
+	}
+}
+
+// handshake performs the OpenFlow session open: exchange Hello, request
+// features, learn the datapath id.
+func (s *TCPServer) handshake(conn net.Conn) (*tcpSession, error) {
+	if err := openflow.WriteMessage(conn, 1, openflow.Hello{}); err != nil {
+		return nil, err
+	}
+	f, err := openflow.ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := f.Msg.(openflow.Hello); !ok {
+		return nil, fmt.Errorf("controller: expected hello, got %v", f.Msg.MsgType())
+	}
+	if err := openflow.WriteMessage(conn, 2, openflow.FeaturesRequest{}); err != nil {
+		return nil, err
+	}
+	for {
+		f, err = openflow.ReadMessage(conn)
+		if err != nil {
+			return nil, err
+		}
+		if fr, ok := f.Msg.(openflow.FeaturesReply); ok {
+			return &tcpSession{dpid: fr.DatapathID, conn: conn, xid: 100}, nil
+		}
+		// Tolerate echo/other session chatter during the handshake.
+		if er, ok := f.Msg.(openflow.EchoRequest); ok {
+			if err := openflow.WriteMessage(conn, f.XID, openflow.EchoReply{Data: er.Data}); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// Sessions returns the connected datapath ids.
+func (s *TCPServer) Sessions() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close stops accepting, closes every session, and waits for the serve
+// goroutines to exit.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, sess := range s.sessions {
+		_ = sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,193 @@
+package controller
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+)
+
+func startServer(t *testing.T) (*TCPServer, string, *netsim.RealTimeRunner) {
+	t.Helper()
+	eng := netsim.NewEngine()
+	runner := netsim.NewRealTimeRunner(eng)
+	runner.Start()
+	ctrl := New(eng)
+	srv := NewTCPServer(ctrl, runner)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		runner.Stop()
+	})
+	return srv, addr.String(), runner
+}
+
+// handshakeAs performs the switch side of the session open.
+func handshakeAs(t *testing.T, conn net.Conn, dpid uint64) {
+	t.Helper()
+	// Server speaks Hello first.
+	f, err := openflow.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Msg.(openflow.Hello); !ok {
+		t.Fatalf("expected hello, got %v", f.Msg.MsgType())
+	}
+	if err := openflow.WriteMessage(conn, 1, openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	// FeaturesRequest → FeaturesReply.
+	f, err = openflow.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Msg.(openflow.FeaturesRequest); !ok {
+		t.Fatalf("expected features_request, got %v", f.Msg.MsgType())
+	}
+	if err := openflow.WriteMessage(conn, f.XID, openflow.FeaturesReply{
+		DatapathID: dpid,
+		Ports:      []openflow.PhyPort{{PortNo: 1, Name: "eth1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitSessions(t *testing.T, srv *TCPServer, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Sessions()) == n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sessions = %v, want %d", srv.Sessions(), n)
+}
+
+func TestTCPServerHandshake(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	handshakeAs(t, conn, 0x77)
+	waitSessions(t, srv, 1)
+	if srv.Sessions()[0] != 0x77 {
+		t.Errorf("session dpid = %#x", srv.Sessions()[0])
+	}
+}
+
+func TestTCPServerEchoDuringHandshake(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Hello first.
+	if _, err := openflow.ReadMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := openflow.WriteMessage(conn, 1, openflow.Hello{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openflow.ReadMessage(conn); err != nil { // features_request
+		t.Fatal(err)
+	}
+	// Interleave an echo before the features reply; the server must
+	// answer it and keep waiting.
+	if err := openflow.WriteMessage(conn, 9, openflow.EchoRequest{Data: []byte("hb")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openflow.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er, ok := f.Msg.(openflow.EchoReply); !ok || string(er.Data) != "hb" {
+		t.Fatalf("echo reply = %+v", f.Msg)
+	}
+	if err := openflow.WriteMessage(conn, 2, openflow.FeaturesReply{DatapathID: 5}); err != nil {
+		t.Fatal(err)
+	}
+	waitSessions(t, srv, 1)
+}
+
+func TestTCPServerRejectsNonHelloOpen(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := openflow.ReadMessage(conn); err != nil { // server hello
+		t.Fatal(err)
+	}
+	// Speak garbage instead of Hello: the server must drop the session.
+	if err := openflow.WriteMessage(conn, 1, openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Sessions()) == 0 {
+			// Connection must be closed by the server eventually.
+			_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+			buf := make([]byte, 1)
+			if _, err := conn.Read(buf); err != nil {
+				return // closed or timed out with no session: pass
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("bad session lingered")
+}
+
+func TestTCPServerDisconnectRemovesSession(t *testing.T) {
+	srv, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handshakeAs(t, conn, 0x5)
+	waitSessions(t, srv, 1)
+	conn.Close()
+	waitSessions(t, srv, 0)
+}
+
+func TestTCPServerOnConnectHook(t *testing.T) {
+	srv, addr, runner := startServer(t)
+	var gotDPID uint64
+	srv.OnConnect = func(dp Datapath) { gotDPID = dp.DPID() }
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	handshakeAs(t, conn, 0xabc)
+	waitSessions(t, srv, 1)
+	var seen uint64
+	runner.Do(func() { seen = gotDPID })
+	if seen != 0xabc {
+		t.Errorf("OnConnect dpid = %#x", seen)
+	}
+}
+
+func TestTCPServerCloseUnblocksAccept(t *testing.T) {
+	srv, _, _ := startServer(t)
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung")
+	}
+}

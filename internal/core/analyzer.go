@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/controller"
+	"floodguard/internal/flowtable"
+	"floodguard/internal/openflow"
+	"floodguard/internal/symexec"
+)
+
+// RuleTarget abstracts where proactive flow rules land: switch flow
+// tables (the default) or the data plane cache's resident table (§IV.E).
+type RuleTarget interface {
+	// InstallProactive applies a flow_mod derived by the analyzer.
+	InstallProactive(fm openflow.FlowMod)
+}
+
+// datapathTarget installs into a switch via its controller session.
+type datapathTarget struct{ dp controller.Datapath }
+
+func (t datapathTarget) InstallProactive(fm openflow.FlowMod) {
+	t.dp.Send(openflow.Framed{Msg: fm})
+}
+
+// tableTarget installs into an in-memory table (the cache's rule table).
+type tableTarget struct {
+	tbl *flowtable.Table
+	now func() time.Time
+}
+
+func (t tableTarget) InstallProactive(fm openflow.FlowMod) {
+	// Best-effort: capacity errors surface as missing coverage, which is
+	// safe (packets fall back to the ordinary queues).
+	_, _ = t.tbl.Apply(fm, t.now())
+}
+
+// appAnalysis is the per-application offline artifact of Algorithm 1.
+type appAnalysis struct {
+	app   *controller.App
+	paths []symexec.Path
+	// lastVersion records, per datapath scope (sharedScope for apps with
+	// shared state), the state version the current rules derive from.
+	lastVersion map[uint64]uint64
+	// pendingChanges counts version bumps since the last sync (for
+	// UpdateEveryN), per scope.
+	pendingChanges map[uint64]uint64
+}
+
+// sharedScope keys bookkeeping for apps whose state is shared across
+// datapaths.
+const sharedScope uint64 = 0
+
+func (aa *appAnalysis) scopes() map[uint64]*appir.State {
+	if !aa.app.PerDatapath {
+		return map[uint64]*appir.State{sharedScope: aa.app.State}
+	}
+	return aa.app.DatapathStates()
+}
+
+// Analyzer is the proactive flow rule analyzer module: symbolic execution
+// engine (offline), application tracker and proactive flow rule
+// dispatcher (runtime).
+type Analyzer struct {
+	cfg  AnalyzerConfig
+	apps []*appAnalysis
+
+	// installed tracks the currently installed proactive rules keyed by
+	// match identity, for differential updates (Figure 8).
+	installed map[string]openflow.FlowMod
+
+	// Derivations counts Algorithm 2 executions (overhead accounting).
+	Derivations uint64
+	// RulesInstalled and RulesRemoved count dispatcher actions.
+	RulesInstalled uint64
+	RulesRemoved   uint64
+	// LastDeriveDuration is the wall-clock cost of the most recent
+	// derivation (the Figure 13 quantity).
+	LastDeriveDuration time.Duration
+}
+
+// NewAnalyzer builds an analyzer over the controller's registered apps.
+func NewAnalyzer(cfg AnalyzerConfig, apps []*controller.App) (*Analyzer, error) {
+	a := &Analyzer{cfg: cfg, installed: make(map[string]openflow.FlowMod)}
+	for _, app := range apps {
+		a.apps = append(a.apps, &appAnalysis{
+			app:            app,
+			lastVersion:    make(map[uint64]uint64),
+			pendingChanges: make(map[uint64]uint64),
+		})
+	}
+	return a, nil
+}
+
+// Prepare runs Algorithm 1 for every application — the offline
+// "preparation work" before the state machine starts (Figure 3). It is
+// idempotent.
+func (a *Analyzer) Prepare() error {
+	for _, aa := range a.apps {
+		if aa.paths != nil {
+			continue
+		}
+		paths, err := symexec.Explore(aa.app.Prog)
+		if err != nil {
+			return fmt.Errorf("prepare %s: %w", aa.app.Name(), err)
+		}
+		aa.paths = paths
+	}
+	return nil
+}
+
+// Paths exposes an app's path conditions (diagnostics, Table I/III
+// reporting).
+func (a *Analyzer) Paths(appName string) []symexec.Path {
+	for _, aa := range a.apps {
+		if aa.app.Name() == appName {
+			return aa.paths
+		}
+	}
+	return nil
+}
+
+// StateSensitiveReport returns, per app, the state-sensitive variables
+// discovered by analysis — the content of the paper's Table III.
+func (a *Analyzer) StateSensitiveReport() map[string][]string {
+	out := make(map[string][]string, len(a.apps))
+	for _, aa := range a.apps {
+		out[aa.app.Name()] = symexec.StateSensitiveVariables(aa.paths)
+	}
+	return out
+}
+
+// DeriveAll runs Algorithm 2 for every app against its live state and
+// returns the merged rule set (deduplicated by match+priority).
+func (a *Analyzer) DeriveAll() ([]appir.ConcreteRule, error) {
+	start := time.Now()
+	defer func() { a.LastDeriveDuration = time.Since(start) }()
+
+	var merged []appir.ConcreteRule
+	seen := make(map[string]bool)
+	for _, aa := range a.apps {
+		if aa.paths == nil {
+			return nil, fmt.Errorf("analyzer: %s not prepared", aa.app.Name())
+		}
+		rules, err := symexec.DeriveRules(aa.paths, aa.app.State)
+		if err != nil {
+			return nil, fmt.Errorf("derive %s: %w", aa.app.Name(), err)
+		}
+		a.Derivations++
+		aa.lastVersion[sharedScope] = aa.app.State.Version()
+		aa.pendingChanges[sharedScope] = 0
+		for _, r := range rules {
+			rule := r.Rule
+			if o := a.cfg.RuleIdleTimeoutOverride; o > 0 {
+				rule.IdleTimeout = o
+			}
+			key := ruleKey(rule.Match, rule.Priority)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, rule)
+		}
+	}
+	return merged, nil
+}
+
+func ruleKey(m openflow.Match, prio uint16) string {
+	return fmt.Sprintf("%s|%d", m.Key(), prio)
+}
+
+// Sync derives the current proactive rule set and reconciles the targets
+// with it: new rules are installed, stale ones removed ("the variation
+// should be quite simple as adding or removing a few matching rules",
+// §IV.D). It returns (installed, removed).
+//
+// Convenience form for single-target deployments: every rule goes to
+// every target. Multi-switch deployments with per-datapath apps use
+// SyncScoped.
+func (a *Analyzer) Sync(targets []RuleTarget) (int, int, error) {
+	shared := targets
+	return a.SyncScoped(nil, shared)
+}
+
+// SyncScoped reconciles proactive rules with datapath scoping: rules
+// derived from a per-datapath app state are dispatched only to that
+// datapath's target (plus the shared targets, e.g. a cache table);
+// rules from shared-state apps go everywhere.
+func (a *Analyzer) SyncScoped(scoped map[uint64]RuleTarget, shared []RuleTarget) (int, int, error) {
+	start := time.Now()
+	defer func() { a.LastDeriveDuration = time.Since(start) }()
+
+	type desired struct {
+		fm    openflow.FlowMod
+		scope uint64 // sharedScope or a dpid
+	}
+	next := make(map[string]desired)
+	seen := make(map[string]bool)
+	for _, aa := range a.apps {
+		if aa.paths == nil {
+			return 0, 0, fmt.Errorf("analyzer: %s not prepared", aa.app.Name())
+		}
+		for scope, st := range aa.scopes() {
+			rules, err := symexec.DeriveRules(aa.paths, st)
+			if err != nil {
+				return 0, 0, fmt.Errorf("derive %s: %w", aa.app.Name(), err)
+			}
+			a.Derivations++
+			aa.lastVersion[scope] = st.Version()
+			aa.pendingChanges[scope] = 0
+			for _, r := range rules {
+				rule := r.Rule
+				if o := a.cfg.RuleIdleTimeoutOverride; o > 0 {
+					rule.IdleTimeout = o
+				}
+				key := fmt.Sprintf("%d|%s", scope, ruleKey(rule.Match, rule.Priority))
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				next[key] = desired{scope: scope, fm: openflow.FlowMod{
+					Match:       rule.Match,
+					Command:     openflow.FlowAdd,
+					IdleTimeout: rule.IdleTimeout,
+					HardTimeout: rule.HardTimeout,
+					Priority:    rule.Priority,
+					BufferID:    openflow.NoBuffer,
+					OutPort:     openflow.PortNone,
+					Actions:     rule.Actions,
+				}}
+			}
+		}
+	}
+
+	dispatch := func(scope uint64, fm openflow.FlowMod) {
+		if scope == sharedScope {
+			for _, t := range scoped {
+				t.InstallProactive(fm)
+			}
+		} else if t, ok := scoped[scope]; ok {
+			t.InstallProactive(fm)
+		}
+		for _, t := range shared {
+			t.InstallProactive(fm)
+		}
+	}
+
+	installed, removed := 0, 0
+	for key, fm := range a.installed {
+		if _, keep := next[key]; keep {
+			continue
+		}
+		del := fm
+		del.Command = openflow.FlowDeleteStrict
+		dispatch(scopeOfKey(key), del)
+		delete(a.installed, key)
+		removed++
+		a.RulesRemoved++
+	}
+	for key, d := range next {
+		if old, ok := a.installed[key]; ok && openflow.ActionsString(old.Actions) == openflow.ActionsString(d.fm.Actions) {
+			continue
+		}
+		dispatch(d.scope, d.fm)
+		a.installed[key] = d.fm
+		installed++
+		a.RulesInstalled++
+	}
+	return installed, removed, nil
+}
+
+func scopeOfKey(key string) uint64 {
+	var scope uint64
+	for i := 0; i < len(key) && key[i] != '|'; i++ {
+		scope = scope*10 + uint64(key[i]-'0')
+	}
+	return scope
+}
+
+// InstalledCount returns the number of live proactive rules.
+func (a *Analyzer) InstalledCount() int { return len(a.installed) }
+
+// Forget clears the installed-rule bookkeeping (e.g. after the defense
+// ends and timeouts reclaim the rules).
+func (a *Analyzer) Forget() { a.installed = make(map[string]openflow.FlowMod) }
+
+// NeedsUpdate applies the configured §IV.D strategy to decide whether any
+// app's state has drifted enough to warrant re-derivation. Interval
+// strategy always reports true (the caller invokes it on its ticker).
+func (a *Analyzer) NeedsUpdate() bool {
+	switch a.cfg.Strategy {
+	case UpdateInterval:
+		return a.dirty(1)
+	case UpdateEveryN:
+		n := a.cfg.EveryN
+		if n == 0 {
+			n = 1
+		}
+		return a.dirty(n)
+	default:
+		return a.dirty(1)
+	}
+}
+
+func (a *Analyzer) dirty(n uint64) bool {
+	for _, aa := range a.apps {
+		for scope, st := range aa.scopes() {
+			v := st.Version()
+			if v > aa.lastVersion[scope] {
+				aa.pendingChanges[scope] = v - aa.lastVersion[scope]
+			}
+			if aa.pendingChanges[scope] >= n {
+				return true
+			}
+		}
+	}
+	return false
+}

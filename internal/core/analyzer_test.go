@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/apps"
+	"floodguard/internal/controller"
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+)
+
+// recordingTarget captures dispatched flow_mods.
+type recordingTarget struct {
+	adds    []openflow.FlowMod
+	deletes []openflow.FlowMod
+}
+
+func (r *recordingTarget) InstallProactive(fm openflow.FlowMod) {
+	if fm.Command == openflow.FlowDeleteStrict || fm.Command == openflow.FlowDelete {
+		r.deletes = append(r.deletes, fm)
+		return
+	}
+	r.adds = append(r.adds, fm)
+}
+
+func l2Analyzer(t *testing.T, cfg AnalyzerConfig) (*Analyzer, *appir.State) {
+	t.Helper()
+	prog, st := apps.L2Learning()
+	app := &controller.App{Prog: prog, State: st}
+	an, err := NewAnalyzer(cfg, []*controller.App{app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	return an, st
+}
+
+func learnMAC(st *appir.State, b byte, port uint16) {
+	st.Learn("macToPort", appir.MACValue(netpkt.MACFromUint64(uint64(b))), appir.U16Value(port))
+}
+
+func TestAnalyzerSyncIsDifferential(t *testing.T) {
+	an, st := l2Analyzer(t, DefaultAnalyzer())
+	tgt := &recordingTarget{}
+	learnMAC(st, 1, 1)
+	learnMAC(st, 2, 2)
+
+	inst, rem, err := an.Sync([]RuleTarget{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 2 || rem != 0 {
+		t.Fatalf("first sync = (%d, %d), want (2, 0)", inst, rem)
+	}
+
+	// No change: no traffic.
+	inst, rem, err = an.Sync([]RuleTarget{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 0 || rem != 0 {
+		t.Errorf("idempotent sync = (%d, %d), want (0, 0)", inst, rem)
+	}
+
+	// One addition, one removal: exactly one add + one delete dispatched.
+	learnMAC(st, 3, 3)
+	st.Unlearn("macToPort", appir.MACValue(netpkt.MACFromUint64(1)))
+	addsBefore, delsBefore := len(tgt.adds), len(tgt.deletes)
+	inst, rem, err = an.Sync([]RuleTarget{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 1 || rem != 1 {
+		t.Errorf("delta sync = (%d, %d), want (1, 1)", inst, rem)
+	}
+	if len(tgt.adds)-addsBefore != 1 || len(tgt.deletes)-delsBefore != 1 {
+		t.Errorf("dispatched %d adds, %d deletes", len(tgt.adds)-addsBefore, len(tgt.deletes)-delsBefore)
+	}
+	if an.InstalledCount() != 2 {
+		t.Errorf("InstalledCount = %d, want 2", an.InstalledCount())
+	}
+}
+
+func TestAnalyzerSyncUpdatesChangedActions(t *testing.T) {
+	an, st := l2Analyzer(t, DefaultAnalyzer())
+	tgt := &recordingTarget{}
+	learnMAC(st, 1, 1)
+	if _, _, err := an.Sync([]RuleTarget{tgt}); err != nil {
+		t.Fatal(err)
+	}
+	// Same MAC moves to a different port: same match, new action.
+	learnMAC(st, 1, 7)
+	inst, rem, err := an.Sync([]RuleTarget{tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 1 || rem != 0 {
+		t.Errorf("action-change sync = (%d, %d), want (1, 0) overwrite", inst, rem)
+	}
+	last := tgt.adds[len(tgt.adds)-1]
+	if got := last.Actions[0].(openflow.ActionOutput).Port; got != 7 {
+		t.Errorf("updated rule outputs to %d, want 7", got)
+	}
+}
+
+func TestAnalyzerIdleTimeoutOverride(t *testing.T) {
+	cfg := DefaultAnalyzer()
+	cfg.RuleIdleTimeoutOverride = 120
+	an, st := l2Analyzer(t, cfg)
+	learnMAC(st, 1, 1)
+	rules, err := an.DeriveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].IdleTimeout != 120 {
+		t.Errorf("rules = %+v, want idle timeout 120", rules)
+	}
+}
+
+func TestNeedsUpdateStrategies(t *testing.T) {
+	t.Run("every-change", func(t *testing.T) {
+		an, st := l2Analyzer(t, AnalyzerConfig{Strategy: UpdateEveryChange})
+		if _, err := an.DeriveAll(); err != nil {
+			t.Fatal(err)
+		}
+		if an.NeedsUpdate() {
+			t.Error("NeedsUpdate true with no changes")
+		}
+		learnMAC(st, 1, 1)
+		if !an.NeedsUpdate() {
+			t.Error("NeedsUpdate false after one change")
+		}
+	})
+	t.Run("every-n", func(t *testing.T) {
+		an, st := l2Analyzer(t, AnalyzerConfig{Strategy: UpdateEveryN, EveryN: 3})
+		if _, err := an.DeriveAll(); err != nil {
+			t.Fatal(err)
+		}
+		learnMAC(st, 1, 1)
+		learnMAC(st, 2, 2)
+		if an.NeedsUpdate() {
+			t.Error("NeedsUpdate true after 2 of 3 changes")
+		}
+		learnMAC(st, 3, 3)
+		if !an.NeedsUpdate() {
+			t.Error("NeedsUpdate false after 3 changes")
+		}
+		if _, err := an.DeriveAll(); err != nil {
+			t.Fatal(err)
+		}
+		if an.NeedsUpdate() {
+			t.Error("NeedsUpdate true after re-derivation")
+		}
+	})
+}
+
+func TestAnalyzerStateSensitiveReport(t *testing.T) {
+	progs, states := apps.EvaluationSet()
+	var capps []*controller.App
+	for i := range progs {
+		capps = append(capps, &controller.App{Prog: progs[i], State: states[i]})
+	}
+	an, err := NewAnalyzer(DefaultAnalyzer(), capps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	report := an.StateSensitiveReport()
+	if len(report) != 5 {
+		t.Fatalf("report covers %d apps", len(report))
+	}
+	found := false
+	for _, v := range report["l2_learning"] {
+		if v == "macToPort" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("l2_learning report = %v, want macToPort", report["l2_learning"])
+	}
+}
+
+func TestAnalyzerDeriveDurationRecorded(t *testing.T) {
+	an, st := l2Analyzer(t, DefaultAnalyzer())
+	for i := 1; i <= 50; i++ {
+		learnMAC(st, byte(i), uint16(i%8+1))
+	}
+	if _, err := an.DeriveAll(); err != nil {
+		t.Fatal(err)
+	}
+	if an.LastDeriveDuration <= 0 {
+		t.Error("LastDeriveDuration not recorded")
+	}
+	if an.LastDeriveDuration > time.Second {
+		t.Errorf("derivation took %v for 50 entries; suspicious", an.LastDeriveDuration)
+	}
+}
+
+func TestTableTargetRespectsCapacity(t *testing.T) {
+	tbl := flowtable.New(1)
+	tgt := tableTarget{tbl: tbl, now: func() time.Time { return t0 }}
+	p1 := netpkt.Packet{EthType: netpkt.EtherTypeIPv4, NwDst: netpkt.MustIPv4("10.0.0.1"), NwProto: netpkt.ProtoUDP}
+	p2 := netpkt.Packet{EthType: netpkt.EtherTypeIPv4, NwDst: netpkt.MustIPv4("10.0.0.2"), NwProto: netpkt.ProtoUDP}
+	tgt.InstallProactive(openflow.FlowMod{Match: openflow.ExactFrom(&p1, 1), Command: openflow.FlowAdd, Priority: 5})
+	tgt.InstallProactive(openflow.FlowMod{Match: openflow.ExactFrom(&p2, 1), Command: openflow.FlowAdd, Priority: 5})
+	if tbl.Len() != 1 {
+		t.Errorf("table len = %d, want 1 (capacity respected, overflow dropped)", tbl.Len())
+	}
+}

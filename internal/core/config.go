@@ -1,0 +1,162 @@
+package core
+
+import (
+	"time"
+
+	"floodguard/internal/dpcache"
+)
+
+// DetectionConfig parameterises the migration agent's flood detector. The
+// paper's detector combines the real-time packet_in rate with
+// infrastructure utilization (switch buffer memory, controller load) so
+// that an attacker who floods slowly but exhausts resources is still
+// caught (§IV.C.1).
+type DetectionConfig struct {
+	// SampleInterval is the detector's polling period.
+	SampleInterval time.Duration
+	// RateThresholdPPS normalises the packet_in rate component: rate at
+	// which the component alone reaches the threshold.
+	RateThresholdPPS float64
+	// UtilizationThreshold normalises the utilization component (buffer
+	// occupancy fraction and controller backlog fraction).
+	UtilizationThreshold float64
+	// BacklogReference converts controller work backlog into a
+	// utilization fraction (backlog == reference ⇒ 1.0).
+	BacklogReference time.Duration
+	// TriggerSamples is how many consecutive over-threshold samples
+	// declare the attack.
+	TriggerSamples int
+	// QuietPeriod is how long the score must stay below threshold before
+	// the attack is declared over.
+	QuietPeriod time.Duration
+	// RateEWMAAlpha smooths the packet_in rate estimate.
+	RateEWMAAlpha float64
+}
+
+// DefaultDetection returns thresholds calibrated for the bundled switch
+// profiles.
+func DefaultDetection() DetectionConfig {
+	return DetectionConfig{
+		SampleInterval:       50 * time.Millisecond,
+		RateThresholdPPS:     60,
+		UtilizationThreshold: 0.5,
+		BacklogReference:     200 * time.Millisecond,
+		TriggerSamples:       2,
+		QuietPeriod:          time.Second,
+		RateEWMAAlpha:        0.4,
+	}
+}
+
+// UpdateStrategy selects when the analyzer re-derives proactive rules
+// after global state changes (paper §IV.D's performance/accuracy
+// tradeoff).
+type UpdateStrategy int
+
+// Update strategies.
+const (
+	// UpdateEveryChange re-derives on every state version bump: maximum
+	// accuracy, maximum overhead.
+	UpdateEveryChange UpdateStrategy = iota + 1
+	// UpdateEveryN re-derives after every N version bumps.
+	UpdateEveryN
+	// UpdateInterval re-derives at a fixed period regardless of change
+	// count.
+	UpdateInterval
+)
+
+// String names the strategy.
+func (u UpdateStrategy) String() string {
+	switch u {
+	case UpdateEveryChange:
+		return "every-change"
+	case UpdateEveryN:
+		return "every-n"
+	case UpdateInterval:
+		return "interval"
+	default:
+		return "unknown"
+	}
+}
+
+// AnalyzerConfig parameterises the proactive flow rule analyzer.
+type AnalyzerConfig struct {
+	// Strategy picks the §IV.D update policy.
+	Strategy UpdateStrategy
+	// EveryN applies when Strategy == UpdateEveryN.
+	EveryN uint64
+	// TrackInterval is the application tracker's polling period (also
+	// the period for UpdateInterval).
+	TrackInterval time.Duration
+	// RulesInCache enables the §IV.E design option: proactive rules are
+	// installed into the data plane cache instead of switch TCAM.
+	RulesInCache bool
+	// RuleIdleTimeoutOverride, when positive, replaces the derived
+	// rules' idle timeout (seconds) so proactive rules survive the
+	// attack window.
+	RuleIdleTimeoutOverride uint16
+}
+
+// DefaultAnalyzer returns the paper-faithful configuration.
+func DefaultAnalyzer() AnalyzerConfig {
+	return AnalyzerConfig{
+		Strategy:      UpdateEveryChange,
+		TrackInterval: 20 * time.Millisecond,
+	}
+}
+
+// RateLimitConfig governs the agent's control of the cache's packet_in
+// generation rate.
+type RateLimitConfig struct {
+	// MinPPS and MaxPPS bound the replay rate.
+	MinPPS float64
+	MaxPPS float64
+	// TargetBacklog is the controller work backlog the agent steers
+	// toward: above it the rate halves, below half of it the rate grows.
+	TargetBacklog time.Duration
+	// Growth is the multiplicative increase factor when headroom exists.
+	Growth float64
+	// AdjustInterval is how often the rate is revisited.
+	AdjustInterval time.Duration
+}
+
+// DefaultRateLimit returns an AIMD-style controller-protecting policy.
+func DefaultRateLimit() RateLimitConfig {
+	return RateLimitConfig{
+		MinPPS:         10,
+		MaxPPS:         200,
+		TargetBacklog:  50 * time.Millisecond,
+		Growth:         1.25,
+		AdjustInterval: 100 * time.Millisecond,
+	}
+}
+
+// Config assembles a Guard.
+type Config struct {
+	Detection DetectionConfig
+	Analyzer  AnalyzerConfig
+	RateLimit RateLimitConfig
+	Cache     dpcache.Config
+	// CachePort is the switch port number the data plane cache attaches
+	// to on every protected switch.
+	CachePort uint16
+	// DisableINPORTTag is an ablation knob: install ONE untagged
+	// wildcard migration rule instead of the paper's per-ingress-port
+	// TOS-tagging rules. The original INPORT is then lost in migration
+	// (§IV.C.1's "obvious challenge"), so replayed packet_ins carry
+	// in_port 0 and learning apps poison their state.
+	DisableINPORTTag bool
+	// StatsPollInterval is how often the agent polls switch utilization.
+	StatsPollInterval time.Duration
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		Detection:         DefaultDetection(),
+		Analyzer:          DefaultAnalyzer(),
+		RateLimit:         DefaultRateLimit(),
+		Cache:             dpcache.DefaultConfig(),
+		CachePort:         63,
+		StatsPollInterval: 50 * time.Millisecond,
+	}
+}

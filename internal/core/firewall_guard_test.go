@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/apps"
+	"floodguard/internal/controller"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/switchsim"
+)
+
+// TestGuardWithFirewallProactiveDrops: under defense, the firewall's
+// security policy must be enforced by PROACTIVE rules in the data plane —
+// blocked traffic is dropped at the switch without touching the
+// controller or the cache, while allowed routable traffic is forwarded.
+func TestGuardWithFirewallProactiveDrops(t *testing.T) {
+	eng := netsim.NewEngine()
+	sw := switchsim.New(eng, 0x1, switchsim.SoftwareProfile())
+	sw.Start()
+	defer sw.Stop()
+
+	ctrl := controller.New(eng)
+	prog, st := apps.OFFirewall()
+	st.Learn("blockedTCPPorts", appir.U16Value(23), appir.BoolValue(true))
+	st.AddPrefix("blockedSrcNets", appir.IPValue(netpkt.MustIPv4("203.0.113.0")), 24, appir.BoolValue(true))
+	st.AddPrefix("routeTable", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.U16Value(2))
+	ctrl.Register(&controller.App{Prog: prog, State: st, CostPerEvent: time.Millisecond})
+
+	client := switchsim.NewHost(eng, sw, "client", 1, netpkt.MustMAC("00:00:00:00:00:0a"), netpkt.MustIPv4("198.51.100.1"), 1e9, 0)
+	server := switchsim.NewHost(eng, sw, "server", 2, netpkt.MustMAC("00:00:00:00:00:0b"), netpkt.MustIPv4("10.0.0.2"), 1e9, 0)
+	attacker := switchsim.NewHost(eng, sw, "m", 3, netpkt.MustMAC("00:00:00:00:00:0c"), netpkt.MustIPv4("203.0.113.9"), 1e9, 0)
+	controller.Bind(ctrl, sw)
+
+	cfg := DefaultConfig()
+	cfg.Detection.SampleInterval = 50 * time.Millisecond
+	guard, err := NewGuard(eng, ctrl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := guard.Protect(sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := guard.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Stop()
+
+	fl := switchsim.NewFlooder(attacker, 9, netpkt.FloodUDP, 64)
+	fl.Start(300)
+	eng.RunFor(2 * time.Second)
+	if guard.State() != StateDefense {
+		t.Fatalf("state = %v", guard.State())
+	}
+	if guard.Analyzer().InstalledCount() == 0 {
+		t.Fatal("no proactive rules derived from the firewall policy")
+	}
+
+	// 1. Blocked source network: dropped by a proactive drop rule —
+	// neither forwarded nor migrated nor seen by the controller.
+	dropped := sw.Stats().DroppedNoRule
+	evil := netpkt.Packet{
+		EthSrc: attacker.MAC, EthDst: server.MAC,
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   netpkt.MustIPv4("203.0.113.9"), NwDst: netpkt.MustIPv4("10.0.0.2"),
+		NwProto: netpkt.ProtoUDP, TpSrc: 9, TpDst: 9,
+	}
+	gotEvil, gotOK := 0, 0
+	server.OnReceive = func(pkt netpkt.Packet) {
+		if pkt.NwSrc == netpkt.MustIPv4("203.0.113.9") && pkt.TpDst == 9 {
+			gotEvil++
+		}
+		if pkt.NwSrc == client.IP && pkt.TpDst == 53 {
+			gotOK++
+		}
+	}
+	attacker.Send(evil)
+	eng.RunFor(200 * time.Millisecond)
+	if got := sw.Stats().DroppedNoRule - dropped; got != 1 {
+		t.Errorf("blocked-net packet: drops = %d, want 1 (proactive drop rule)", got)
+	}
+	if gotEvil != 0 {
+		t.Error("blocked-net packet reached the server")
+	}
+
+	// 2. Blocked TCP port (telnet): proactive drop too.
+	telnet := netpkt.Packet{
+		EthSrc: client.MAC, EthDst: server.MAC,
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   client.IP, NwDst: server.IP,
+		NwProto: netpkt.ProtoTCP, TpSrc: 4000, TpDst: 23, TCPFlags: netpkt.TCPSyn,
+	}
+	dropped = sw.Stats().DroppedNoRule
+	client.Send(telnet)
+	eng.RunFor(200 * time.Millisecond)
+	if got := sw.Stats().DroppedNoRule - dropped; got != 1 {
+		t.Errorf("telnet packet: drops = %d, want 1", got)
+	}
+
+	// 3. Routable allowed traffic: forwarded by the proactive route rule
+	// to port 2, no migration detour.
+	ok := netpkt.Packet{
+		EthSrc: client.MAC, EthDst: server.MAC,
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   client.IP, NwDst: server.IP,
+		NwProto: netpkt.ProtoUDP, TpSrc: 4000, TpDst: 53,
+	}
+	client.Send(ok)
+	eng.RunFor(200 * time.Millisecond)
+	if gotOK != 1 {
+		t.Errorf("allowed routable packet delivered %d times, want 1", gotOK)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2015, 6, 22, 0, 0, 0, 0, time.UTC)
+
+func TestFSMLegalCycle(t *testing.T) {
+	f := newFSM()
+	if f.State() != StateIdle {
+		t.Fatalf("initial state = %v", f.State())
+	}
+	steps := []FSMState{StateInit, StateDefense, StateFinish, StateIdle}
+	for _, next := range steps {
+		if err := f.to(next, t0, "test"); err != nil {
+			t.Fatalf("to(%v): %v", next, err)
+		}
+	}
+	if got := len(f.History()); got != 4 {
+		t.Errorf("history = %d entries", got)
+	}
+}
+
+func TestFSMFinishCanReenterInit(t *testing.T) {
+	f := newFSM()
+	for _, next := range []FSMState{StateInit, StateDefense, StateFinish, StateInit} {
+		if err := f.to(next, t0, "test"); err != nil {
+			t.Fatalf("to(%v): %v", next, err)
+		}
+	}
+}
+
+func TestFSMRejectsIllegalTransitions(t *testing.T) {
+	illegal := []struct {
+		path []FSMState
+		next FSMState
+	}{
+		{nil, StateDefense},                              // idle -> defense
+		{nil, StateFinish},                               // idle -> finish
+		{[]FSMState{StateInit}, StateIdle},               // init -> idle
+		{[]FSMState{StateInit}, StateFinish},             // init -> finish
+		{[]FSMState{StateInit, StateDefense}, StateIdle}, // defense -> idle
+		{[]FSMState{StateInit, StateDefense}, StateInit}, // defense -> init
+	}
+	for _, tt := range illegal {
+		f := newFSM()
+		for _, s := range tt.path {
+			if err := f.to(s, t0, "setup"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.to(tt.next, t0, "illegal"); err == nil {
+			t.Errorf("transition %v -> %v allowed", f.State(), tt.next)
+		}
+	}
+}
+
+func TestFSMStateStrings(t *testing.T) {
+	names := map[FSMState]string{
+		StateIdle: "idle", StateInit: "init",
+		StateDefense: "defense", StateFinish: "finish",
+	}
+	for s, want := range names {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestUpdateStrategyStrings(t *testing.T) {
+	if UpdateEveryChange.String() != "every-change" ||
+		UpdateEveryN.String() != "every-n" ||
+		UpdateInterval.String() != "interval" {
+		t.Error("strategy names wrong")
+	}
+}

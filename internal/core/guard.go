@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"floodguard/internal/controller"
+	"floodguard/internal/dpcache"
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+	"floodguard/internal/switchsim"
+)
+
+// protectedSwitch is one datapath under FloodGuard's protection.
+type protectedSwitch struct {
+	sw    *switchsim.Switch
+	dp    controller.Datapath
+	cache *dpcache.Cache
+
+	ingressPorts   []uint16 // from FeaturesReply, excluding the cache port
+	migrationRules []openflow.FlowMod
+	migrated       bool
+
+	bufferFrac float64 // latest utilization from StatsReply
+}
+
+// Guard is one FloodGuard deployment: it extends a controller with the
+// proactive flow rule analyzer and the packet migration module, and
+// coordinates them through the Figure 3 state machine.
+type Guard struct {
+	cfg  Config
+	eng  *netsim.Engine
+	ctrl *controller.Controller
+
+	fsm      *fsm
+	analyzer *Analyzer
+
+	switches map[uint64]*protectedSwitch
+	caches   []*dpcache.Cache
+	cacheTbl *flowtable.Table // §IV.E cache-resident rule table
+
+	// Detector state.
+	rateEWMA      *netsim.EWMA
+	pktInsSample  int
+	overSamples   int
+	lastOver      time.Time
+	lastMigrated  uint64 // cache Enqueued at previous sample
+	migrationRate float64
+	replaying     bool
+
+	detectTicker *netsim.Ticker
+	trackTicker  *netsim.Ticker
+	rateTicker   *netsim.Ticker
+	statsTicker  *netsim.Ticker
+	drainTicker  *netsim.Ticker
+
+	// Counters.
+	DetectedAttacks uint64
+	Replayed        uint64
+	// LastReplayDelay is the cache residence time of the most recently
+	// replayed packet (Table IV's data plane cache column).
+	LastReplayDelay time.Duration
+	// ReplayObserver, when set, sees every replayed packet with its
+	// cache residence time (experiment instrumentation).
+	ReplayObserver func(origin uint64, inPort uint16, pkt *netpkt.Packet, queued time.Duration)
+}
+
+// NewGuard attaches FloodGuard to a controller. Register all applications
+// on the controller before calling Protect/Start.
+func NewGuard(eng *netsim.Engine, ctrl *controller.Controller, cfg Config) (*Guard, error) {
+	an, err := NewAnalyzer(cfg.Analyzer, ctrl.Apps())
+	if err != nil {
+		return nil, err
+	}
+	g := &Guard{
+		cfg:      cfg,
+		eng:      eng,
+		ctrl:     ctrl,
+		fsm:      newFSM(),
+		analyzer: an,
+		switches: make(map[uint64]*protectedSwitch),
+		rateEWMA: netsim.NewEWMA(cfg.Detection.RateEWMAAlpha),
+	}
+	// Shared default cache (paper §IV.E: "ideally, we only need to deploy
+	// one data plane cache to serve all switches").
+	g.caches = []*dpcache.Cache{dpcache.New(eng, cfg.Cache, g)}
+	if cfg.Analyzer.RulesInCache {
+		g.cacheTbl = flowtable.New(0)
+		for _, c := range g.caches {
+			c.UseRuleTable(g.cacheTbl)
+		}
+	}
+	ctrl.AddHook(g.packetInHook)
+	ctrl.AddMessageListener(g.onMessage)
+	return g, nil
+}
+
+// AddCache creates an additional data plane cache for Protect to bind
+// switches to (the §IV.E scalability option: one cache per subnet/rack).
+func (g *Guard) AddCache() *dpcache.Cache {
+	c := dpcache.New(g.eng, g.cfg.Cache, g)
+	if g.cacheTbl != nil {
+		c.UseRuleTable(g.cacheTbl)
+	}
+	g.caches = append(g.caches, c)
+	return c
+}
+
+// Caches returns the guard's data plane caches.
+func (g *Guard) Caches() []*dpcache.Cache { return g.caches }
+
+// Analyzer exposes the proactive flow rule analyzer.
+func (g *Guard) Analyzer() *Analyzer { return g.analyzer }
+
+// State returns the FSM state.
+func (g *Guard) State() FSMState { return g.fsm.State() }
+
+// Transitions returns the FSM history.
+func (g *Guard) Transitions() []Transition { return g.fsm.History() }
+
+// Protect places a switch under FloodGuard: its data plane cache is
+// attached on cfg.CachePort and migration is armed. Call before Start.
+// The switch must already be bound to the controller.
+func (g *Guard) Protect(sw *switchsim.Switch) error {
+	return g.ProtectWithCache(sw, g.caches[0])
+}
+
+// ProtectWithCache is Protect with an explicit cache assignment.
+func (g *Guard) ProtectWithCache(sw *switchsim.Switch, cache *dpcache.Cache) error {
+	dp, ok := g.ctrl.Datapath(sw.DPID)
+	if !ok {
+		return fmt.Errorf("floodguard: datapath %#x is not connected to the controller", sw.DPID)
+	}
+	if sw.DPID == 0 {
+		return fmt.Errorf("floodguard: datapath id 0 is reserved")
+	}
+	ps := &protectedSwitch{sw: sw, dp: dp, cache: cache}
+	sw.AttachPort(g.cfg.CachePort, cache.Adapter(sw.DPID), 1e9, 100*time.Microsecond)
+	sw.SetNoFlood(g.cfg.CachePort, true)
+	for _, p := range sw.Ports() {
+		if p != g.cfg.CachePort {
+			ps.ingressPorts = append(ps.ingressPorts, p)
+		}
+	}
+	g.switches[sw.DPID] = ps
+	return nil
+}
+
+// Start runs the offline preparation (Algorithm 1 for every app) and arms
+// the monitoring component. Under normal circumstances only monitoring is
+// active; everything else stays dormant (§II.D design objectives).
+func (g *Guard) Start() error {
+	if err := g.analyzer.Prepare(); err != nil {
+		return err
+	}
+	for _, c := range g.caches {
+		c.Start()
+		c.SetRate(0) // dormant until an attack is detected
+	}
+	g.detectTicker = g.eng.NewTicker(g.cfg.Detection.SampleInterval, g.detect)
+	g.statsTicker = g.eng.NewTicker(g.cfg.StatsPollInterval, g.pollStats)
+	return nil
+}
+
+// Stop disarms all periodic work.
+func (g *Guard) Stop() {
+	for _, t := range []*netsim.Ticker{g.detectTicker, g.trackTicker, g.rateTicker, g.statsTicker, g.drainTicker} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	for _, c := range g.caches {
+		c.Stop()
+	}
+}
+
+// packetInHook observes every packet_in before app dispatch (detection
+// signal). Replayed packets are excluded from the rate: they are under
+// the agent's own control.
+func (g *Guard) packetInHook(ev *controller.PacketInEvent) bool {
+	if !g.replaying {
+		g.pktInsSample++
+	}
+	return true
+}
+
+// onMessage captures FeaturesReply (port inventory) and StatsReply
+// (utilization) from the switches.
+func (g *Guard) onMessage(dp controller.Datapath, f openflow.Framed) {
+	switch m := f.Msg.(type) {
+	case openflow.FeaturesReply:
+		ps, ok := g.switches[dp.DPID()]
+		if !ok {
+			return
+		}
+		ps.ingressPorts = ps.ingressPorts[:0]
+		for _, p := range m.Ports {
+			if p.PortNo != g.cfg.CachePort {
+				ps.ingressPorts = append(ps.ingressPorts, p.PortNo)
+			}
+		}
+	case openflow.StatsReply:
+		ps, ok := g.switches[dp.DPID()]
+		if !ok {
+			return
+		}
+		if m.Table.BufferSize > 0 {
+			ps.bufferFrac = float64(m.Table.BufferUsed) / float64(m.Table.BufferSize)
+		}
+	case openflow.PortStatus:
+		g.onPortStatus(dp, m)
+	}
+}
+
+// onPortStatus tracks topology changes: migration coverage must follow
+// the live port set, or a port added mid-defense becomes an unmigrated
+// path to the controller.
+func (g *Guard) onPortStatus(dp controller.Datapath, m openflow.PortStatus) {
+	ps, ok := g.switches[dp.DPID()]
+	if !ok || m.Port.PortNo == g.cfg.CachePort {
+		return
+	}
+	switch m.Reason {
+	case openflow.PortAdded:
+		for _, p := range ps.ingressPorts {
+			if p == m.Port.PortNo {
+				return
+			}
+		}
+		ps.ingressPorts = append(ps.ingressPorts, m.Port.PortNo)
+		if ps.migrated {
+			rules := dpcache.MigrationRules([]uint16{m.Port.PortNo}, g.cfg.CachePort)
+			for _, fm := range rules {
+				ps.dp.Send(openflow.Framed{Msg: fm})
+			}
+			ps.migrationRules = append(ps.migrationRules, rules...)
+		}
+	case openflow.PortDeleted:
+		for i, p := range ps.ingressPorts {
+			if p == m.Port.PortNo {
+				ps.ingressPorts = append(ps.ingressPorts[:i:i], ps.ingressPorts[i+1:]...)
+				break
+			}
+		}
+		if ps.migrated {
+			keep := ps.migrationRules[:0]
+			for _, fm := range ps.migrationRules {
+				if fm.Match.InPort == m.Port.PortNo {
+					del := fm
+					del.Command = openflow.FlowDeleteStrict
+					ps.dp.Send(openflow.Framed{Msg: del})
+					continue
+				}
+				keep = append(keep, fm)
+			}
+			ps.migrationRules = keep
+		}
+	}
+}
+
+func (g *Guard) pollStats() {
+	for _, ps := range g.switches {
+		ps.dp.Send(openflow.Framed{Msg: openflow.StatsRequest{}})
+	}
+}
+
+// score computes the composite detection signal: the worst of the
+// normalised packet_in rate and the normalised infrastructure
+// utilization, so a slow attacker who exhausts buffers is still caught
+// (§IV.C.1).
+func (g *Guard) score(ratePPS float64) float64 {
+	d := g.cfg.Detection
+	rateNorm := 0.0
+	if d.RateThresholdPPS > 0 {
+		rateNorm = ratePPS / d.RateThresholdPPS
+	}
+	util := 0.0
+	for _, ps := range g.switches {
+		if ps.bufferFrac > util {
+			util = ps.bufferFrac
+		}
+	}
+	if d.BacklogReference > 0 {
+		if b := float64(g.ctrl.Backlog()) / float64(d.BacklogReference); b > util {
+			util = b
+		}
+	}
+	utilNorm := 0.0
+	if d.UtilizationThreshold > 0 {
+		utilNorm = util / d.UtilizationThreshold
+	}
+	if rateNorm > utilNorm {
+		return rateNorm
+	}
+	return utilNorm
+}
+
+func (g *Guard) detect() {
+	d := g.cfg.Detection
+	perSec := float64(time.Second) / float64(d.SampleInterval)
+	rate := g.rateEWMA.Observe(float64(g.pktInsSample) * perSec)
+	g.pktInsSample = 0
+
+	// Migration rate: what the caches are absorbing (attack-ongoing
+	// signal while in Defense, when the controller no longer sees the
+	// flood directly).
+	var enq uint64
+	for _, c := range g.caches {
+		enq += c.Stats().Enqueued
+	}
+	g.migrationRate = float64(enq-g.lastMigrated) * perSec
+	g.lastMigrated = enq
+
+	score := g.score(rate)
+	now := g.eng.Now()
+
+	switch g.fsm.State() {
+	case StateIdle:
+		if score >= 1 {
+			g.overSamples++
+			if g.overSamples >= d.TriggerSamples {
+				g.onAttackDetected()
+			}
+		} else {
+			g.overSamples = 0
+		}
+	case StateDefense:
+		ongoing := score >= 1 || g.migrationRate >= d.RateThresholdPPS
+		if ongoing {
+			g.lastOver = now
+		} else if now.Sub(g.lastOver) >= d.QuietPeriod {
+			g.onAttackOver()
+		}
+	case StateFinish:
+		// Re-detection during drain re-enters Init.
+		if score >= 1 || g.migrationRate >= d.RateThresholdPPS {
+			g.overSamples++
+			if g.overSamples >= d.TriggerSamples {
+				g.onAttackDetected()
+			}
+		} else {
+			g.overSamples = 0
+		}
+	}
+}
+
+// onAttackDetected drives Idle/Finish → Init → Defense: migrate
+// table-miss traffic, derive and install proactive rules, start the
+// replay rate controller.
+func (g *Guard) onAttackDetected() {
+	now := g.eng.Now()
+	if err := g.fsm.to(StateInit, now, "saturation attack detected"); err != nil {
+		return
+	}
+	g.DetectedAttacks++
+	g.overSamples = 0
+	g.lastOver = now
+	if g.drainTicker != nil {
+		g.drainTicker.Stop()
+		g.drainTicker = nil
+	}
+
+	// 1. Migrate: per-ingress-port wildcard rules to the cache port.
+	for _, ps := range g.switches {
+		g.installMigration(ps)
+	}
+	// 2. Cache replay begins at the floor rate.
+	for _, c := range g.caches {
+		c.SetRate(g.cfg.RateLimit.MinPPS)
+	}
+	g.rateTicker = g.eng.NewTicker(g.cfg.RateLimit.AdjustInterval, g.adjustRate)
+
+	// 3. Analyzer: substitute live globals into the offline path
+	// conditions and install the proactive rules; Defense once ready.
+	scoped, shared := g.ruleTargets()
+	if _, _, err := g.analyzer.SyncScoped(scoped, shared); err != nil {
+		return
+	}
+	latency := g.analyzer.LastDeriveDuration
+	g.eng.Schedule(latency, func() {
+		if g.fsm.State() == StateInit {
+			_ = g.fsm.to(StateDefense, g.eng.Now(), "proactive flow rules installed")
+			g.trackTicker = g.eng.NewTicker(g.cfg.Analyzer.TrackInterval, g.track)
+		}
+	})
+}
+
+// ruleTargets returns the datapath-scoped targets plus the shared ones.
+func (g *Guard) ruleTargets() (map[uint64]RuleTarget, []RuleTarget) {
+	if g.cfg.Analyzer.RulesInCache {
+		return nil, []RuleTarget{tableTarget{tbl: g.cacheTbl, now: g.eng.Now}}
+	}
+	scoped := make(map[uint64]RuleTarget, len(g.switches))
+	for dpid, ps := range g.switches {
+		scoped[dpid] = datapathTarget{dp: ps.dp}
+	}
+	return scoped, nil
+}
+
+func (g *Guard) installMigration(ps *protectedSwitch) {
+	if ps.migrated {
+		return
+	}
+	if g.cfg.DisableINPORTTag {
+		// Ablation: one untagged wildcard rule; INPORT is lost.
+		m := openflow.MatchAll()
+		ps.migrationRules = []openflow.FlowMod{{
+			Match:    m,
+			Command:  openflow.FlowAdd,
+			Priority: 1,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+			Actions: []openflow.Action{
+				openflow.ActionSetNwTOS{TOS: 0},
+				openflow.Output(g.cfg.CachePort),
+			},
+		}}
+	} else {
+		ps.migrationRules = dpcache.MigrationRules(ps.ingressPorts, g.cfg.CachePort)
+	}
+	for _, fm := range ps.migrationRules {
+		ps.dp.Send(openflow.Framed{Msg: fm})
+	}
+	ps.migrated = true
+}
+
+func (g *Guard) removeMigration(ps *protectedSwitch) {
+	if !ps.migrated {
+		return
+	}
+	for _, fm := range ps.migrationRules {
+		del := fm
+		del.Command = openflow.FlowDeleteStrict
+		ps.dp.Send(openflow.Framed{Msg: del})
+	}
+	ps.migrationRules = nil
+	ps.migrated = false
+}
+
+// track is the application tracker: it re-derives and re-installs
+// proactive rules when global state drifts, per the §IV.D strategy.
+func (g *Guard) track() {
+	if g.fsm.State() != StateDefense {
+		return
+	}
+	if !g.analyzer.NeedsUpdate() {
+		return
+	}
+	scoped, shared := g.ruleTargets()
+	_, _, _ = g.analyzer.SyncScoped(scoped, shared)
+}
+
+// adjustRate is the agent's AIMD replay-rate controller: it grows the
+// cache's packet_in rate while the controller has headroom and backs off
+// when backlog builds.
+func (g *Guard) adjustRate() {
+	rl := g.cfg.RateLimit
+	backlog := g.ctrl.Backlog()
+	for _, c := range g.caches {
+		rate := c.Rate()
+		switch {
+		case backlog > rl.TargetBacklog:
+			rate /= 2
+		case backlog < rl.TargetBacklog/2:
+			rate *= rl.Growth
+		}
+		if rate < rl.MinPPS {
+			rate = rl.MinPPS
+		}
+		if rate > rl.MaxPPS {
+			rate = rl.MaxPPS
+		}
+		c.SetRate(rate)
+	}
+}
+
+// onAttackOver drives Defense → Finish: stop migrating, keep draining.
+func (g *Guard) onAttackOver() {
+	if err := g.fsm.to(StateFinish, g.eng.Now(), "attack traffic subsided"); err != nil {
+		return
+	}
+	for _, ps := range g.switches {
+		g.removeMigration(ps)
+	}
+	if g.trackTicker != nil {
+		g.trackTicker.Stop()
+		g.trackTicker = nil
+	}
+	g.overSamples = 0
+	g.drainTicker = g.eng.NewTicker(g.cfg.Detection.SampleInterval, g.checkDrained)
+}
+
+func (g *Guard) checkDrained() {
+	if g.fsm.State() != StateFinish {
+		return
+	}
+	for _, c := range g.caches {
+		if !c.Drained() {
+			return
+		}
+	}
+	_ = g.fsm.to(StateIdle, g.eng.Now(), "data plane cache drained")
+	if g.drainTicker != nil {
+		g.drainTicker.Stop()
+		g.drainTicker = nil
+	}
+	if g.rateTicker != nil {
+		g.rateTicker.Stop()
+		g.rateTicker = nil
+	}
+	for _, c := range g.caches {
+		c.SetRate(0) // back to dormant
+	}
+}
+
+// CacheEmit implements dpcache.Sink: a scheduled packet is re-raised as a
+// packet_in under its original datapath, transparently to the
+// applications (§IV.C.1, the migration agent's third function).
+func (g *Guard) CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration) {
+	ps, ok := g.switches[origin]
+	if !ok {
+		return
+	}
+	g.Replayed++
+	g.LastReplayDelay = queued
+	if g.ReplayObserver != nil {
+		g.ReplayObserver(origin, origInPort, &pkt, queued)
+	}
+	data := pkt.Marshal()
+	pi := openflow.PacketIn{
+		BufferID: openflow.NoBuffer,
+		TotalLen: uint16(len(data)),
+		InPort:   origInPort,
+		Reason:   openflow.ReasonNoMatch,
+		Data:     data,
+	}
+	g.replaying = true
+	g.ctrl.InjectPacketIn(ps.dp, pi)
+	g.replaying = false
+}
+
+// MigrationRate returns the most recent rate of packets being diverted
+// into the caches (packets/second).
+func (g *Guard) MigrationRate() float64 { return g.migrationRate }
+
+// PacketInRate returns the detector's smoothed data-plane packet_in rate.
+func (g *Guard) PacketInRate() float64 { return g.rateEWMA.Value() }
+
+var _ dpcache.Sink = (*Guard)(nil)

@@ -1,0 +1,363 @@
+// Package dpcache implements FloodGuard's data plane cache (paper
+// §IV.C.2): a device between the data and control planes that temporarily
+// absorbs migrated table-miss packets during a saturation attack.
+//
+// It has the paper's three components:
+//
+//   - packet classifier: table-miss packets are classified by protocol
+//     into four FIFO buffer queues (TCP, UDP, ICMP, Default);
+//   - packet buffer queues: bounded FIFOs that drop the earliest packet
+//     when full, so one protocol's flood cannot starve the others;
+//   - packet_in generator: a round-robin scheduler drains the queues at a
+//     rate limit dictated by the migration agent, decoding the original
+//     INPORT from the TOS tag and handing each packet to the agent for
+//     transparent re-injection.
+//
+// The §IV.E design option for TCAM-limited switches is supported: the
+// analyzer may install proactive rules *into the cache*; packets matching
+// them are served from a priority queue ahead of the round-robin.
+package dpcache
+
+import (
+	"time"
+
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+)
+
+// EncodeInPortTOS packs an ingress port number into the TOS/DSCP bits a
+// migration rule writes (6 usable bits; the low two are ECN).
+func EncodeInPortTOS(port uint16) uint8 { return uint8(port&0x3f) << 2 }
+
+// DecodeInPortTOS recovers the ingress port from a tagged TOS byte.
+func DecodeInPortTOS(tos uint8) uint16 { return uint16(tos >> 2) }
+
+// MaxTaggablePort is the largest ingress port representable in the tag.
+const MaxTaggablePort = 63
+
+// QueueClass indexes the four protocol buffer queues.
+type QueueClass int
+
+// Queue classes, in round-robin service order.
+const (
+	QueueTCP QueueClass = iota
+	QueueUDP
+	QueueICMP
+	QueueDefault
+	numQueues
+)
+
+// String names the class.
+func (q QueueClass) String() string {
+	switch q {
+	case QueueTCP:
+		return "tcp"
+	case QueueUDP:
+		return "udp"
+	case QueueICMP:
+		return "icmp"
+	default:
+		return "default"
+	}
+}
+
+// Classify maps a packet to its buffer queue.
+func Classify(p *netpkt.Packet) QueueClass {
+	if !p.IsIP() {
+		return QueueDefault
+	}
+	switch p.NwProto {
+	case netpkt.ProtoTCP:
+		return QueueTCP
+	case netpkt.ProtoUDP:
+		return QueueUDP
+	case netpkt.ProtoICMP:
+		return QueueICMP
+	default:
+		return QueueDefault
+	}
+}
+
+type entry struct {
+	origin  uint64 // datapath id the packet was migrated from
+	pkt     netpkt.Packet
+	inPort  uint16
+	arrived time.Time
+}
+
+// fifo is a bounded queue that drops the earliest entry on overflow
+// (the paper's "tail drop scheme ... the earliest coming packet inside
+// the packet buffer queue will be dropped").
+type fifo struct {
+	buf     []entry
+	head    int
+	n       int
+	dropped uint64
+}
+
+func newFIFO(capacity int) *fifo { return &fifo{buf: make([]entry, capacity)} }
+
+func (f *fifo) push(e entry) {
+	if f.n == len(f.buf) {
+		// Drop the oldest to make room.
+		f.head = (f.head + 1) % len(f.buf)
+		f.n--
+		f.dropped++
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = e
+	f.n++
+}
+
+func (f *fifo) pop() (entry, bool) {
+	if f.n == 0 {
+		return entry{}, false
+	}
+	e := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return e, true
+}
+
+func (f *fifo) len() int { return f.n }
+
+// Sink receives the scheduled packets: FloodGuard's migration agent,
+// which re-raises them as packet_in events under the original datapath
+// (identified by origin, the datapath id).
+type Sink interface {
+	CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
+}
+
+// Config parameterises a cache instance.
+type Config struct {
+	// QueueCapacity bounds each protocol queue (packets).
+	QueueCapacity int
+	// InitialRatePPS is the packet_in generation rate before the agent
+	// adjusts it.
+	InitialRatePPS float64
+	// ProcessingDelay models the cache's per-packet handling cost.
+	ProcessingDelay time.Duration
+	// SingleQueue collapses the four protocol queues into one FIFO —
+	// the ablation baseline for the paper's round-robin design ("the
+	// effect ... is the same as just using one queue" only when the
+	// attacker spreads across protocols; a single-protocol flood starves
+	// the others without the split).
+	SingleQueue bool
+}
+
+// DefaultConfig mirrors the prototype's dimensions.
+func DefaultConfig() Config {
+	return Config{
+		QueueCapacity:   4096,
+		InitialRatePPS:  50,
+		ProcessingDelay: 100 * time.Microsecond,
+	}
+}
+
+// Stats is a cache health snapshot.
+type Stats struct {
+	Enqueued uint64
+	Emitted  uint64
+	Dropped  uint64
+	Backlog  int
+	PerQueue [4]int
+	// PriorityServed counts packets served from the cache-resident rule
+	// fast path (§IV.E option).
+	PriorityServed uint64
+}
+
+// Cache is one data plane cache instance. It attaches to a switch port
+// as a PortPeer and emits scheduled packets to its Sink.
+type Cache struct {
+	eng  *netsim.Engine
+	cfg  Config
+	sink Sink
+
+	queues   [numQueues]*fifo
+	priority *fifo
+	next     QueueClass // round-robin cursor
+
+	// rules, when set, is the §IV.E cache-resident proactive rule table.
+	rules *flowtable.Table
+
+	rate   float64
+	ticker *netsim.Ticker
+
+	enqueued uint64
+	emitted  uint64
+	prioSrvd uint64
+}
+
+// New creates a cache on the engine; Start arms the scheduler.
+func New(eng *netsim.Engine, cfg Config, sink Sink) *Cache {
+	c := &Cache{eng: eng, cfg: cfg, sink: sink, rate: cfg.InitialRatePPS}
+	for i := range c.queues {
+		c.queues[i] = newFIFO(cfg.QueueCapacity)
+	}
+	c.priority = newFIFO(cfg.QueueCapacity)
+	return c
+}
+
+// Start arms the round-robin scheduler at the current rate.
+func (c *Cache) Start() { c.arm() }
+
+// Stop disarms the scheduler.
+func (c *Cache) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+}
+
+// SetRate adjusts the packet_in generation rate (packets/second); the
+// migration agent calls this as controller headroom changes. Zero pauses
+// the generator.
+func (c *Cache) SetRate(pps float64) {
+	if pps == c.rate && c.ticker != nil {
+		return
+	}
+	c.rate = pps
+	c.arm()
+}
+
+// Rate returns the current generation rate.
+func (c *Cache) Rate() float64 { return c.rate }
+
+func (c *Cache) arm() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+	}
+	if c.rate <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / c.rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	c.ticker = c.eng.NewTicker(interval, c.emitOne)
+}
+
+// UseRuleTable enables the §IV.E design option: packets matching a rule
+// in tbl are queued with priority. Pass nil to disable.
+func (c *Cache) UseRuleTable(tbl *flowtable.Table) { c.rules = tbl }
+
+// RuleTable returns the cache-resident rule table (may be nil).
+func (c *Cache) RuleTable() *flowtable.Table { return c.rules }
+
+// DeliverFromSwitch implements the switch PortPeer for a single-switch
+// deployment (origin 0). Multi-switch deployments attach one Adapter per
+// switch so the origin datapath is preserved.
+func (c *Cache) DeliverFromSwitch(pkt netpkt.Packet) { c.Ingest(0, pkt) }
+
+// Ingest accepts a migrated table-miss packet from the identified
+// datapath, tagged with its original INPORT in the TOS field.
+func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
+	inPort := DecodeInPortTOS(pkt.NwTOS)
+	pkt.NwTOS = 0 // strip the tag
+	c.enqueued++
+	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now()}
+	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
+		c.priority.push(e)
+		return
+	}
+	if c.cfg.SingleQueue {
+		c.queues[QueueDefault].push(e)
+		return
+	}
+	c.queues[Classify(&pkt)].push(e)
+}
+
+// Adapter returns a PortPeer view of the cache bound to one origin
+// datapath; attach it to that switch's cache port.
+func (c *Cache) Adapter(origin uint64) *Adapter { return &Adapter{c: c, origin: origin} }
+
+// Adapter binds a shared cache to one switch.
+type Adapter struct {
+	c      *Cache
+	origin uint64
+}
+
+// DeliverFromSwitch implements the switch PortPeer.
+func (a *Adapter) DeliverFromSwitch(pkt netpkt.Packet) { a.c.Ingest(a.origin, pkt) }
+
+// emitOne serves the priority queue first, then one packet round-robin
+// across the protocol queues.
+func (c *Cache) emitOne() {
+	if e, ok := c.priority.pop(); ok {
+		c.prioSrvd++
+		c.deliver(e)
+		return
+	}
+	for i := 0; i < int(numQueues); i++ {
+		q := c.queues[c.next]
+		c.next = (c.next + 1) % numQueues
+		if e, ok := q.pop(); ok {
+			c.deliver(e)
+			return
+		}
+	}
+}
+
+func (c *Cache) deliver(e entry) {
+	c.emitted++
+	queued := c.eng.Now().Sub(e.arrived)
+	c.eng.Schedule(c.cfg.ProcessingDelay, func() {
+		c.sink.CacheEmit(e.origin, e.inPort, e.pkt, queued+c.cfg.ProcessingDelay)
+	})
+}
+
+// Backlog returns the total queued packet count.
+func (c *Cache) Backlog() int {
+	n := c.priority.len()
+	for _, q := range c.queues {
+		n += q.len()
+	}
+	return n
+}
+
+// Drained reports whether every queue is empty — the Finish→Idle
+// transition condition of the FloodGuard state machine.
+func (c *Cache) Drained() bool { return c.Backlog() == 0 }
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Enqueued:       c.enqueued,
+		Emitted:        c.emitted,
+		Backlog:        c.Backlog(),
+		PriorityServed: c.prioSrvd,
+	}
+	for i, q := range c.queues {
+		s.PerQueue[i] = q.len()
+		s.Dropped += q.dropped
+	}
+	s.Dropped += c.priority.dropped
+	return s
+}
+
+// MigrationRules builds the per-ingress-port wildcard rules the agent
+// installs to divert table-miss traffic to the cache (paper §IV.C.1,
+// Figure 6): lowest priority, match in_port, set the TOS tag, output to
+// the cache port.
+func MigrationRules(ingressPorts []uint16, cachePort uint16) []openflow.FlowMod {
+	rules := make([]openflow.FlowMod, 0, len(ingressPorts))
+	for _, p := range ingressPorts {
+		m := openflow.MatchAll()
+		m.Wildcards &^= openflow.WildInPort
+		m.InPort = p
+		rules = append(rules, openflow.FlowMod{
+			Match:    m,
+			Command:  openflow.FlowAdd,
+			Priority: 1, // below every application and proactive rule
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+			Actions: []openflow.Action{
+				openflow.ActionSetNwTOS{TOS: EncodeInPortTOS(p)},
+				openflow.Output(cachePort),
+			},
+		})
+	}
+	return rules
+}

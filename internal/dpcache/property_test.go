@@ -1,0 +1,147 @@
+package dpcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+)
+
+// TestFIFOPropertyOrderPreserved: for any push sequence, pops come out in
+// arrival order restricted to the survivors (the newest capacity
+// entries).
+func TestFIFOPropertyOrderPreserved(t *testing.T) {
+	f := func(seq []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := newFIFO(capacity)
+		for i, v := range seq {
+			q.push(entry{inPort: v, origin: uint64(i)})
+		}
+		// Expected survivors: the last min(len, capacity) entries.
+		start := 0
+		if len(seq) > capacity {
+			start = len(seq) - capacity
+		}
+		want := seq[start:]
+		if q.len() != len(want) {
+			return false
+		}
+		for _, w := range want {
+			e, ok := q.pop()
+			if !ok || e.inPort != w {
+				return false
+			}
+		}
+		_, ok := q.pop()
+		return !ok // drained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFIFOPropertyDropAccounting: dropped + remaining == pushed.
+func TestFIFOPropertyDropAccounting(t *testing.T) {
+	f := func(n uint16, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		q := newFIFO(capacity)
+		for i := 0; i < int(n%512); i++ {
+			q.push(entry{})
+		}
+		return int(q.dropped)+q.len() == int(n%512)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCachePropertyConservation: enqueued == emitted + dropped + backlog
+// after any interleaving of ingests and scheduler runs.
+func TestCachePropertyConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 50; trial++ {
+		eng := netsim.NewEngine()
+		emitted := 0
+		c := New(eng, Config{
+			QueueCapacity:  r.Intn(32) + 1,
+			InitialRatePPS: float64(r.Intn(500) + 1),
+		}, sinkCounter{&emitted})
+		c.Start()
+		gen := netpkt.NewSpoofGen(int64(trial), netpkt.FloodMixed, 16)
+		for step := 0; step < 200; step++ {
+			switch r.Intn(3) {
+			case 0:
+				p := gen.Next()
+				p.NwTOS = EncodeInPortTOS(uint16(r.Intn(8)))
+				c.DeliverFromSwitch(p)
+			case 1:
+				eng.RunFor(time.Duration(r.Intn(20)) * time.Millisecond)
+			default:
+				c.SetRate(float64(r.Intn(1000)))
+			}
+		}
+		c.Stop()
+		eng.RunFor(time.Second) // settle in-flight deliveries
+		st := c.Stats()
+		if st.Enqueued != st.Emitted+st.Dropped+uint64(st.Backlog) {
+			t.Fatalf("trial %d: conservation violated: %d != %d+%d+%d",
+				trial, st.Enqueued, st.Emitted, st.Dropped, st.Backlog)
+		}
+	}
+}
+
+type sinkCounter struct{ n *int }
+
+func (s sinkCounter) CacheEmit(uint64, uint16, netpkt.Packet, time.Duration) { *s.n++ }
+
+// TestRoundRobinPropertyBoundedWait: with k non-empty queues, any head
+// packet is served within k scheduler ticks.
+func TestRoundRobinPropertyBoundedWait(t *testing.T) {
+	protos := []uint8{netpkt.ProtoTCP, netpkt.ProtoUDP, netpkt.ProtoICMP, 47}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		eng := netsim.NewEngine()
+		var served []uint8
+		c := New(eng, Config{QueueCapacity: 64, InitialRatePPS: 1000},
+			sinkProto{&served})
+		// Load a random non-empty subset of queues.
+		loaded := map[uint8]bool{}
+		for _, pr := range protos {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			loaded[pr] = true
+			for i := 0; i < r.Intn(5)+1; i++ {
+				c.DeliverFromSwitch(netpkt.Packet{
+					EthType: netpkt.EtherTypeIPv4, NwProto: pr,
+					NwTOS: EncodeInPortTOS(1), TpDst: uint16(i),
+				})
+			}
+		}
+		if len(loaded) == 0 {
+			continue
+		}
+		c.Start()
+		eng.RunFor(time.Duration(len(loaded)+1) * time.Millisecond) // k+1 ticks
+		c.Stop()
+		seen := map[uint8]bool{}
+		for _, pr := range served {
+			seen[pr] = true
+		}
+		for pr := range loaded {
+			if !seen[pr] {
+				t.Fatalf("trial %d: queue %d not served within %d ticks (served %v)",
+					trial, pr, len(loaded)+1, served)
+			}
+		}
+	}
+}
+
+type sinkProto struct{ protos *[]uint8 }
+
+func (s sinkProto) CacheEmit(_ uint64, _ uint16, pkt netpkt.Packet, _ time.Duration) {
+	*s.protos = append(*s.protos, pkt.NwProto)
+}

@@ -1,0 +1,162 @@
+// Package dpcproto is the wire protocol between a physically separate
+// data plane cache box and the migration agent inside the controller
+// (the paper's prototype ran the cache as a standalone C++ machine).
+//
+// The cache cannot open an ordinary OpenFlow session — the controller
+// would mistake it for a new datapath (§IV.C.1) — so replayed packets
+// travel over this sideband protocol, which carries the origin datapath
+// id and recovered ingress port alongside the frame. The agent re-raises
+// each record as a packet_in under the original datapath.
+//
+// Wire format (big endian):
+//
+//	magic   uint16  0xFD0C
+//	version uint8   1
+//	kind    uint8   record type
+//	length  uint32  payload length
+//	payload
+//
+// Record kinds:
+//
+//	KindReplay: dpid uint64 | inPort uint16 | frame bytes
+//	KindRate:   pps float64 bits (agent -> cache rate limit update)
+//	KindStats:  backlog uint32 | enqueued uint64 | emitted uint64 | dropped uint64
+package dpcproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	magic   uint16 = 0xFD0C
+	version uint8  = 1
+	// headerLen is magic+version+kind+length.
+	headerLen = 8
+	// MaxPayload bounds a record (a frame plus its 10-byte prefix).
+	MaxPayload = 1 << 16
+)
+
+// Kind identifies a record type.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindReplay Kind = 1
+	KindRate   Kind = 2
+	KindStats  Kind = 3
+)
+
+// Replay carries one cached packet back toward the controller.
+type Replay struct {
+	DPID   uint64
+	InPort uint16
+	Frame  []byte
+}
+
+// Rate is the agent's rate-limit directive to the cache.
+type Rate struct {
+	PPS float64
+}
+
+// Stats is the cache's periodic health report to the agent.
+type Stats struct {
+	Backlog  uint32
+	Enqueued uint64
+	Emitted  uint64
+	Dropped  uint64
+}
+
+// Record is any dpcproto message.
+type Record interface {
+	kind() Kind
+	payload(b []byte) []byte
+}
+
+func (Replay) kind() Kind { return KindReplay }
+func (r Replay) payload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, r.DPID)
+	b = binary.BigEndian.AppendUint16(b, r.InPort)
+	return append(b, r.Frame...)
+}
+
+func (Rate) kind() Kind { return KindRate }
+func (r Rate) payload(b []byte) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(r.PPS))
+}
+
+func (Stats) kind() Kind { return KindStats }
+func (s Stats) payload(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, s.Backlog)
+	b = binary.BigEndian.AppendUint64(b, s.Enqueued)
+	b = binary.BigEndian.AppendUint64(b, s.Emitted)
+	return binary.BigEndian.AppendUint64(b, s.Dropped)
+}
+
+// Write frames and writes one record.
+func Write(w io.Writer, rec Record) error {
+	payload := rec.payload(make([]byte, 0, 64))
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("dpcproto: payload %d exceeds maximum", len(payload))
+	}
+	hdr := make([]byte, 0, headerLen+len(payload))
+	hdr = binary.BigEndian.AppendUint16(hdr, magic)
+	hdr = append(hdr, version, byte(rec.kind()))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
+	if _, err := w.Write(append(hdr, payload...)); err != nil {
+		return fmt.Errorf("dpcproto: write: %w", err)
+	}
+	return nil
+}
+
+// Read reads one record.
+func Read(r io.Reader) (Record, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != magic {
+		return nil, fmt.Errorf("dpcproto: bad magic %#04x", m)
+	}
+	if hdr[2] != version {
+		return nil, fmt.Errorf("dpcproto: unsupported version %d", hdr[2])
+	}
+	length := binary.BigEndian.Uint32(hdr[4:8])
+	if length > MaxPayload {
+		return nil, fmt.Errorf("dpcproto: payload %d exceeds maximum", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("dpcproto: read payload: %w", err)
+	}
+	switch Kind(hdr[3]) {
+	case KindReplay:
+		if len(payload) < 10 {
+			return nil, fmt.Errorf("dpcproto: replay record too short")
+		}
+		return Replay{
+			DPID:   binary.BigEndian.Uint64(payload[0:8]),
+			InPort: binary.BigEndian.Uint16(payload[8:10]),
+			Frame:  payload[10:],
+		}, nil
+	case KindRate:
+		if len(payload) != 8 {
+			return nil, fmt.Errorf("dpcproto: rate record wrong size")
+		}
+		return Rate{PPS: math.Float64frombits(binary.BigEndian.Uint64(payload))}, nil
+	case KindStats:
+		if len(payload) != 28 {
+			return nil, fmt.Errorf("dpcproto: stats record wrong size")
+		}
+		return Stats{
+			Backlog:  binary.BigEndian.Uint32(payload[0:4]),
+			Enqueued: binary.BigEndian.Uint64(payload[4:12]),
+			Emitted:  binary.BigEndian.Uint64(payload[12:20]),
+			Dropped:  binary.BigEndian.Uint64(payload[20:28]),
+		}, nil
+	default:
+		return nil, fmt.Errorf("dpcproto: unknown record kind %d", hdr[3])
+	}
+}

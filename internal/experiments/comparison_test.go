@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"floodguard/internal/netpkt"
+)
+
+func TestComparisonMatrixShape(t *testing.T) {
+	cells, err := RunComparison(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("cells = %d, want 3 defenses x 4 floods", len(cells))
+	}
+	get := func(d DefenseKind, f netpkt.FloodProtocol) ComparisonCell {
+		for _, c := range cells {
+			if c.Defense == d && c.Flood == f {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %v/%v", d, f)
+		return ComparisonCell{}
+	}
+
+	// No defense: every flood collapses goodput and hammers the
+	// controller.
+	for _, f := range []netpkt.FloodProtocol{netpkt.FloodTCP, netpkt.FloodUDP, netpkt.FloodICMP} {
+		c := get(DefenseNone, f)
+		if c.GoodputShare > 0.5 {
+			t.Errorf("none/%v: share %.2f, want collapsed", f, c.GoodputShare)
+		}
+		if c.PacketInRate < 200 {
+			t.Errorf("none/%v: packet_in rate %.0f, want ~300", f, c.PacketInRate)
+		}
+	}
+
+	// AvantGuard: perfect against TCP SYN floods...
+	tcp := get(DefenseAvantGuard, netpkt.FloodTCP)
+	if tcp.GoodputShare < 0.95 || tcp.PacketInRate > 5 {
+		t.Errorf("avantguard/tcp: share %.2f rate %.0f, want full protection", tcp.GoodputShare, tcp.PacketInRate)
+	}
+	// ...and invalid against UDP (the paper's §III critique).
+	udp := get(DefenseAvantGuard, netpkt.FloodUDP)
+	if udp.GoodputShare > 0.5 {
+		t.Errorf("avantguard/udp: share %.2f, want collapsed (no protection)", udp.GoodputShare)
+	}
+	if udp.PacketInRate < 200 {
+		t.Errorf("avantguard/udp: packet_in rate %.0f, want ~300", udp.PacketInRate)
+	}
+
+	// FloodGuard: protocol-independent.
+	for _, f := range []netpkt.FloodProtocol{netpkt.FloodTCP, netpkt.FloodUDP, netpkt.FloodICMP, netpkt.FloodMixed} {
+		c := get(DefenseFloodGuard, f)
+		if c.GoodputShare < 0.9 {
+			t.Errorf("floodguard/%v: share %.2f, want protected", f, c.GoodputShare)
+		}
+		if c.PacketInRate > 60 {
+			t.Errorf("floodguard/%v: packet_in rate %.0f, want rate-limited replay only", f, c.PacketInRate)
+		}
+	}
+
+	var sb strings.Builder
+	PrintComparison(&sb, cells, 300)
+	if !strings.Contains(sb.String(), "floodguard") {
+		t.Error("printer output incomplete")
+	}
+}

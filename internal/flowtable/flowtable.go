@@ -1,0 +1,291 @@
+// Package flowtable implements an OpenFlow 1.0 flow table: priority
+// matching with wildcards, per-rule counters, idle and hard timeouts, a
+// capacity bound (TCAM size), and a lookup-cost model for software flow
+// tables (the paper's hardware switch runs OpenWRT/Pantou, whose software
+// table makes lookups grow more expensive as rules accumulate — the cause
+// of Figure 11's slow decline beyond 200 PPS).
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+)
+
+// ErrTableFull reports a flow-mod rejected for lack of table capacity.
+var ErrTableFull = errors.New("flowtable: table full")
+
+// Entry is one installed flow rule with its counters.
+type Entry struct {
+	Match       openflow.Match
+	Priority    uint16
+	Actions     []openflow.Action
+	Cookie      uint64
+	IdleTimeout time.Duration
+	HardTimeout time.Duration
+	NotifyRem   bool
+
+	Installed   time.Time
+	LastMatched time.Time
+	Packets     uint64
+	Bytes       uint64
+
+	seq uint64 // insertion order, breaks priority ties (first wins)
+}
+
+// String renders the rule in ovs-ofctl style.
+func (e *Entry) String() string {
+	return fmt.Sprintf("priority=%d,%s actions=%s",
+		e.Priority, e.Match.String(), openflow.ActionsString(e.Actions))
+}
+
+// Removed couples an evicted entry with the reason, for FlowRemoved
+// notifications.
+type Removed struct {
+	Entry  *Entry
+	Reason openflow.FlowRemovedReason
+}
+
+// Table is a single OpenFlow 1.0 flow table.
+type Table struct {
+	capacity int
+	entries  []*Entry // sorted by (priority desc, seq asc)
+	nextSeq  uint64
+
+	lookups uint64
+	matched uint64
+}
+
+// New returns a table bounded to capacity rules (0 = unbounded).
+func New(capacity int) *Table {
+	return &Table{capacity: capacity}
+}
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Capacity returns the rule capacity (0 = unbounded).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Lookups returns the total number of Lookup calls.
+func (t *Table) Lookups() uint64 { return t.lookups }
+
+// Matched returns the number of Lookup calls that found a rule.
+func (t *Table) Matched() uint64 { return t.matched }
+
+// Entries returns a snapshot of the rules in match order.
+func (t *Table) Entries() []*Entry {
+	out := make([]*Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Apply executes a flow_mod against the table. For adds it returns
+// ErrTableFull when at capacity and the rule is not an overwrite.
+func (t *Table) Apply(m openflow.FlowMod, now time.Time) ([]Removed, error) {
+	switch m.Command {
+	case openflow.FlowAdd:
+		return nil, t.add(m, now)
+	case openflow.FlowModify:
+		t.modify(m, false)
+		return nil, nil
+	case openflow.FlowModifyStrict:
+		t.modify(m, true)
+		return nil, nil
+	case openflow.FlowDelete:
+		return t.delete(m, false), nil
+	case openflow.FlowDeleteStrict:
+		return t.delete(m, true), nil
+	default:
+		return nil, fmt.Errorf("flowtable: unsupported command %v", m.Command)
+	}
+}
+
+func (t *Table) add(m openflow.FlowMod, now time.Time) error {
+	e := &Entry{
+		Match:       m.Match,
+		Priority:    m.Priority,
+		Actions:     m.Actions,
+		Cookie:      m.Cookie,
+		IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
+		HardTimeout: time.Duration(m.HardTimeout) * time.Second,
+		NotifyRem:   m.Flags&openflow.FlagSendFlowRem != 0,
+		Installed:   now,
+		LastMatched: now,
+		seq:         t.nextSeq,
+	}
+	// An add with identical match and priority overwrites.
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
+			e.seq = old.seq
+			t.entries[i] = e
+			return nil
+		}
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		return ErrTableFull
+	}
+	t.nextSeq++
+	t.entries = append(t.entries, e)
+	t.sortEntries()
+	return nil
+}
+
+func (t *Table) modify(m openflow.FlowMod, strict bool) {
+	for _, e := range t.entries {
+		if strict {
+			if e.Priority == m.Priority && e.Match.Equal(&m.Match) {
+				e.Actions = m.Actions
+			}
+			continue
+		}
+		if Covers(&m.Match, &e.Match) {
+			e.Actions = m.Actions
+		}
+	}
+}
+
+func (t *Table) delete(m openflow.FlowMod, strict bool) []Removed {
+	var removed []Removed
+	keep := t.entries[:0]
+	for _, e := range t.entries {
+		del := false
+		if strict {
+			del = e.Priority == m.Priority && e.Match.Equal(&m.Match)
+		} else {
+			del = Covers(&m.Match, &e.Match)
+		}
+		if del && m.OutPort != openflow.PortNone {
+			del = outputsTo(e.Actions, m.OutPort)
+		}
+		if del {
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedDelete})
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	t.entries = keep
+	return removed
+}
+
+func outputsTo(actions []openflow.Action, port uint16) bool {
+	for _, a := range actions {
+		if out, ok := a.(openflow.ActionOutput); ok && out.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup finds the highest-priority rule matching p on inPort, updating
+// counters. It returns nil on a table miss.
+func (t *Table) Lookup(p *netpkt.Packet, inPort uint16, now time.Time, frameLen int) *Entry {
+	t.lookups++
+	for _, e := range t.entries {
+		if e.Match.Matches(p, inPort) {
+			t.matched++
+			e.Packets++
+			e.Bytes += uint64(frameLen)
+			e.LastMatched = now
+			return e
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without counter updates (used by the cache-resident-rules
+// design option to test coverage without consuming the rule).
+func (t *Table) Peek(p *netpkt.Packet, inPort uint16) *Entry {
+	for _, e := range t.entries {
+		if e.Match.Matches(p, inPort) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Expire removes idle- and hard-timed-out rules as of now.
+func (t *Table) Expire(now time.Time) []Removed {
+	var removed []Removed
+	keep := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now.Sub(e.Installed) >= e.HardTimeout:
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedHardTimeout})
+		case e.IdleTimeout > 0 && now.Sub(e.LastMatched) >= e.IdleTimeout:
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedIdleTimeout})
+		default:
+			keep = append(keep, e)
+		}
+	}
+	t.entries = keep
+	return removed
+}
+
+// Clear removes every rule.
+func (t *Table) Clear() {
+	t.entries = nil
+}
+
+func (t *Table) sortEntries() {
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// Covers reports whether every packet matching b also matches a (a is at
+// least as general as b, field by field). It is the OpenFlow non-strict
+// delete/modify predicate.
+func Covers(a, b *openflow.Match) bool {
+	simple := []struct {
+		bit   uint32
+		equal bool
+	}{
+		{openflow.WildInPort, a.InPort == b.InPort},
+		{openflow.WildDlSrc, a.DlSrc == b.DlSrc},
+		{openflow.WildDlDst, a.DlDst == b.DlDst},
+		{openflow.WildVLAN, a.DlVLAN == b.DlVLAN},
+		{openflow.WildVLANPCP, a.DlVLANPCP == b.DlVLANPCP},
+		{openflow.WildDlType, a.DlType == b.DlType},
+		{openflow.WildNwProto, a.NwProto == b.NwProto},
+		{openflow.WildNwTOS, a.NwTOS == b.NwTOS},
+		{openflow.WildTpSrc, a.TpSrc == b.TpSrc},
+		{openflow.WildTpDst, a.TpDst == b.TpDst},
+	}
+	for _, f := range simple {
+		if a.Wildcards&f.bit != 0 {
+			continue // a wildcards the field: covers anything
+		}
+		if b.Wildcards&f.bit != 0 {
+			return false // a concrete, b wildcard: b is broader
+		}
+		if !f.equal {
+			return false
+		}
+	}
+	if al, bl := a.NwSrcMaskLen(), b.NwSrcMaskLen(); al > 0 {
+		if bl < al || !b.NwSrc.InPrefix(a.NwSrc, al) {
+			return false
+		}
+	}
+	if al, bl := a.NwDstMaskLen(), b.NwDstMaskLen(); al > 0 {
+		if bl < al || !b.NwDst.InPrefix(a.NwDst, al) {
+			return false
+		}
+	}
+	return true
+}
+
+// SoftwareLookupCost models the per-packet lookup latency of a software
+// flow table holding n rules: a fixed base plus a linear scan component.
+// Hardware TCAM lookup is constant-time; pass perRule = 0 for it.
+func SoftwareLookupCost(n int, base, perRule time.Duration) time.Duration {
+	return base + time.Duration(n)*perRule
+}

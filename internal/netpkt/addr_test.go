@@ -1,0 +1,118 @@
+package netpkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e}
+	if got, want := m.String(), "00:1a:2b:3c:4d:5e"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseMACRoundTrip(t *testing.T) {
+	f := func(m MAC) bool {
+		got, err := ParseMAC(m.String())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	tests := []string{"", "00:11:22:33:44", "00:11:22:33:44:55:66", "zz:11:22:33:44:55", "0011:22:33:44:55"}
+	for _, give := range tests {
+		if _, err := ParseMAC(give); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestMACUint64RoundTrip(t *testing.T) {
+	f := func(m MAC) bool {
+		return MACFromUint64(m.Uint64()) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Error("Broadcast.IsBroadcast() = false")
+	}
+	if !Broadcast.IsMulticast() {
+		t.Error("Broadcast.IsMulticast() = false")
+	}
+	m := MustMAC("00:00:00:00:00:0a")
+	if m.IsBroadcast() || m.IsMulticast() || m.IsZero() {
+		t.Errorf("unexpected predicate on %v", m)
+	}
+	var zero MAC
+	if !zero.IsZero() {
+		t.Error("zero MAC not reported as zero")
+	}
+}
+
+func TestParseIPv4RoundTrip(t *testing.T) {
+	f := func(ip IPv4) bool {
+		got, err := ParseIPv4(ip.String())
+		return err == nil && got == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	tests := []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "-1.2.3.4"}
+	for _, give := range tests {
+		if _, err := ParseIPv4(give); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestIPv4HighBit(t *testing.T) {
+	tests := []struct {
+		give string
+		want bool
+	}{
+		{"128.0.0.0", true},
+		{"255.255.255.255", true},
+		{"127.255.255.255", false},
+		{"0.0.0.0", false},
+		{"10.0.0.1", false},
+		{"192.168.0.1", true},
+	}
+	for _, tt := range tests {
+		if got := MustIPv4(tt.give).HighBit(); got != tt.want {
+			t.Errorf("HighBit(%s) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestIPv4InPrefix(t *testing.T) {
+	tests := []struct {
+		ip     string
+		prefix string
+		length int
+		want   bool
+	}{
+		{"10.0.1.5", "10.0.0.0", 8, true},
+		{"11.0.1.5", "10.0.0.0", 8, false},
+		{"10.0.1.5", "10.0.1.5", 32, true},
+		{"10.0.1.6", "10.0.1.5", 32, false},
+		{"1.2.3.4", "200.0.0.0", 0, true},
+		{"192.168.0.77", "192.168.0.0", 24, true},
+		{"192.168.1.77", "192.168.0.0", 24, false},
+	}
+	for _, tt := range tests {
+		if got := MustIPv4(tt.ip).InPrefix(MustIPv4(tt.prefix), tt.length); got != tt.want {
+			t.Errorf("InPrefix(%s, %s/%d) = %v, want %v", tt.ip, tt.prefix, tt.length, got, tt.want)
+		}
+	}
+}

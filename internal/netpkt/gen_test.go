@@ -1,0 +1,112 @@
+package netpkt
+
+import "testing"
+
+func TestSpoofGenDeterministic(t *testing.T) {
+	a := NewSpoofGen(42, FloodUDP, 64)
+	b := NewSpoofGen(42, FloodUDP, 64)
+	for i := 0; i < 100; i++ {
+		if pa, pb := a.Next(), b.Next(); pa != pb {
+			t.Fatalf("packet %d: generators with same seed diverge: %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestSpoofGenMicroflowUniqueness(t *testing.T) {
+	g := NewSpoofGen(1, FloodUDP, 64)
+	seen := make(map[FlowKey]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		p := g.Next()
+		k := p.Key()
+		if seen[k] {
+			t.Fatalf("packet %d: duplicate microflow key %+v", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSpoofGenProtocols(t *testing.T) {
+	tests := []struct {
+		give      FloodProtocol
+		wantProto uint8
+	}{
+		{FloodUDP, ProtoUDP},
+		{FloodTCP, ProtoTCP},
+		{FloodICMP, ProtoICMP},
+	}
+	for _, tt := range tests {
+		g := NewSpoofGen(3, tt.give, 32)
+		for i := 0; i < 50; i++ {
+			p := g.Next()
+			if p.NwProto != tt.wantProto {
+				t.Errorf("%v: packet %d proto = %d, want %d", tt.give, i, p.NwProto, tt.wantProto)
+			}
+			if p.EthDst.IsMulticast() {
+				t.Errorf("%v: packet %d has multicast dst %v", tt.give, i, p.EthDst)
+			}
+		}
+	}
+}
+
+func TestSpoofGenMixedCoversAllProtocols(t *testing.T) {
+	g := NewSpoofGen(5, FloodMixed, 32)
+	got := make(map[uint8]bool)
+	for i := 0; i < 200; i++ {
+		got[g.Next().NwProto] = true
+	}
+	for _, want := range []uint8{ProtoTCP, ProtoUDP, ProtoICMP} {
+		if !got[want] {
+			t.Errorf("mixed flood never produced proto %d", want)
+		}
+	}
+}
+
+func TestSpoofGenTCPHasSYN(t *testing.T) {
+	g := NewSpoofGen(9, FloodTCP, 0)
+	for i := 0; i < 20; i++ {
+		if p := g.Next(); p.TCPFlags&TCPSyn == 0 {
+			t.Fatalf("TCP flood packet %d lacks SYN flag", i)
+		}
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := Flow{
+		SrcMAC: MustMAC("00:00:00:00:00:01"), DstMAC: MustMAC("00:00:00:00:00:02"),
+		SrcIP: MustIPv4("10.0.0.1"), DstIP: MustIPv4("10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 4000, DstPort: 80,
+	}
+	r := f.Reverse()
+	if r.SrcMAC != f.DstMAC || r.DstIP != f.SrcIP || r.SrcPort != f.DstPort {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if rr := r.Reverse(); rr != f {
+		t.Errorf("double Reverse() = %+v, want original", rr)
+	}
+}
+
+func TestFlowSYN(t *testing.T) {
+	f := Flow{Proto: ProtoTCP, SrcPort: 1234, DstPort: 80}
+	syn := f.SYN()
+	if syn.TCPFlags&TCPSyn == 0 {
+		t.Error("SYN() packet lacks SYN flag")
+	}
+	if syn.NwProto != ProtoTCP {
+		t.Errorf("SYN() proto = %d, want TCP", syn.NwProto)
+	}
+}
+
+func TestFloodProtocolString(t *testing.T) {
+	tests := []struct {
+		give FloodProtocol
+		want string
+	}{
+		{FloodUDP, "udp"}, {FloodTCP, "tcp"}, {FloodICMP, "icmp"},
+		{FloodMixed, "mixed"}, {FloodProtocol(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package netpkt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Packet is the flattened header view an OpenFlow 1.0 data plane matches
+// on, together with the raw frame bytes. It is the unit of traffic in the
+// simulator and the payload of packet_in / packet_out messages.
+type Packet struct {
+	// L2.
+	EthSrc  MAC
+	EthDst  MAC
+	EthType uint16
+	HasVLAN bool
+	VLANID  uint16
+	VLANPCP uint8
+
+	// ARP (valid when EthType == EtherTypeARP).
+	ARPOp uint16
+
+	// L3 (valid when EthType == EtherTypeIPv4; ARP reuses NwSrc/NwDst for
+	// its sender/target addresses, mirroring OpenFlow 1.0 match semantics).
+	NwSrc   IPv4
+	NwDst   IPv4
+	NwProto uint8
+	NwTOS   uint8
+
+	// L4 (valid for TCP/UDP; ICMP reuses TpSrc/TpDst for type/code,
+	// mirroring OpenFlow 1.0).
+	TpSrc uint16
+	TpDst uint16
+
+	// TCPFlags is kept for the SYN-proxy comparison baseline (AvantGuard).
+	TCPFlags uint8
+
+	// PayloadLen is the L4 payload length in bytes; the simulator tracks
+	// it for bandwidth accounting without carrying the bytes around.
+	PayloadLen int
+}
+
+// FlowKey identifies a microflow: one spoofed header tuple from the
+// attacker constitutes one distinct key, hence one table miss.
+type FlowKey struct {
+	EthSrc  MAC
+	EthDst  MAC
+	EthType uint16
+	NwSrc   IPv4
+	NwDst   IPv4
+	NwProto uint8
+	TpSrc   uint16
+	TpDst   uint16
+}
+
+// Key returns the microflow identity of p.
+func (p *Packet) Key() FlowKey {
+	return FlowKey{
+		EthSrc:  p.EthSrc,
+		EthDst:  p.EthDst,
+		EthType: p.EthType,
+		NwSrc:   p.NwSrc,
+		NwDst:   p.NwDst,
+		NwProto: p.NwProto,
+		TpSrc:   p.TpSrc,
+		TpDst:   p.TpDst,
+	}
+}
+
+// WireLen returns the on-the-wire frame length in bytes.
+func (p *Packet) WireLen() int { return len(p.Marshal()) }
+
+// IsIP reports whether p carries IPv4.
+func (p *Packet) IsIP() bool { return p.EthType == EtherTypeIPv4 }
+
+// IsARP reports whether p carries ARP.
+func (p *Packet) IsARP() bool { return p.EthType == EtherTypeARP }
+
+// IsLLDP reports whether p is a Link Layer Discovery Protocol frame.
+func (p *Packet) IsLLDP() bool { return p.EthType == EtherTypeLLDP }
+
+// Protocol returns a short name of the innermost protocol for the data
+// plane cache's classifier.
+func (p *Packet) Protocol() string {
+	switch {
+	case p.IsARP():
+		return "arp"
+	case !p.IsIP():
+		return "l2"
+	case p.NwProto == ProtoTCP:
+		return "tcp"
+	case p.NwProto == ProtoUDP:
+		return "udp"
+	case p.NwProto == ProtoICMP:
+		return "icmp"
+	default:
+		return "ip"
+	}
+}
+
+// String renders a compact human-readable summary.
+func (p *Packet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s>%s", p.EthSrc, p.EthDst)
+	switch {
+	case p.IsARP():
+		op := "req"
+		if p.ARPOp == ARPReply {
+			op = "rep"
+		}
+		fmt.Fprintf(&b, " arp-%s %s>%s", op, p.NwSrc, p.NwDst)
+	case p.IsIP():
+		fmt.Fprintf(&b, " %s %s:%d>%s:%d tos=%d", p.Protocol(), p.NwSrc, p.TpSrc, p.NwDst, p.TpDst, p.NwTOS)
+	default:
+		fmt.Fprintf(&b, " ethertype=%#04x", p.EthType)
+	}
+	return b.String()
+}
+
+// Marshal encodes p as a full wire-format frame.
+func (p *Packet) Marshal() []byte {
+	eth := Ethernet{
+		Dst:       p.EthDst,
+		Src:       p.EthSrc,
+		EtherType: p.EthType,
+		HasVLAN:   p.HasVLAN,
+		VLANID:    p.VLANID,
+		VLANPCP:   p.VLANPCP,
+	}
+	b := eth.Encode(make([]byte, 0, 64+p.PayloadLen))
+	switch p.EthType {
+	case EtherTypeARP:
+		arp := ARP{
+			Opcode:    p.ARPOp,
+			SenderMAC: p.EthSrc,
+			SenderIP:  p.NwSrc,
+			TargetMAC: p.EthDst,
+			TargetIP:  p.NwDst,
+		}
+		if arp.Opcode == ARPRequest {
+			arp.TargetMAC = MAC{}
+		}
+		b = arp.Encode(b)
+	case EtherTypeIPv4:
+		payload := make([]byte, p.PayloadLen)
+		var l4 []byte
+		switch p.NwProto {
+		case ProtoTCP:
+			t := TCPHeader{SrcPort: p.TpSrc, DstPort: p.TpDst, Flags: p.TCPFlags}
+			l4 = t.Encode(nil)
+			l4 = append(l4, payload...)
+		case ProtoUDP:
+			u := UDPHeader{SrcPort: p.TpSrc, DstPort: p.TpDst}
+			l4 = u.Encode(nil, len(payload))
+			l4 = append(l4, payload...)
+		case ProtoICMP:
+			ic := ICMPHeader{Type: uint8(p.TpSrc), Code: uint8(p.TpDst)}
+			l4 = ic.Encode(nil, payload)
+		default:
+			l4 = payload
+		}
+		h := IPv4Header{TOS: p.NwTOS, Protocol: p.NwProto, Src: p.NwSrc, Dst: p.NwDst}
+		b = h.Encode(b, len(l4))
+		b = append(b, l4...)
+	default:
+		b = append(b, make([]byte, p.PayloadLen)...)
+	}
+	return b
+}
+
+// Parse decodes a wire-format frame into the flattened view. Unknown upper
+// layers are tolerated: the fields for layers that fail to parse stay zero
+// and no error is returned unless the Ethernet header itself is invalid.
+func Parse(frame []byte) (Packet, error) {
+	var p Packet
+	eth, rest, err := DecodeEthernet(frame)
+	if err != nil {
+		return p, err
+	}
+	p.EthSrc = eth.Src
+	p.EthDst = eth.Dst
+	p.EthType = eth.EtherType
+	p.HasVLAN = eth.HasVLAN
+	p.VLANID = eth.VLANID
+	p.VLANPCP = eth.VLANPCP
+
+	switch eth.EtherType {
+	case EtherTypeARP:
+		arp, err := DecodeARP(rest)
+		if err != nil {
+			return p, nil //nolint:nilerr // tolerate malformed upper layer
+		}
+		p.ARPOp = arp.Opcode
+		p.NwSrc = arp.SenderIP
+		p.NwDst = arp.TargetIP
+	case EtherTypeIPv4:
+		h, l4, err := DecodeIPv4(rest)
+		if err != nil {
+			return p, nil //nolint:nilerr
+		}
+		p.NwSrc = h.Src
+		p.NwDst = h.Dst
+		p.NwProto = h.Protocol
+		p.NwTOS = h.TOS
+		switch h.Protocol {
+		case ProtoTCP:
+			t, payload, err := DecodeTCP(l4)
+			if err == nil {
+				p.TpSrc = t.SrcPort
+				p.TpDst = t.DstPort
+				p.TCPFlags = t.Flags
+				p.PayloadLen = len(payload)
+			}
+		case ProtoUDP:
+			u, payload, err := DecodeUDP(l4)
+			if err == nil {
+				p.TpSrc = u.SrcPort
+				p.TpDst = u.DstPort
+				p.PayloadLen = len(payload)
+			}
+		case ProtoICMP:
+			ic, payload, err := DecodeICMP(l4)
+			if err == nil {
+				p.TpSrc = uint16(ic.Type)
+				p.TpDst = uint16(ic.Code)
+				p.PayloadLen = len(payload)
+			}
+		default:
+			p.PayloadLen = len(l4)
+		}
+	default:
+		p.PayloadLen = len(rest)
+	}
+	return p, nil
+}

@@ -1,0 +1,70 @@
+package netpkt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnRandomBytes: frames arrive from the network; the
+// parser must tolerate anything.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(555))
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on %d bytes: %v", len(b), p)
+				}
+			}()
+			_, _ = Parse(b)
+		}()
+	}
+}
+
+// TestParseNeverPanicsOnMutatedFrames corrupts valid frames.
+func TestParseNeverPanicsOnMutatedFrames(t *testing.T) {
+	r := rand.New(rand.NewSource(556))
+	gen := NewSpoofGen(1, FloodMixed, 64)
+	for i := 0; i < 50000; i++ {
+		pkt := gen.Next()
+		frame := pkt.Marshal()
+		for k := 0; k < 1+r.Intn(3); k++ {
+			frame[r.Intn(len(frame))] ^= byte(1 << r.Intn(8))
+		}
+		if r.Intn(4) == 0 {
+			frame = frame[:r.Intn(len(frame)+1)]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("Parse panicked on mutated frame: %v (% x)", p, frame)
+				}
+			}()
+			_, _ = Parse(frame)
+		}()
+	}
+}
+
+// TestParsedPacketsRemarshal: whatever Parse accepts, Marshal must not
+// panic on (the flattened view is always serialisable).
+func TestParsedPacketsRemarshal(t *testing.T) {
+	r := rand.New(rand.NewSource(557))
+	for i := 0; i < 10000; i++ {
+		b := make([]byte, 14+r.Intn(100))
+		r.Read(b)
+		p, err := Parse(b)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if pr := recover(); pr != nil {
+					t.Fatalf("Marshal panicked on parsed packet %+v: %v", p, pr)
+				}
+			}()
+			_ = p.Marshal()
+		}()
+	}
+}

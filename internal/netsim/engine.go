@@ -1,0 +1,184 @@
+// Package netsim provides the discrete-event substrate the experiments run
+// on: a virtual clock with a deterministic event queue, links with
+// bandwidth and latency, periodic tasks, and measurement helpers.
+//
+// Determinism contract: events fire in (time, schedule-order) order, so a
+// scenario driven from a seeded RNG reproduces exactly.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing.
+type Event struct {
+	at    time.Time
+	seq   uint64
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+	dead  bool
+}
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event fired.
+func (ev *Event) Cancel() { ev.dead = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Epoch is the conventional start instant of every simulation. Using a
+// fixed epoch keeps logs and expectations stable across runs.
+var Epoch = time.Date(2015, 6, 22, 0, 0, 0, 0, time.UTC)
+
+// Engine is a single-threaded discrete-event simulator.
+type Engine struct {
+	now time.Time
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine whose clock starts at Epoch.
+func NewEngine() *Engine { return &Engine{now: Epoch} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Elapsed returns the virtual time since Epoch.
+func (e *Engine) Elapsed() time.Duration { return e.now.Sub(Epoch) }
+
+// Schedule runs fn after d of virtual time (d < 0 is clamped to 0).
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At runs fn at instant t (clamped to now if in the past).
+func (e *Engine) At(t time.Time, fn func()) *Event {
+	if t.Before(e.now) {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Step fires the earliest pending event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the queue is exhausted or the next event is
+// after t; the clock is then advanced to t. It returns the number of
+// events fired.
+func (e *Engine) RunUntil(t time.Time) int {
+	fired := 0
+	for len(e.pq) > 0 {
+		// Skip over cancelled heads without advancing time.
+		head := e.pq[0]
+		if head.dead {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if head.at.After(t) {
+			break
+		}
+		e.Step()
+		fired++
+	}
+	if e.now.Before(t) {
+		e.now = t
+	}
+	return fired
+}
+
+// RunFor advances the clock by d, firing due events.
+func (e *Engine) RunFor(d time.Duration) int { return e.RunUntil(e.now.Add(d)) }
+
+// Pending returns the number of not-yet-cancelled queued events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pq {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Ticker invokes fn every interval until cancelled.
+type Ticker struct {
+	eng      *Engine
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// NewTicker starts a periodic task; the first firing is one interval from
+// now.
+func (e *Engine) NewTicker(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

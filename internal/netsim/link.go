@@ -1,0 +1,131 @@
+package netsim
+
+import "time"
+
+// Link models a unidirectional link with finite bandwidth and fixed
+// propagation latency. Transmissions serialise: a frame waits for the
+// frames queued before it (FIFO, infinite queue).
+type Link struct {
+	eng       *Engine
+	bandwidth float64 // bits per second; 0 = infinite
+	latency   time.Duration
+	busyUntil time.Time
+
+	bytesSent  uint64
+	framesSent uint64
+}
+
+// NewLink creates a link on eng. bandwidthBits is in bits/second
+// (0 = infinite), latency is one-way propagation delay.
+func NewLink(eng *Engine, bandwidthBits float64, latency time.Duration) *Link {
+	return &Link{eng: eng, bandwidth: bandwidthBits, latency: latency}
+}
+
+// Bandwidth returns the configured bandwidth in bits/second.
+func (l *Link) Bandwidth() float64 { return l.bandwidth }
+
+// Latency returns the propagation delay.
+func (l *Link) Latency() time.Duration { return l.latency }
+
+// BytesSent returns the cumulative bytes accepted for transmission.
+func (l *Link) BytesSent() uint64 { return l.bytesSent }
+
+// FramesSent returns the cumulative frames accepted for transmission.
+func (l *Link) FramesSent() uint64 { return l.framesSent }
+
+// SerializationDelay returns how long size bytes occupy the link.
+func (l *Link) SerializationDelay(size int) time.Duration {
+	if l.bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size*8) / l.bandwidth * float64(time.Second))
+}
+
+// Send queues a frame of size bytes; deliver fires when it arrives at the
+// far end. It returns the scheduled delivery event.
+func (l *Link) Send(size int, deliver func()) *Event {
+	now := l.eng.Now()
+	start := now
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	done := start.Add(l.SerializationDelay(size))
+	l.busyUntil = done
+	l.bytesSent += uint64(size)
+	l.framesSent++
+	return l.eng.At(done.Add(l.latency), deliver)
+}
+
+// QueueDelay reports how long a frame sent now would wait before starting
+// to serialise.
+func (l *Link) QueueDelay() time.Duration {
+	if l.busyUntil.After(l.eng.Now()) {
+		return l.busyUntil.Sub(l.eng.Now())
+	}
+	return 0
+}
+
+// Meter accumulates delivered bytes and exposes average goodput over
+// arbitrary measurement windows.
+type Meter struct {
+	eng        *Engine
+	totalBytes uint64
+	markBytes  uint64
+	markTime   time.Time
+}
+
+// NewMeter returns a meter reading eng's clock.
+func NewMeter(eng *Engine) *Meter {
+	return &Meter{eng: eng, markTime: eng.Now()}
+}
+
+// Add records size delivered bytes.
+func (m *Meter) Add(size int) { m.totalBytes += uint64(size) }
+
+// Total returns cumulative bytes.
+func (m *Meter) Total() uint64 { return m.totalBytes }
+
+// Mark starts a new measurement window.
+func (m *Meter) Mark() {
+	m.markBytes = m.totalBytes
+	m.markTime = m.eng.Now()
+}
+
+// WindowBits returns bits delivered since the last Mark.
+func (m *Meter) WindowBits() float64 {
+	return float64(m.totalBytes-m.markBytes) * 8
+}
+
+// Rate returns the average goodput in bits/second since the last Mark.
+func (m *Meter) Rate() float64 {
+	dt := m.eng.Now().Sub(m.markTime).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return m.WindowBits() / dt
+}
+
+// EWMA is an exponentially weighted moving average of a rate signal,
+// used by the migration agent's flooding detector.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1].
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds a new sample in and returns the new average.
+func (e *EWMA) Observe(sample float64) float64 {
+	if !e.init {
+		e.value = sample
+		e.init = true
+		return e.value
+	}
+	e.value = e.alpha*sample + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average.
+func (e *EWMA) Value() float64 { return e.value }

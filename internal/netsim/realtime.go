@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// RealTimeRunner pumps an Engine against the wall clock so that
+// event-driven components (the controller, FloodGuard) can serve real
+// network peers: virtual time tracks real time, and external goroutines
+// inject work through Do.
+//
+// All engine callbacks execute on the runner's goroutine, preserving the
+// engine's single-threaded discipline.
+type RealTimeRunner struct {
+	eng   *Engine
+	inbox chan func()
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewRealTimeRunner wraps an engine. Call Start to begin pumping and
+// Stop to shut down.
+func NewRealTimeRunner(eng *Engine) *RealTimeRunner {
+	return &RealTimeRunner{
+		eng:   eng,
+		inbox: make(chan func(), 256),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the pump goroutine.
+func (r *RealTimeRunner) Start() {
+	go r.loop()
+}
+
+func (r *RealTimeRunner) loop() {
+	defer close(r.done)
+	const tick = time.Millisecond
+	start := time.Now()
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			// Refuse new work, then drain what was already enqueued so
+			// no Do caller's function is lost. A Do may hold the mutex
+			// while blocked sending into a full inbox, so drain
+			// opportunistically until the flag can be taken.
+			for {
+				r.drain()
+				if r.mu.TryLock() {
+					r.closed = true
+					r.mu.Unlock()
+					break
+				}
+			}
+			r.drain()
+			return
+		case fn := <-r.inbox:
+			fn()
+		case <-ticker.C:
+			r.eng.RunUntil(Epoch.Add(time.Since(start)))
+		}
+	}
+}
+
+// drain runs every currently queued function.
+func (r *RealTimeRunner) drain() {
+	for {
+		select {
+		case fn := <-r.inbox:
+			fn()
+		default:
+			return
+		}
+	}
+}
+
+// Do schedules fn onto the runner goroutine and waits for it to execute.
+// It is safe to call from any goroutine. After Stop, Do runs fn inline
+// (single-threaded by then). Work is never lost: functions enqueued
+// before Stop are drained by the stop path.
+func (r *RealTimeRunner) Do(fn func()) {
+	doneCh := make(chan struct{})
+	wrapped := func() {
+		fn()
+		close(doneCh)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		fn()
+		return
+	}
+	// The loop drains the inbox until closed is set — including in its
+	// stop path, which only sets closed via TryLock once the inbox is
+	// empty — so this send cannot block forever while the mutex is held.
+	r.inbox <- wrapped
+	r.mu.Unlock()
+	<-doneCh
+}
+
+// Stop terminates the pump and waits for the goroutine to exit.
+func (r *RealTimeRunner) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,161 @@
+// Package openflow implements the subset of the OpenFlow 1.0 "southbound"
+// protocol that a reactive controller and switch need to speak: the
+// framed binary codec, the 12-tuple match with wildcards, the action list,
+// and the session messages (hello, echo, features, packet_in, packet_out,
+// flow_mod, flow_removed, port_status, barrier, error).
+//
+// The wire layout follows the OpenFlow 1.0.0 specification so that
+// captures are recognisable, but the package is self-contained: the repo's
+// switch simulator and controller are the only intended peers.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the only protocol version this implementation speaks.
+const Version uint8 = 0x01
+
+// Type identifies an OpenFlow message type.
+type Type uint8
+
+// OpenFlow 1.0 message types (subset).
+const (
+	TypeHello           Type = 0
+	TypeError           Type = 1
+	TypeEchoRequest     Type = 2
+	TypeEchoReply       Type = 3
+	TypeFeaturesRequest Type = 5
+	TypeFeaturesReply   Type = 6
+	TypePacketIn        Type = 10
+	TypeFlowRemoved     Type = 11
+	TypePortStatus      Type = 12
+	TypePacketOut       Type = 13
+	TypeFlowMod         Type = 14
+	TypeBarrierRequest  Type = 18
+	TypeBarrierReply    Type = 19
+	TypeStatsRequest    Type = 16
+	TypeStatsReply      Type = 17
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeError:
+		return "error"
+	case TypeEchoRequest:
+		return "echo_request"
+	case TypeEchoReply:
+		return "echo_reply"
+	case TypeFeaturesRequest:
+		return "features_request"
+	case TypeFeaturesReply:
+		return "features_reply"
+	case TypePacketIn:
+		return "packet_in"
+	case TypeFlowRemoved:
+		return "flow_removed"
+	case TypePortStatus:
+		return "port_status"
+	case TypePacketOut:
+		return "packet_out"
+	case TypeFlowMod:
+		return "flow_mod"
+	case TypeBarrierRequest:
+		return "barrier_request"
+	case TypeBarrierReply:
+		return "barrier_reply"
+	case TypeStatsRequest:
+		return "stats_request"
+	case TypeStatsReply:
+		return "stats_reply"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+const headerLen = 8
+
+// maxMessageLen bounds a single framed message; the 16-bit length field
+// caps it at 65535 anyway, this is a sanity limit for corrupted streams.
+const maxMessageLen = 1 << 16
+
+// Message is any OpenFlow message body.
+type Message interface {
+	// MsgType returns the header type for the message.
+	MsgType() Type
+	// encodeBody appends the body (everything after the 8-byte header).
+	encodeBody(b []byte) []byte
+}
+
+// Framed couples a message with its transaction id.
+type Framed struct {
+	XID uint32
+	Msg Message
+}
+
+// Encode serialises a framed message.
+func Encode(xid uint32, m Message) []byte {
+	body := m.encodeBody(make([]byte, 0, 64))
+	out := make([]byte, 0, headerLen+len(body))
+	out = append(out, Version, byte(m.MsgType()))
+	out = binary.BigEndian.AppendUint16(out, uint16(headerLen+len(body)))
+	out = binary.BigEndian.AppendUint32(out, xid)
+	return append(out, body...)
+}
+
+// WriteMessage frames and writes m to w.
+func WriteMessage(w io.Writer, xid uint32, m Message) error {
+	if _, err := w.Write(Encode(xid, m)); err != nil {
+		return fmt.Errorf("openflow: write %v: %w", m.MsgType(), err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Framed, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Framed{}, err
+	}
+	if hdr[0] != Version {
+		return Framed{}, fmt.Errorf("openflow: unsupported version %#02x", hdr[0])
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen || length > maxMessageLen {
+		return Framed{}, fmt.Errorf("openflow: bad frame length %d", length)
+	}
+	body := make([]byte, length-headerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Framed{}, fmt.Errorf("openflow: read body: %w", err)
+	}
+	xid := binary.BigEndian.Uint32(hdr[4:8])
+	msg, err := decodeBody(Type(hdr[1]), body)
+	if err != nil {
+		return Framed{}, err
+	}
+	return Framed{XID: xid, Msg: msg}, nil
+}
+
+// Decode parses one complete framed message from b.
+func Decode(b []byte) (Framed, error) {
+	if len(b) < headerLen {
+		return Framed{}, fmt.Errorf("openflow: frame shorter than header")
+	}
+	if b[0] != Version {
+		return Framed{}, fmt.Errorf("openflow: unsupported version %#02x", b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if length < headerLen || length > len(b) {
+		return Framed{}, fmt.Errorf("openflow: bad frame length %d (have %d)", length, len(b))
+	}
+	msg, err := decodeBody(Type(b[1]), b[headerLen:length])
+	if err != nil {
+		return Framed{}, err
+	}
+	return Framed{XID: binary.BigEndian.Uint32(b[4:8]), Msg: msg}, nil
+}

@@ -1,0 +1,535 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Hello opens a session.
+type Hello struct{}
+
+// MsgType implements Message.
+func (Hello) MsgType() Type              { return TypeHello }
+func (Hello) encodeBody(b []byte) []byte { return b }
+
+// EchoRequest is a liveness probe.
+type EchoRequest struct{ Data []byte }
+
+// MsgType implements Message.
+func (EchoRequest) MsgType() Type                { return TypeEchoRequest }
+func (m EchoRequest) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+
+// EchoReply answers an EchoRequest with the same payload.
+type EchoReply struct{ Data []byte }
+
+// MsgType implements Message.
+func (EchoReply) MsgType() Type                { return TypeEchoReply }
+func (m EchoReply) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+
+// FeaturesRequest asks the datapath for its identity and ports.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (FeaturesRequest) MsgType() Type              { return TypeFeaturesRequest }
+func (FeaturesRequest) encodeBody(b []byte) []byte { return b }
+
+// PhyPort describes one switch port in a FeaturesReply.
+type PhyPort struct {
+	PortNo uint16
+	Name   string // at most 15 bytes on the wire
+}
+
+// FeaturesReply announces the datapath id, buffer count and port list.
+type FeaturesReply struct {
+	DatapathID uint64
+	NBuffers   uint32
+	NTables    uint8
+	Ports      []PhyPort
+}
+
+const phyPortLen = 48
+
+// MsgType implements Message.
+func (FeaturesReply) MsgType() Type { return TypeFeaturesReply }
+
+func (m FeaturesReply) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.DatapathID)
+	b = binary.BigEndian.AppendUint32(b, m.NBuffers)
+	b = append(b, m.NTables, 0, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, 0) // capabilities
+	b = binary.BigEndian.AppendUint32(b, 0) // actions
+	for _, p := range m.Ports {
+		b = binary.BigEndian.AppendUint16(b, p.PortNo)
+		b = append(b, make([]byte, 6)...) // hw_addr
+		name := make([]byte, 16)
+		copy(name, p.Name)
+		name[15] = 0
+		b = append(b, name...)
+		b = append(b, make([]byte, 24)...) // config/state/features
+	}
+	return b
+}
+
+// PacketInReason explains why the packet was sent to the controller.
+type PacketInReason uint8
+
+// packet_in reasons.
+const (
+	ReasonNoMatch PacketInReason = 0
+	ReasonAction  PacketInReason = 1
+)
+
+// PacketIn carries a (possibly truncated) table-miss packet to the
+// controller. If the switch buffer is full, BufferID is NoBuffer and Data
+// holds the whole frame — the paper's amplification vector.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   PacketInReason
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketIn) MsgType() Type { return TypePacketIn }
+
+func (m PacketIn) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	b = append(b, byte(m.Reason), 0)
+	return append(b, m.Data...)
+}
+
+// PacketOut instructs the switch to emit a packet (buffered or attached)
+// through an action list.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketOut) MsgType() Type { return TypePacketOut }
+
+func (m PacketOut) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	actions := encodeActions(nil, m.Actions)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(actions)))
+	b = append(b, actions...)
+	return append(b, m.Data...)
+}
+
+// FlowModCommand selects the flow_mod operation.
+type FlowModCommand uint16
+
+// flow_mod commands.
+const (
+	FlowAdd          FlowModCommand = 0
+	FlowModify       FlowModCommand = 1
+	FlowModifyStrict FlowModCommand = 2
+	FlowDelete       FlowModCommand = 3
+	FlowDeleteStrict FlowModCommand = 4
+)
+
+// String names the command.
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowAdd:
+		return "add"
+	case FlowModify:
+		return "modify"
+	case FlowModifyStrict:
+		return "modify_strict"
+	case FlowDelete:
+		return "delete"
+	case FlowDeleteStrict:
+		return "delete_strict"
+	default:
+		return fmt.Sprintf("command(%d)", uint16(c))
+	}
+}
+
+// FlowMod flags.
+const (
+	FlagSendFlowRem uint16 = 1 << 0
+)
+
+// FlowMod is the Modify State message that installs, modifies or removes
+// flow rules — the terminal decision the proactive flow rule analyzer
+// looks for (paper Algorithm 2, "Modify State Message").
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     FlowModCommand
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (FlowMod) MsgType() Type { return TypeFlowMod }
+
+func (m FlowMod) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, uint16(m.Command))
+	b = binary.BigEndian.AppendUint16(b, m.IdleTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.HardTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.OutPort)
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
+	return encodeActions(b, m.Actions)
+}
+
+// FlowRemovedReason explains a FlowRemoved notification.
+type FlowRemovedReason uint8
+
+// flow_removed reasons.
+const (
+	RemovedIdleTimeout FlowRemovedReason = 0
+	RemovedHardTimeout FlowRemovedReason = 1
+	RemovedDelete      FlowRemovedReason = 2
+)
+
+// FlowRemoved notifies the controller that a rule expired or was deleted.
+type FlowRemoved struct {
+	Match       Match
+	Cookie      uint64
+	Priority    uint16
+	Reason      FlowRemovedReason
+	PacketCount uint64
+	ByteCount   uint64
+}
+
+// MsgType implements Message.
+func (FlowRemoved) MsgType() Type { return TypeFlowRemoved }
+
+func (m FlowRemoved) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = append(b, byte(m.Reason), 0)
+	b = binary.BigEndian.AppendUint32(b, 0) // duration_sec
+	b = binary.BigEndian.AppendUint32(b, 0) // duration_nsec
+	b = binary.BigEndian.AppendUint16(b, 0) // idle_timeout
+	b = append(b, 0, 0)
+	b = binary.BigEndian.AppendUint64(b, m.PacketCount)
+	return binary.BigEndian.AppendUint64(b, m.ByteCount)
+}
+
+// PortStatusReason explains a PortStatus notification.
+type PortStatusReason uint8
+
+// port_status reasons.
+const (
+	PortAdded    PortStatusReason = 0
+	PortDeleted  PortStatusReason = 1
+	PortModified PortStatusReason = 2
+)
+
+// PortStatus notifies the controller of a port change — the topology
+// dynamics that invalidate previously derived proactive flow rules.
+type PortStatus struct {
+	Reason PortStatusReason
+	Port   PhyPort
+}
+
+// MsgType implements Message.
+func (PortStatus) MsgType() Type { return TypePortStatus }
+
+func (m PortStatus) encodeBody(b []byte) []byte {
+	b = append(b, byte(m.Reason), 0, 0, 0, 0, 0, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, m.Port.PortNo)
+	b = append(b, make([]byte, 6)...)
+	name := make([]byte, 16)
+	copy(name, m.Port.Name)
+	name[15] = 0
+	b = append(b, name...)
+	return append(b, make([]byte, 24)...)
+}
+
+// BarrierRequest asks the switch to finish all preceding messages.
+type BarrierRequest struct{}
+
+// MsgType implements Message.
+func (BarrierRequest) MsgType() Type              { return TypeBarrierRequest }
+func (BarrierRequest) encodeBody(b []byte) []byte { return b }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+// MsgType implements Message.
+func (BarrierReply) MsgType() Type              { return TypeBarrierReply }
+func (BarrierReply) encodeBody(b []byte) []byte { return b }
+
+// Error reports a protocol-level failure.
+type Error struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// MsgType implements Message.
+func (Error) MsgType() Type { return TypeError }
+
+func (m Error) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.ErrType)
+	b = binary.BigEndian.AppendUint16(b, m.Code)
+	return append(b, m.Data...)
+}
+
+// Error implements the error interface so an Error message can flow
+// through error returns.
+func (m Error) Error() string {
+	return fmt.Sprintf("openflow error type=%d code=%d", m.ErrType, m.Code)
+}
+
+// TableStats is the switch-utilization snapshot the migration agent polls
+// (carried in StatsRequest/StatsReply with a private stats type: the
+// detection algorithm needs buffer occupancy and rule count, which
+// OpenFlow 1.0 table stats approximate).
+type TableStats struct {
+	ActiveRules  uint32
+	MaxRules     uint32
+	BufferUsed   uint32
+	BufferSize   uint32
+	LookupCount  uint64
+	MatchedCount uint64
+	DroppedInput uint64
+}
+
+const statsTypeTable uint16 = 3
+
+// StatsRequest asks for a TableStats snapshot.
+type StatsRequest struct{}
+
+// MsgType implements Message.
+func (StatsRequest) MsgType() Type { return TypeStatsRequest }
+
+func (StatsRequest) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, statsTypeTable)
+	return binary.BigEndian.AppendUint16(b, 0)
+}
+
+// StatsReply carries a TableStats snapshot.
+type StatsReply struct{ Table TableStats }
+
+// MsgType implements Message.
+func (StatsReply) MsgType() Type { return TypeStatsReply }
+
+func (m StatsReply) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, statsTypeTable)
+	b = binary.BigEndian.AppendUint16(b, 0)
+	b = binary.BigEndian.AppendUint32(b, m.Table.ActiveRules)
+	b = binary.BigEndian.AppendUint32(b, m.Table.MaxRules)
+	b = binary.BigEndian.AppendUint32(b, m.Table.BufferUsed)
+	b = binary.BigEndian.AppendUint32(b, m.Table.BufferSize)
+	b = binary.BigEndian.AppendUint64(b, m.Table.LookupCount)
+	b = binary.BigEndian.AppendUint64(b, m.Table.MatchedCount)
+	return binary.BigEndian.AppendUint64(b, m.Table.DroppedInput)
+}
+
+func decodeBody(t Type, b []byte) (Message, error) {
+	switch t {
+	case TypeHello:
+		return Hello{}, nil
+	case TypeEchoRequest:
+		return EchoRequest{Data: clone(b)}, nil
+	case TypeEchoReply:
+		return EchoReply{Data: clone(b)}, nil
+	case TypeFeaturesRequest:
+		return FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return decodeFeaturesReply(b)
+	case TypePacketIn:
+		return decodePacketIn(b)
+	case TypePacketOut:
+		return decodePacketOut(b)
+	case TypeFlowMod:
+		return decodeFlowMod(b)
+	case TypeFlowRemoved:
+		return decodeFlowRemoved(b)
+	case TypePortStatus:
+		return decodePortStatus(b)
+	case TypeBarrierRequest:
+		return BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return BarrierReply{}, nil
+	case TypeError:
+		return decodeError(b)
+	case TypeStatsRequest:
+		return StatsRequest{}, nil
+	case TypeStatsReply:
+		return decodeStatsReply(b)
+	default:
+		return nil, fmt.Errorf("openflow: unsupported message type %v", t)
+	}
+}
+
+func clone(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func decodeFeaturesReply(b []byte) (Message, error) {
+	if len(b) < 24 {
+		return nil, fmt.Errorf("openflow: features_reply: short body (%d)", len(b))
+	}
+	m := FeaturesReply{
+		DatapathID: binary.BigEndian.Uint64(b[0:8]),
+		NBuffers:   binary.BigEndian.Uint32(b[8:12]),
+		NTables:    b[12],
+	}
+	rest := b[24:]
+	if len(rest)%phyPortLen != 0 {
+		return nil, fmt.Errorf("openflow: features_reply: ragged port list (%d)", len(rest))
+	}
+	for len(rest) > 0 {
+		p := PhyPort{PortNo: binary.BigEndian.Uint16(rest[0:2])}
+		name := rest[8:24]
+		for i, c := range name {
+			if c == 0 {
+				name = name[:i]
+				break
+			}
+		}
+		p.Name = string(name)
+		m.Ports = append(m.Ports, p)
+		rest = rest[phyPortLen:]
+	}
+	return m, nil
+}
+
+func decodePacketIn(b []byte) (Message, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("openflow: packet_in: short body (%d)", len(b))
+	}
+	return PacketIn{
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		TotalLen: binary.BigEndian.Uint16(b[4:6]),
+		InPort:   binary.BigEndian.Uint16(b[6:8]),
+		Reason:   PacketInReason(b[8]),
+		Data:     clone(b[10:]),
+	}, nil
+}
+
+func decodePacketOut(b []byte) (Message, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("openflow: packet_out: short body (%d)", len(b))
+	}
+	alen := int(binary.BigEndian.Uint16(b[6:8]))
+	if len(b) < 8+alen {
+		return nil, fmt.Errorf("openflow: packet_out: actions overflow body")
+	}
+	actions, err := decodeActions(b[8 : 8+alen])
+	if err != nil {
+		return nil, err
+	}
+	return PacketOut{
+		BufferID: binary.BigEndian.Uint32(b[0:4]),
+		InPort:   binary.BigEndian.Uint16(b[4:6]),
+		Actions:  actions,
+		Data:     clone(b[8+alen:]),
+	}, nil
+}
+
+func decodeFlowMod(b []byte) (Message, error) {
+	if len(b) < matchLen+24 {
+		return nil, fmt.Errorf("openflow: flow_mod: short body (%d)", len(b))
+	}
+	match, err := decodeMatch(b)
+	if err != nil {
+		return nil, err
+	}
+	rest := b[matchLen:]
+	actions, err := decodeActions(rest[24:])
+	if err != nil {
+		return nil, err
+	}
+	return FlowMod{
+		Match:       match,
+		Cookie:      binary.BigEndian.Uint64(rest[0:8]),
+		Command:     FlowModCommand(binary.BigEndian.Uint16(rest[8:10])),
+		IdleTimeout: binary.BigEndian.Uint16(rest[10:12]),
+		HardTimeout: binary.BigEndian.Uint16(rest[12:14]),
+		Priority:    binary.BigEndian.Uint16(rest[14:16]),
+		BufferID:    binary.BigEndian.Uint32(rest[16:20]),
+		OutPort:     binary.BigEndian.Uint16(rest[20:22]),
+		Flags:       binary.BigEndian.Uint16(rest[22:24]),
+		Actions:     actions,
+	}, nil
+}
+
+func decodeFlowRemoved(b []byte) (Message, error) {
+	if len(b) < matchLen+40 {
+		return nil, fmt.Errorf("openflow: flow_removed: short body (%d)", len(b))
+	}
+	match, err := decodeMatch(b)
+	if err != nil {
+		return nil, err
+	}
+	rest := b[matchLen:]
+	return FlowRemoved{
+		Match:       match,
+		Cookie:      binary.BigEndian.Uint64(rest[0:8]),
+		Priority:    binary.BigEndian.Uint16(rest[8:10]),
+		Reason:      FlowRemovedReason(rest[10]),
+		PacketCount: binary.BigEndian.Uint64(rest[24:32]),
+		ByteCount:   binary.BigEndian.Uint64(rest[32:40]),
+	}, nil
+}
+
+func decodePortStatus(b []byte) (Message, error) {
+	if len(b) < 8+phyPortLen {
+		return nil, fmt.Errorf("openflow: port_status: short body (%d)", len(b))
+	}
+	p := PhyPort{PortNo: binary.BigEndian.Uint16(b[8:10])}
+	name := b[16:32]
+	for i, c := range name {
+		if c == 0 {
+			name = name[:i]
+			break
+		}
+	}
+	p.Name = string(name)
+	return PortStatus{Reason: PortStatusReason(b[0]), Port: p}, nil
+}
+
+func decodeError(b []byte) (Message, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("openflow: error: short body (%d)", len(b))
+	}
+	return Error{
+		ErrType: binary.BigEndian.Uint16(b[0:2]),
+		Code:    binary.BigEndian.Uint16(b[2:4]),
+		Data:    clone(b[4:]),
+	}, nil
+}
+
+func decodeStatsReply(b []byte) (Message, error) {
+	if len(b) < 4+40 {
+		return nil, fmt.Errorf("openflow: stats_reply: short body (%d)", len(b))
+	}
+	rest := b[4:]
+	return StatsReply{Table: TableStats{
+		ActiveRules:  binary.BigEndian.Uint32(rest[0:4]),
+		MaxRules:     binary.BigEndian.Uint32(rest[4:8]),
+		BufferUsed:   binary.BigEndian.Uint32(rest[8:12]),
+		BufferSize:   binary.BigEndian.Uint32(rest[12:16]),
+		LookupCount:  binary.BigEndian.Uint64(rest[16:24]),
+		MatchedCount: binary.BigEndian.Uint64(rest[24:32]),
+		DroppedInput: binary.BigEndian.Uint64(rest[32:40]),
+	}}, nil
+}

@@ -1,0 +1,313 @@
+// Package rtswitch implements a real-time OpenFlow 1.0 switch: a flow
+// table plus a TCP session to a controller, processing packets as they
+// arrive on the wall clock. It is the functional counterpart of the
+// capacity-modelling simulator in internal/switchsim, used to exercise
+// the full protocol stack over real sockets.
+package rtswitch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+)
+
+// PortFunc receives frames forwarded out of a port.
+type PortFunc func(pkt netpkt.Packet)
+
+// Switch is a real-time OpenFlow switch connected to a controller over
+// TCP.
+type Switch struct {
+	dpid uint64
+
+	mu      sync.Mutex
+	table   *flowtable.Table
+	ports   map[uint16]PortFunc
+	noFlood map[uint16]bool
+	buffer  map[uint32]bufEntry
+	nextBuf uint32
+	conn    net.Conn
+	xid     uint32
+
+	bufferSlots int
+	missSendLen int
+
+	wg     sync.WaitGroup
+	closed bool
+
+	packetIns uint64
+	misses    uint64
+	forwarded uint64
+}
+
+type bufEntry struct {
+	pkt    netpkt.Packet
+	inPort uint16
+}
+
+// Config parameterises a switch.
+type Config struct {
+	DPID        uint64
+	TableSize   int // 0 = unbounded
+	BufferSlots int // default 256
+	MissSendLen int // packet_in payload cap for buffered misses; default 128
+}
+
+// New creates a disconnected switch.
+func New(cfg Config) *Switch {
+	if cfg.BufferSlots == 0 {
+		cfg.BufferSlots = 256
+	}
+	if cfg.MissSendLen == 0 {
+		cfg.MissSendLen = 128
+	}
+	return &Switch{
+		dpid:        cfg.DPID,
+		table:       flowtable.New(cfg.TableSize),
+		ports:       make(map[uint16]PortFunc),
+		noFlood:     make(map[uint16]bool),
+		buffer:      make(map[uint32]bufEntry),
+		bufferSlots: cfg.BufferSlots,
+		missSendLen: cfg.MissSendLen,
+	}
+}
+
+// AttachPort registers a delivery function for a port.
+func (s *Switch) AttachPort(no uint16, fn PortFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[no] = fn
+}
+
+// SetNoFlood excludes a port from flood outputs.
+func (s *Switch) SetNoFlood(no uint16, v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noFlood[no] = v
+}
+
+// Dial connects to the controller and completes the OpenFlow handshake.
+// The message loop runs until Close or disconnect.
+func (s *Switch) Dial(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("rtswitch: dial: %w", err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.readLoop(conn)
+	return nil
+}
+
+func (s *Switch) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	for {
+		f, err := openflow.ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				return
+			}
+			return
+		}
+		s.handle(f)
+	}
+}
+
+func (s *Switch) send(m openflow.Message) {
+	s.mu.Lock()
+	conn := s.conn
+	s.xid++
+	xid := s.xid
+	s.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = openflow.WriteMessage(conn, xid, m)
+}
+
+func (s *Switch) handle(f openflow.Framed) {
+	switch m := f.Msg.(type) {
+	case openflow.Hello:
+		s.send(openflow.Hello{})
+	case openflow.EchoRequest:
+		s.send(openflow.EchoReply{Data: m.Data})
+	case openflow.FeaturesRequest:
+		s.mu.Lock()
+		ports := make([]openflow.PhyPort, 0, len(s.ports))
+		for no := range s.ports {
+			ports = append(ports, openflow.PhyPort{PortNo: no, Name: fmt.Sprintf("eth%d", no)})
+		}
+		s.mu.Unlock()
+		s.send(openflow.FeaturesReply{
+			DatapathID: s.dpid,
+			NBuffers:   uint32(s.bufferSlots),
+			NTables:    1,
+			Ports:      ports,
+		})
+	case openflow.FlowMod:
+		s.mu.Lock()
+		_, err := s.table.Apply(m, time.Now())
+		var release *bufEntry
+		if err == nil && m.Command == openflow.FlowAdd && m.BufferID != openflow.NoBuffer {
+			if be, ok := s.buffer[m.BufferID]; ok {
+				delete(s.buffer, m.BufferID)
+				release = &be
+			}
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.send(openflow.Error{ErrType: 3, Code: 0})
+			return
+		}
+		if release != nil {
+			s.apply(release.pkt, release.inPort, m.Actions)
+		}
+	case openflow.PacketOut:
+		if m.BufferID != openflow.NoBuffer {
+			s.mu.Lock()
+			be, ok := s.buffer[m.BufferID]
+			if ok {
+				delete(s.buffer, m.BufferID)
+			}
+			s.mu.Unlock()
+			if ok {
+				s.apply(be.pkt, be.inPort, m.Actions)
+			}
+			return
+		}
+		pkt, err := netpkt.Parse(m.Data)
+		if err != nil {
+			return
+		}
+		s.apply(pkt, m.InPort, m.Actions)
+	case openflow.BarrierRequest:
+		s.send(openflow.BarrierReply{})
+	case openflow.StatsRequest:
+		s.mu.Lock()
+		reply := openflow.StatsReply{Table: openflow.TableStats{
+			ActiveRules:  uint32(s.table.Len()),
+			MaxRules:     uint32(s.table.Capacity()),
+			BufferUsed:   uint32(len(s.buffer)),
+			BufferSize:   uint32(s.bufferSlots),
+			LookupCount:  s.table.Lookups(),
+			MatchedCount: s.table.Matched(),
+		}}
+		s.mu.Unlock()
+		s.send(reply)
+	}
+}
+
+// Inject delivers a packet into the switch on inPort; safe from any
+// goroutine.
+func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
+	frame := pkt.Marshal()
+	s.mu.Lock()
+	entry := s.table.Lookup(&pkt, inPort, time.Now(), len(frame))
+	if entry != nil {
+		actions := entry.Actions
+		s.forwarded++
+		s.mu.Unlock()
+		s.apply(pkt, inPort, actions)
+		return
+	}
+	// Miss.
+	s.misses++
+	pi := openflow.PacketIn{
+		TotalLen: uint16(len(frame)),
+		InPort:   inPort,
+		Reason:   openflow.ReasonNoMatch,
+	}
+	if len(s.buffer) < s.bufferSlots {
+		id := s.nextBuf
+		s.nextBuf++
+		s.buffer[id] = bufEntry{pkt: pkt, inPort: inPort}
+		pi.BufferID = id
+		if len(frame) > s.missSendLen {
+			frame = frame[:s.missSendLen]
+		}
+		pi.Data = frame
+	} else {
+		pi.BufferID = openflow.NoBuffer
+		pi.Data = frame
+	}
+	s.packetIns++
+	s.mu.Unlock()
+	s.send(pi)
+}
+
+// apply rewrites the packet and delivers it to the resolved ports.
+func (s *Switch) apply(pkt netpkt.Packet, inPort uint16, actions []openflow.Action) {
+	if len(actions) == 0 {
+		return // drop
+	}
+	out := pkt
+	outPorts := openflow.ApplyActions(&out, actions)
+	s.mu.Lock()
+	type delivery struct {
+		fn  PortFunc
+		pkt netpkt.Packet
+	}
+	var dels []delivery
+	for _, pn := range outPorts {
+		switch pn {
+		case openflow.PortFlood, openflow.PortAll:
+			for no, fn := range s.ports {
+				if no == inPort || s.noFlood[no] {
+					continue
+				}
+				dels = append(dels, delivery{fn, out})
+			}
+		case openflow.PortInPort:
+			if fn, ok := s.ports[inPort]; ok {
+				dels = append(dels, delivery{fn, out})
+			}
+		default:
+			if fn, ok := s.ports[pn]; ok {
+				dels = append(dels, delivery{fn, out})
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, d := range dels {
+		d.fn(d.pkt)
+	}
+}
+
+// Stats returns (packet_ins, misses, forwarded, rules).
+func (s *Switch) Stats() (packetIns, misses, forwarded uint64, rules int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.packetIns, s.misses, s.forwarded, s.table.Len()
+}
+
+// Rules returns the number of installed flow rules.
+func (s *Switch) Rules() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Len()
+}
+
+// Close disconnects from the controller and waits for the message loop.
+func (s *Switch) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,461 @@
+// Package solver checks and concretizes the path conditions produced by
+// symbolic execution of controller applications. It plays the role STP
+// plays in the paper's prototype, specialised to the constraint language
+// that packet_in handlers generate: equalities between header fields and
+// ground values, membership in global tables and prefix tables, and the
+// high-bit test.
+//
+// Two entry points:
+//
+//   - Feasible: an offline structural satisfiability check used to prune
+//     contradictory paths during symbolic execution (Algorithm 1), when
+//     table contents are still symbolic.
+//   - Concretize: the runtime step of Algorithm 2 — substitute the live
+//     values of the global variables into a path condition and enumerate
+//     the concrete field assignments (match skeletons) that satisfy it.
+package solver
+
+import (
+	"fmt"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+// Binding constrains one packet field in a concrete assignment.
+type Binding struct {
+	// Exact, when not zero, pins the field to a single value.
+	Exact appir.Value
+	// IsPrefix constrains an IP field to a prefix instead.
+	IsPrefix  bool
+	Prefix    netpkt.IPv4
+	PrefixLen int
+}
+
+// String renders the binding.
+func (b Binding) String() string {
+	if b.IsPrefix {
+		return fmt.Sprintf("%v/%d", b.Prefix, b.PrefixLen)
+	}
+	return b.Exact.String()
+}
+
+// Assignment is one satisfying combination of field constraints for a
+// path condition, plus a priority penalty: each unrepresentable negative
+// constraint (a ≠ or ∉ on an otherwise unconstrained field) leaves the
+// field wildcarded and relies on the sibling branch's more specific,
+// higher-priority rules to carve out the excluded cases.
+type Assignment struct {
+	Fields  map[appir.Field]Binding
+	Penalty int
+	// PrefixBits is the total prefix specificity, used to order
+	// overlapping prefix rules so that OpenFlow priority reproduces
+	// longest-prefix-match semantics.
+	PrefixBits int
+}
+
+func newAssignment() *Assignment {
+	return &Assignment{Fields: make(map[appir.Field]Binding)}
+}
+
+func (a *Assignment) clone() *Assignment {
+	out := &Assignment{
+		Fields:     make(map[appir.Field]Binding, len(a.Fields)),
+		Penalty:    a.Penalty,
+		PrefixBits: a.PrefixBits,
+	}
+	for k, v := range a.Fields {
+		out.Fields[k] = v
+	}
+	return out
+}
+
+// bindExact narrows a field to one value; reports false on contradiction.
+func (a *Assignment) bindExact(f appir.Field, v appir.Value) bool {
+	cur, ok := a.Fields[f]
+	if !ok {
+		a.Fields[f] = Binding{Exact: v}
+		return true
+	}
+	if cur.IsPrefix {
+		if v.Kind != appir.KindIP || !v.IP().InPrefix(cur.Prefix, cur.PrefixLen) {
+			return false
+		}
+		a.PrefixBits -= cur.PrefixLen
+		a.Fields[f] = Binding{Exact: v}
+		return true
+	}
+	return cur.Exact == v
+}
+
+// bindPrefix narrows an IP field to a prefix; reports false on
+// contradiction.
+func (a *Assignment) bindPrefix(f appir.Field, prefix netpkt.IPv4, length int) bool {
+	cur, ok := a.Fields[f]
+	if !ok {
+		a.Fields[f] = Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length}
+		a.PrefixBits += length
+		return true
+	}
+	if !cur.IsPrefix {
+		return cur.Exact.Kind == appir.KindIP && cur.Exact.IP().InPrefix(prefix, length)
+	}
+	// Two prefixes: keep the longer if nested, contradiction otherwise.
+	if cur.PrefixLen >= length {
+		return cur.Prefix.InPrefix(prefix, length)
+	}
+	if !prefix.InPrefix(cur.Prefix, cur.PrefixLen) {
+		return false
+	}
+	a.PrefixBits += length - cur.PrefixLen
+	a.Fields[f] = Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length}
+	return true
+}
+
+// Feasible performs the offline structural check: it returns false only
+// when the conjunction is contradictory regardless of global state.
+// Memberships in (symbolic) tables are never refuted, but the same
+// membership asserted both ways is.
+func Feasible(conds []appir.Cond) bool {
+	eq := make(map[string]appir.Value)      // fieldExpr -> pinned value
+	neq := make(map[string]map[uint64]bool) // fieldExpr -> excluded bits
+	seen := make(map[string]bool)           // rendered cond -> want
+	for _, c := range conds {
+		key := c.Expr.String()
+		if want, ok := seen[key]; ok && want != c.Want {
+			return false
+		}
+		seen[key] = c.Want
+
+		e, isEq := c.Expr.(appir.Eq)
+		if !isEq {
+			continue
+		}
+		fr, cv, ok := fieldConst(e)
+		if !ok {
+			continue
+		}
+		fk := fr.String()
+		if c.Want {
+			if old, ok := eq[fk]; ok && old != cv {
+				return false
+			}
+			if neq[fk][cv.Bits] {
+				return false
+			}
+			eq[fk] = cv
+		} else {
+			if old, ok := eq[fk]; ok && old == cv {
+				return false
+			}
+			if neq[fk] == nil {
+				neq[fk] = make(map[uint64]bool)
+			}
+			neq[fk][cv.Bits] = true
+		}
+	}
+	// HighBit vs pinned-value contradiction.
+	for _, c := range conds {
+		hb, ok := c.Expr.(appir.HighBit)
+		if !ok {
+			continue
+		}
+		fr, ok := hb.A.(appir.FieldRef)
+		if !ok {
+			continue
+		}
+		if v, pinned := eq[fr.String()]; pinned && v.Kind == appir.KindIP {
+			if v.IP().HighBit() != c.Want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func fieldConst(e appir.Eq) (appir.FieldRef, appir.Value, bool) {
+	if fr, ok := e.A.(appir.FieldRef); ok {
+		if c, ok := e.B.(appir.Const); ok {
+			return fr, c.V, true
+		}
+	}
+	if fr, ok := e.B.(appir.FieldRef); ok {
+		if c, ok := e.A.(appir.Const); ok {
+			return fr, c.V, true
+		}
+	}
+	return appir.FieldRef{}, appir.Value{}, false
+}
+
+// groundValue evaluates an expression containing no field references
+// against the live state. ok is false if the expression does reference a
+// field or errors.
+func groundValue(e appir.Expr, st *appir.State) (appir.Value, bool) {
+	switch x := e.(type) {
+	case appir.Const:
+		return x.V, true
+	case appir.ScalarRef:
+		return valOK(st.Scalar(x.Name))
+	case appir.Lookup:
+		k, ok := groundValue(x.Key, st)
+		if !ok {
+			return appir.Value{}, false
+		}
+		return valOK(st.LookupTable(x.Table, k))
+	case appir.LookupPrefix:
+		k, ok := groundValue(x.Key, st)
+		if !ok {
+			return appir.Value{}, false
+		}
+		return valOK(st.LookupLPM(x.Table, k))
+	default:
+		return appir.Value{}, false
+	}
+}
+
+func valOK(v appir.Value, ok bool) (appir.Value, bool) {
+	if !ok {
+		return appir.Value{}, false
+	}
+	return v, ok
+}
+
+// Concretize enumerates the assignments satisfying conds once the global
+// variables take their live values from st (Algorithm 2's assign_value
+// step). The result may be empty (the path is currently unreachable).
+// Constraints that cannot be enumerated or represented in a single
+// OpenFlow match (e.g. a ≠ on an unbound field) cost a priority penalty
+// and leave the field wildcarded.
+func Concretize(conds []appir.Cond, st *appir.State) []Assignment {
+	work := []*Assignment{newAssignment()}
+
+	// Pass 1: positive binding constraints narrow or fan out.
+	for _, c := range conds {
+		if !c.Want {
+			continue
+		}
+		var err error
+		work, err = applyPositive(work, c.Expr, st)
+		if err != nil || len(work) == 0 {
+			return nil
+		}
+	}
+	// Pass 2: negative constraints filter or penalise.
+	for _, c := range conds {
+		if c.Want {
+			continue
+		}
+		work = applyNegative(work, c.Expr, st)
+		if len(work) == 0 {
+			return nil
+		}
+	}
+	out := make([]Assignment, len(work))
+	for i, a := range work {
+		out[i] = *a
+	}
+	return out
+}
+
+// applyPositive narrows every assignment by one positive constraint.
+func applyPositive(work []*Assignment, e appir.Expr, st *appir.State) ([]*Assignment, error) {
+	switch x := e.(type) {
+	case appir.Eq:
+		if fr, ok := x.A.(appir.FieldRef); ok {
+			if v, ok := groundValue(x.B, st); ok {
+				return filterMap(work, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
+			}
+		}
+		if fr, ok := x.B.(appir.FieldRef); ok {
+			if v, ok := groundValue(x.A, st); ok {
+				return filterMap(work, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
+			}
+		}
+		// Ground == ground: a runtime truth test.
+		va, aok := groundValue(x.A, st)
+		vb, bok := groundValue(x.B, st)
+		if aok && bok {
+			if va == vb {
+				return work, nil
+			}
+			return nil, nil
+		}
+		return nil, fmt.Errorf("solver: unsupported equality %s", x)
+	case appir.InTable:
+		fr, ok := x.Key.(appir.FieldRef)
+		if !ok {
+			return nil, fmt.Errorf("solver: membership key %s is not a field", x.Key)
+		}
+		entries := st.TableEntries(x.Table)
+		var next []*Assignment
+		for _, a := range work {
+			for _, ent := range entries {
+				c := a.clone()
+				if c.bindExact(fr.F, ent.Key) {
+					next = append(next, c)
+				}
+			}
+		}
+		return next, nil
+	case appir.InPrefixTable:
+		fr, ok := x.Key.(appir.FieldRef)
+		if !ok {
+			return nil, fmt.Errorf("solver: prefix-membership key %s is not a field", x.Key)
+		}
+		entries := st.PrefixEntries(x.Table)
+		var next []*Assignment
+		for _, a := range work {
+			for _, ent := range entries {
+				c := a.clone()
+				if c.bindPrefix(fr.F, ent.Prefix.IP(), ent.Len) {
+					next = append(next, c)
+				}
+			}
+		}
+		return next, nil
+	case appir.HighBit:
+		fr, ok := x.A.(appir.FieldRef)
+		if !ok {
+			return nil, fmt.Errorf("solver: highbit of %s is not a field", x.A)
+		}
+		return filterMap(work, func(a *Assignment) bool {
+			return a.bindPrefix(fr.F, netpkt.MustIPv4("128.0.0.0"), 1)
+		}), nil
+	default:
+		// A bare ground boolean (e.g. scalar flag).
+		if v, ok := groundValue(e, st); ok {
+			if v.Bool() {
+				return work, nil
+			}
+			return nil, nil
+		}
+		return nil, fmt.Errorf("solver: unsupported positive constraint %s", e)
+	}
+}
+
+// applyNegative filters assignments by one negated constraint; unbound
+// fields take a penalty instead of a binding.
+func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignment {
+	switch x := e.(type) {
+	case appir.Eq:
+		fr, fok := x.A.(appir.FieldRef)
+		other := x.B
+		if !fok {
+			fr, fok = x.B.(appir.FieldRef)
+			other = x.A
+		}
+		if fok {
+			v, ok := groundValue(other, st)
+			if !ok {
+				return penalise(work)
+			}
+			return filterMapKeep(work, func(a *Assignment) bool {
+				b, bound := a.Fields[fr.F]
+				if !bound || b.IsPrefix {
+					// Prefix bindings cannot express ≠ either; for a
+					// bound prefix the excluded point is a measure-zero
+					// subset, so penalise rather than drop.
+					a.Penalty++
+					return true
+				}
+				return b.Exact != v
+			})
+		}
+		va, aok := groundValue(x.A, st)
+		vb, bok := groundValue(x.B, st)
+		if aok && bok {
+			if va != vb {
+				return work
+			}
+			return nil
+		}
+		return penalise(work)
+	case appir.InTable:
+		fr, ok := x.Key.(appir.FieldRef)
+		if !ok {
+			return penalise(work)
+		}
+		return filterMapKeep(work, func(a *Assignment) bool {
+			b, bound := a.Fields[fr.F]
+			if !bound || b.IsPrefix {
+				a.Penalty++
+				return true
+			}
+			return !st.Contains(x.Table, b.Exact)
+		})
+	case appir.InPrefixTable:
+		fr, ok := x.Key.(appir.FieldRef)
+		if !ok {
+			return penalise(work)
+		}
+		return filterMapKeep(work, func(a *Assignment) bool {
+			b, bound := a.Fields[fr.F]
+			if !bound {
+				a.Penalty++
+				return true
+			}
+			if b.IsPrefix {
+				a.Penalty++
+				return true
+			}
+			return !st.InAnyPrefix(x.Table, b.Exact)
+		})
+	case appir.HighBit:
+		fr, ok := x.A.(appir.FieldRef)
+		if !ok {
+			return penalise(work)
+		}
+		// not highbit == prefix 0.0.0.0/1.
+		return filterMap(work, func(a *Assignment) bool {
+			return a.bindPrefix(fr.F, 0, 1)
+		})
+	default:
+		if v, ok := groundValue(e, st); ok {
+			if !v.Bool() {
+				return work
+			}
+			return nil
+		}
+		return penalise(work)
+	}
+}
+
+func filterMap(work []*Assignment, keep func(*Assignment) bool) []*Assignment {
+	out := work[:0]
+	for _, a := range work {
+		if keep(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func filterMapKeep(work []*Assignment, keep func(*Assignment) bool) []*Assignment {
+	return filterMap(work, keep)
+}
+
+func penalise(work []*Assignment) []*Assignment {
+	for _, a := range work {
+		a.Penalty++
+	}
+	return work
+}
+
+// Satisfies reports whether a concrete packet (on inPort) meets every
+// binding of the assignment — used by property tests to validate
+// soundness of concretization.
+func (a *Assignment) Satisfies(p *netpkt.Packet, inPort uint16) bool {
+	for f, b := range a.Fields {
+		v := appir.FieldOf(p, inPort, f)
+		if b.IsPrefix {
+			if v.Kind != appir.KindIP || !v.IP().InPrefix(b.Prefix, b.PrefixLen) {
+				return false
+			}
+			continue
+		}
+		if v != b.Exact {
+			return false
+		}
+	}
+	return true
+}

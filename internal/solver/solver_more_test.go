@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+// TestConcretizeSoundnessProperty: every assignment returned by
+// Concretize satisfies the path condition it was derived from, evaluated
+// concretely on a packet drawn from the assignment.
+func TestConcretizeSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(321))
+	st := appir.NewState()
+	for i := 1; i <= 6; i++ {
+		st.Learn("macs", appir.MACValue(netpkt.MACFromUint64(uint64(i))), appir.U16Value(uint16(i)))
+	}
+	st.AddPrefix("nets", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.U16Value(1))
+	st.AddPrefix("nets", appir.IPValue(netpkt.MustIPv4("192.168.0.0")), 16, appir.U16Value(2))
+	st.SetScalar("vip", appir.IPValue(netpkt.MustIPv4("10.10.10.10")))
+
+	atoms := []appir.Expr{
+		appir.FieldIn(appir.FEthDst, "macs"),
+		appir.FieldInPrefixes(appir.FNwDst, "nets"),
+		appir.FieldEqScalar(appir.FNwDst, "vip"),
+		appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}},
+		appir.FieldEq(appir.FNwProto, appir.U8Value(netpkt.ProtoUDP)),
+		appir.FieldEq(appir.FEthType, appir.U16Value(netpkt.EtherTypeIPv4)),
+	}
+
+	for trial := 0; trial < 500; trial++ {
+		// Draw a random conjunction of 1-4 atoms with random polarity.
+		var conds []appir.Cond
+		for _, idx := range r.Perm(len(atoms))[:1+r.Intn(3)] {
+			conds = append(conds, appir.Cond{Expr: atoms[idx], Want: r.Intn(4) != 0})
+		}
+		asgs := Concretize(conds, st)
+		for _, a := range asgs {
+			pkt, inPort := materialise(&a, r)
+			if !a.Satisfies(&pkt, inPort) {
+				t.Fatalf("trial %d: assignment does not satisfy its own materialisation", trial)
+			}
+			// Check every *positive bound* conjunct concretely; penalised
+			// negatives are intentionally relaxed (priority bands carve
+			// them out), so skip conjuncts on unbound fields.
+			env := &appir.Env{State: st, Packet: &pkt, InPort: inPort}
+			for _, c := range conds {
+				if !c.Want {
+					continue
+				}
+				v, err := appir.EvalExpr(c.Expr, env)
+				if err != nil {
+					t.Fatalf("trial %d: eval %s: %v", trial, c.Expr, err)
+				}
+				if !v.Bool() {
+					t.Fatalf("trial %d: positive conjunct %s false on materialised packet %v (assignment %v)",
+						trial, c.Expr, &pkt, a.Fields)
+				}
+			}
+		}
+	}
+}
+
+// materialise builds a packet meeting every binding of the assignment,
+// with unbound fields randomised.
+func materialise(a *Assignment, r *rand.Rand) (netpkt.Packet, uint16) {
+	pkt := netpkt.Packet{
+		EthSrc:  netpkt.MACFromUint64(r.Uint64() & 0xfeffffffffff),
+		EthDst:  netpkt.MACFromUint64(r.Uint64() & 0xfeffffffffff),
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   netpkt.IPv4(r.Uint32()),
+		NwDst:   netpkt.IPv4(r.Uint32()),
+		NwProto: uint8(r.Intn(256)),
+		TpSrc:   uint16(r.Intn(1 << 16)),
+		TpDst:   uint16(r.Intn(1 << 16)),
+	}
+	inPort := uint16(r.Intn(8) + 1)
+	for f, b := range a.Fields {
+		var v appir.Value
+		if b.IsPrefix {
+			// Random address inside the prefix.
+			mask := uint32(0)
+			if b.PrefixLen < 32 {
+				mask = ^uint32(0) >> b.PrefixLen
+			}
+			v = appir.IPValue(b.Prefix | netpkt.IPv4(r.Uint32()&mask))
+		} else {
+			v = b.Exact
+		}
+		switch f {
+		case appir.FInPort:
+			inPort = v.U16()
+		case appir.FEthSrc:
+			pkt.EthSrc = v.MAC()
+		case appir.FEthDst:
+			pkt.EthDst = v.MAC()
+		case appir.FEthType:
+			pkt.EthType = v.U16()
+		case appir.FNwSrc:
+			pkt.NwSrc = v.IP()
+		case appir.FNwDst:
+			pkt.NwDst = v.IP()
+		case appir.FNwProto:
+			pkt.NwProto = v.U8()
+		case appir.FNwTOS:
+			pkt.NwTOS = v.U8()
+		case appir.FTpSrc:
+			pkt.TpSrc = v.U16()
+		case appir.FTpDst:
+			pkt.TpDst = v.U16()
+		}
+	}
+	return pkt, inPort
+}
+
+func TestConcretizeContradictoryScalarEquality(t *testing.T) {
+	st := appir.NewState()
+	st.SetScalar("a", appir.U16Value(1))
+	st.SetScalar("b", appir.U16Value(2))
+	conds := []appir.Cond{
+		{Expr: appir.Eq{A: appir.ScalarRef{Name: "a"}, B: appir.ScalarRef{Name: "b"}}, Want: true},
+	}
+	if asgs := Concretize(conds, st); len(asgs) != 0 {
+		t.Errorf("contradictory ground equality yielded %d assignments", len(asgs))
+	}
+	conds[0].Want = false
+	if asgs := Concretize(conds, st); len(asgs) != 1 {
+		t.Errorf("true ground inequality yielded %d assignments", len(asgs))
+	}
+}
+
+func TestConcretizeNegatedHighBitIntersectsPrefix(t *testing.T) {
+	st := appir.NewState()
+	st.AddPrefix("nets", appir.IPValue(netpkt.MustIPv4("192.168.0.0")), 16, appir.U16Value(1))
+	// 192.168/16 is entirely in the high half: not-highbit contradicts it.
+	conds := []appir.Cond{
+		{Expr: appir.FieldInPrefixes(appir.FNwSrc, "nets"), Want: true},
+		{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: false},
+	}
+	if asgs := Concretize(conds, st); len(asgs) != 0 {
+		t.Errorf("prefix in the high half survived a not-highbit constraint: %d assignments", len(asgs))
+	}
+}
+
+func TestFeasibleUnsupportedShapesAreConservative(t *testing.T) {
+	// Feasible must never claim UNSAT for shapes it cannot reason about.
+	weird := []appir.Cond{
+		{Expr: appir.Eq{A: appir.FieldRef{F: appir.FEthSrc}, B: appir.FieldRef{F: appir.FEthDst}}, Want: true},
+		{Expr: appir.Or{A: appir.ScalarRef{Name: "x"}, B: appir.ScalarRef{Name: "y"}}, Want: false},
+	}
+	if !Feasible(weird) {
+		t.Error("Feasible refuted constraints it cannot analyse")
+	}
+}

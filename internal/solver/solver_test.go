@@ -1,0 +1,285 @@
+package solver
+
+import (
+	"testing"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+func condEq(f appir.Field, v appir.Value, want bool) appir.Cond {
+	return appir.Cond{Expr: appir.FieldEq(f, v), Want: want}
+}
+
+func TestFeasibleDetectsContradictions(t *testing.T) {
+	ipA := appir.IPValue(netpkt.MustIPv4("10.0.0.1"))
+	ipB := appir.IPValue(netpkt.MustIPv4("10.0.0.2"))
+	inTable := appir.FieldIn(appir.FEthDst, "macToPort")
+	tests := []struct {
+		name string
+		give []appir.Cond
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single eq", []appir.Cond{condEq(appir.FNwSrc, ipA, true)}, true},
+		{"eq conflict", []appir.Cond{
+			condEq(appir.FNwSrc, ipA, true),
+			condEq(appir.FNwSrc, ipB, true),
+		}, false},
+		{"eq and neq same value", []appir.Cond{
+			condEq(appir.FNwSrc, ipA, true),
+			condEq(appir.FNwSrc, ipA, false),
+		}, false},
+		{"neq then eq same value", []appir.Cond{
+			condEq(appir.FNwSrc, ipA, false),
+			condEq(appir.FNwSrc, ipA, true),
+		}, false},
+		{"eq and neq different values", []appir.Cond{
+			condEq(appir.FNwSrc, ipA, true),
+			condEq(appir.FNwSrc, ipB, false),
+		}, true},
+		{"same membership both ways", []appir.Cond{
+			{Expr: inTable, Want: true},
+			{Expr: inTable, Want: false},
+		}, false},
+		{"membership once", []appir.Cond{{Expr: inTable, Want: true}}, true},
+		{"highbit vs low value", []appir.Cond{
+			condEq(appir.FNwSrc, appir.IPValue(netpkt.MustIPv4("10.0.0.1")), true),
+			{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: true},
+		}, false},
+		{"highbit vs high value", []appir.Cond{
+			condEq(appir.FNwSrc, appir.IPValue(netpkt.MustIPv4("192.0.0.1")), true),
+			{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: true},
+		}, true},
+	}
+	for _, tt := range tests {
+		if got := Feasible(tt.give); got != tt.want {
+			t.Errorf("%s: Feasible = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestConcretizeEquality(t *testing.T) {
+	st := appir.NewState()
+	st.SetScalar("vip", appir.IPValue(netpkt.MustIPv4("10.10.10.10")))
+	conds := []appir.Cond{
+		{Expr: appir.FieldEqScalar(appir.FNwDst, "vip"), Want: true},
+		condEq(appir.FEthType, appir.U16Value(netpkt.EtherTypeIPv4), true),
+	}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(asgs))
+	}
+	a := asgs[0]
+	if a.Fields[appir.FNwDst].Exact.IP() != netpkt.MustIPv4("10.10.10.10") {
+		t.Errorf("nw_dst binding = %v", a.Fields[appir.FNwDst])
+	}
+	if a.Penalty != 0 {
+		t.Errorf("penalty = %d", a.Penalty)
+	}
+}
+
+func TestConcretizeMembershipFansOut(t *testing.T) {
+	st := appir.NewState()
+	for i := 1; i <= 4; i++ {
+		st.Learn("macToPort", appir.MACValue(netpkt.MACFromUint64(uint64(i))), appir.U16Value(uint16(i)))
+	}
+	conds := []appir.Cond{{Expr: appir.FieldIn(appir.FEthDst, "macToPort"), Want: true}}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 4 {
+		t.Fatalf("assignments = %d, want 4 (one per table entry)", len(asgs))
+	}
+	seen := make(map[uint64]bool)
+	for _, a := range asgs {
+		seen[a.Fields[appir.FEthDst].Exact.Bits] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("bindings not distinct: %v", seen)
+	}
+}
+
+func TestConcretizeEmptyTableYieldsNothing(t *testing.T) {
+	st := appir.NewState()
+	conds := []appir.Cond{{Expr: appir.FieldIn(appir.FEthDst, "macToPort"), Want: true}}
+	if asgs := Concretize(conds, st); len(asgs) != 0 {
+		t.Errorf("assignments from empty table = %d, want 0", len(asgs))
+	}
+}
+
+func TestConcretizeNegativeMembershipFiltersBoundValues(t *testing.T) {
+	st := appir.NewState()
+	blocked := netpkt.MACFromUint64(2)
+	st.Learn("all", appir.MACValue(netpkt.MACFromUint64(1)), appir.U16Value(1))
+	st.Learn("all", appir.MACValue(blocked), appir.U16Value(2))
+	st.Learn("blocked", appir.MACValue(blocked), appir.BoolValue(true))
+	conds := []appir.Cond{
+		{Expr: appir.FieldIn(appir.FEthSrc, "all"), Want: true},
+		{Expr: appir.FieldIn(appir.FEthSrc, "blocked"), Want: false},
+	}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 1 {
+		t.Fatalf("assignments = %d, want 1 (blocked entry filtered)", len(asgs))
+	}
+	if asgs[0].Fields[appir.FEthSrc].Exact.MAC() != netpkt.MACFromUint64(1) {
+		t.Errorf("surviving binding = %v", asgs[0].Fields[appir.FEthSrc])
+	}
+	if asgs[0].Penalty != 0 {
+		t.Errorf("penalty = %d, want 0 (bound field, real filter)", asgs[0].Penalty)
+	}
+}
+
+func TestConcretizeNegativeOnUnboundFieldPenalises(t *testing.T) {
+	st := appir.NewState()
+	conds := []appir.Cond{
+		condEq(appir.FEthDst, appir.MACValue(netpkt.Broadcast), false),
+	}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(asgs))
+	}
+	if asgs[0].Penalty != 1 {
+		t.Errorf("penalty = %d, want 1", asgs[0].Penalty)
+	}
+	if _, bound := asgs[0].Fields[appir.FEthDst]; bound {
+		t.Error("unrepresentable negation bound the field")
+	}
+}
+
+func TestConcretizeHighBit(t *testing.T) {
+	st := appir.NewState()
+	hb := appir.Cond{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: true}
+	asgs := Concretize([]appir.Cond{hb}, st)
+	if len(asgs) != 1 {
+		t.Fatalf("assignments = %d", len(asgs))
+	}
+	b := asgs[0].Fields[appir.FNwSrc]
+	if !b.IsPrefix || b.PrefixLen != 1 || b.Prefix != netpkt.MustIPv4("128.0.0.0") {
+		t.Errorf("binding = %v, want 128.0.0.0/1", b)
+	}
+	// Negated: 0.0.0.0/1.
+	hb.Want = false
+	asgs = Concretize([]appir.Cond{hb}, st)
+	b = asgs[0].Fields[appir.FNwSrc]
+	if !b.IsPrefix || b.Prefix != 0 || b.PrefixLen != 1 {
+		t.Errorf("negated binding = %v, want 0.0.0.0/1", b)
+	}
+}
+
+func TestConcretizePrefixTable(t *testing.T) {
+	st := appir.NewState()
+	st.AddPrefix("routes", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.U16Value(1))
+	st.AddPrefix("routes", appir.IPValue(netpkt.MustIPv4("10.1.0.0")), 16, appir.U16Value(2))
+	conds := []appir.Cond{{Expr: appir.FieldInPrefixes(appir.FNwDst, "routes"), Want: true}}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 2 {
+		t.Fatalf("assignments = %d, want 2", len(asgs))
+	}
+	// PrefixBits must order the /16 above the /8 so priority boosting
+	// reproduces longest-prefix-match semantics.
+	bits := map[int]bool{}
+	for _, a := range asgs {
+		bits[a.PrefixBits] = true
+	}
+	if !bits[8] || !bits[16] {
+		t.Errorf("prefix bits = %v, want {8,16}", bits)
+	}
+}
+
+func TestConcretizePrefixThenExactIntersection(t *testing.T) {
+	st := appir.NewState()
+	st.AddPrefix("routes", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.U16Value(1))
+	inside := []appir.Cond{
+		{Expr: appir.FieldInPrefixes(appir.FNwDst, "routes"), Want: true},
+		condEq(appir.FNwDst, appir.IPValue(netpkt.MustIPv4("10.2.3.4")), true),
+	}
+	asgs := Concretize(inside, st)
+	if len(asgs) != 1 || asgs[0].Fields[appir.FNwDst].IsPrefix {
+		t.Fatalf("intersection = %+v, want exact binding inside prefix", asgs)
+	}
+	outside := []appir.Cond{
+		{Expr: appir.FieldInPrefixes(appir.FNwDst, "routes"), Want: true},
+		condEq(appir.FNwDst, appir.IPValue(netpkt.MustIPv4("11.2.3.4")), true),
+	}
+	if asgs := Concretize(outside, st); len(asgs) != 0 {
+		t.Errorf("contradictory intersection produced %d assignments", len(asgs))
+	}
+}
+
+func TestConcretizeNestedPrefixes(t *testing.T) {
+	st := appir.NewState()
+	st.AddPrefix("a", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.BoolValue(true))
+	st.AddPrefix("b", appir.IPValue(netpkt.MustIPv4("10.1.0.0")), 16, appir.BoolValue(true))
+	conds := []appir.Cond{
+		{Expr: appir.FieldInPrefixes(appir.FNwSrc, "a"), Want: true},
+		{Expr: appir.FieldInPrefixes(appir.FNwSrc, "b"), Want: true},
+	}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(asgs))
+	}
+	b := asgs[0].Fields[appir.FNwSrc]
+	if b.PrefixLen != 16 {
+		t.Errorf("intersected prefix len = %d, want 16 (narrower wins)", b.PrefixLen)
+	}
+	// Disjoint prefixes are infeasible.
+	st2 := appir.NewState()
+	st2.AddPrefix("a", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.BoolValue(true))
+	st2.AddPrefix("b", appir.IPValue(netpkt.MustIPv4("11.0.0.0")), 8, appir.BoolValue(true))
+	if asgs := Concretize(conds, st2); len(asgs) != 0 {
+		t.Errorf("disjoint prefixes produced %d assignments", len(asgs))
+	}
+}
+
+func TestConcretizeGroundTruth(t *testing.T) {
+	st := appir.NewState()
+	st.SetScalar("flag", appir.BoolValue(true))
+	stTrue := []appir.Cond{{Expr: appir.ScalarRef{Name: "flag"}, Want: true}}
+	if asgs := Concretize(stTrue, st); len(asgs) != 1 {
+		t.Errorf("true ground cond: %d assignments, want 1", len(asgs))
+	}
+	stFalse := []appir.Cond{{Expr: appir.ScalarRef{Name: "flag"}, Want: false}}
+	if asgs := Concretize(stFalse, st); len(asgs) != 0 {
+		t.Errorf("false ground cond: %d assignments, want 0", len(asgs))
+	}
+}
+
+func TestAssignmentSatisfies(t *testing.T) {
+	st := appir.NewState()
+	st.Learn("macToPort", appir.MACValue(netpkt.MustMAC("00:00:00:00:00:0a")), appir.U16Value(1))
+	conds := []appir.Cond{
+		{Expr: appir.FieldIn(appir.FEthDst, "macToPort"), Want: true},
+		{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: true},
+	}
+	asgs := Concretize(conds, st)
+	if len(asgs) != 1 {
+		t.Fatal("want one assignment")
+	}
+	good := netpkt.Packet{
+		EthDst: netpkt.MustMAC("00:00:00:00:00:0a"),
+		NwSrc:  netpkt.MustIPv4("200.0.0.1"),
+	}
+	if !asgs[0].Satisfies(&good, 1) {
+		t.Error("satisfying packet rejected")
+	}
+	bad := good
+	bad.NwSrc = netpkt.MustIPv4("20.0.0.1")
+	if asgs[0].Satisfies(&bad, 1) {
+		t.Error("low-bit packet accepted by highbit assignment")
+	}
+	bad2 := good
+	bad2.EthDst = netpkt.MustMAC("00:00:00:00:00:0b")
+	if asgs[0].Satisfies(&bad2, 1) {
+		t.Error("wrong-dst packet accepted")
+	}
+}
+
+func TestBindingString(t *testing.T) {
+	b := Binding{IsPrefix: true, Prefix: netpkt.MustIPv4("10.0.0.0"), PrefixLen: 8}
+	if b.String() != "10.0.0.0/8" {
+		t.Errorf("String = %q", b.String())
+	}
+	b2 := Binding{Exact: appir.U16Value(80)}
+	if b2.String() != "80" {
+		t.Errorf("String = %q", b2.String())
+	}
+}

@@ -1,0 +1,82 @@
+package switchsim
+
+import (
+	"testing"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+)
+
+func TestPatchForwardsBetweenSwitches(t *testing.T) {
+	eng := netsim.NewEngine()
+	s1 := New(eng, 1, SoftwareProfile())
+	s2 := New(eng, 2, SoftwareProfile())
+	// Hosts: a on s1 port 1, b on s2 port 1; patch on port 2 of both.
+	a := NewHost(eng, s1, "a", 1, netpkt.MustMAC("00:00:00:00:00:0a"), netpkt.MustIPv4("10.0.0.1"), 1e9, 0)
+	b := NewHost(eng, s2, "b", 1, netpkt.MustMAC("00:00:00:00:00:0b"), netpkt.MustIPv4("10.0.0.2"), 1e9, 0)
+	Patch(s1, 2, s2, 2, 10e9, 50*time.Microsecond)
+
+	// Static forwarding a -> b across the patch.
+	pkt := netpkt.Flow{
+		SrcMAC: a.MAC, DstMAC: b.MAC, SrcIP: a.IP, DstIP: b.IP,
+		Proto: netpkt.ProtoUDP, SrcPort: 1, DstPort: 2,
+	}.Packet(100)
+	for _, tt := range []struct {
+		sw  *Switch
+		in  uint16
+		out uint16
+	}{{s1, 1, 2}, {s2, 2, 1}} {
+		if _, err := tt.sw.Table().Apply(openflow.FlowMod{
+			Match:    openflow.ExactFrom(&pkt, tt.in),
+			Command:  openflow.FlowAdd,
+			Priority: 10,
+			Actions:  []openflow.Action{openflow.Output(tt.out)},
+		}, eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a.Send(pkt)
+	eng.RunFor(time.Second)
+	if b.Received() != 1 {
+		t.Fatalf("b received %d, want 1 (via inter-switch patch)", b.Received())
+	}
+	if got := s2.Stats().Forwarded; got != 1 {
+		t.Errorf("s2 forwarded %d", got)
+	}
+}
+
+func TestPatchFloodPropagates(t *testing.T) {
+	eng := netsim.NewEngine()
+	s1 := New(eng, 1, SoftwareProfile())
+	s2 := New(eng, 2, SoftwareProfile())
+	a := NewHost(eng, s1, "a", 1, netpkt.MustMAC("00:00:00:00:00:0a"), netpkt.MustIPv4("10.0.0.1"), 1e9, 0)
+	b := NewHost(eng, s2, "b", 1, netpkt.MustMAC("00:00:00:00:00:0b"), netpkt.MustIPv4("10.0.0.2"), 1e9, 0)
+	_ = a
+	Patch(s1, 2, s2, 2, 10e9, 0)
+
+	// Flood-all rules on both switches: a broadcast from a reaches b
+	// through the patch (and does not loop back, because flood excludes
+	// the ingress port).
+	for _, sw := range []*Switch{s1, s2} {
+		if _, err := sw.Table().Apply(openflow.FlowMod{
+			Match:    openflow.MatchAll(),
+			Command:  openflow.FlowAdd,
+			Priority: 1,
+			Actions:  []openflow.Action{openflow.Output(openflow.PortFlood)},
+		}, eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc := netpkt.Packet{EthSrc: a.MAC, EthDst: netpkt.Broadcast, EthType: netpkt.EtherTypeARP, ARPOp: netpkt.ARPRequest}
+	a.Send(bc)
+	eng.RunFor(time.Second)
+	if b.Received() != 1 {
+		t.Errorf("b received %d broadcast copies, want exactly 1", b.Received())
+	}
+	if a.Received() != 0 {
+		t.Errorf("broadcast returned to sender (%d copies)", a.Received())
+	}
+}

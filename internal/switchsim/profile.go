@@ -1,0 +1,115 @@
+// Package switchsim simulates an OpenFlow 1.0 switch on the discrete-
+// event engine: a flow table with priorities and timeouts, a finite
+// packet buffer with buffer_id semantics (full buffer ⇒ packet_in carries
+// the whole frame — the paper's amplification vector), per-port links,
+// and a control channel with its own bandwidth and latency.
+//
+// The damage model of the data-to-control plane saturation attack is
+// mechanistic: every table miss consumes a buffer slot and control-path
+// capacity; the achievable datapath goodput is a function of the
+// *observed* miss rate and of the per-packet lookup cost of the flow
+// table. Profiles only set the constants for the paper's two testbeds.
+package switchsim
+
+import "time"
+
+// Profile sets the capacity constants of a switch. Two calibrated
+// instances reproduce the paper's environments; the mechanism is shared.
+type Profile struct {
+	Name string
+
+	// DataRateBits is the unloaded datapath bandwidth (Figure 10/11's
+	// y-intercept).
+	DataRateBits float64
+
+	// CollapseRatePPS is the table-miss rate at which the control path
+	// consumes the entire datapath budget ("dysfunctional" per the
+	// paper: 500 PPS software, ~1000 PPS hardware).
+	CollapseRatePPS float64
+
+	// CollapseExp shapes the concavity of the degradation:
+	// share = 1 - (rate/CollapseRatePPS)^CollapseExp. Calibrated so the
+	// bandwidth halves at the paper's half-rate (130 PPS software,
+	// 150 PPS hardware).
+	CollapseExp float64
+
+	// BufferSlots is the packet buffer capacity; misses beyond it send
+	// the whole frame to the controller (amplification).
+	BufferSlots int
+
+	// BufferTimeout frees a slot whose packet the controller never
+	// claimed.
+	BufferTimeout time.Duration
+
+	// TableCapacity bounds the flow table (0 = unbounded).
+	TableCapacity int
+
+	// LookupBase is the per-packet flow table lookup cost.
+	LookupBase time.Duration
+
+	// LookupPerRule is the additional lookup cost per installed rule.
+	// Zero for TCAM; positive for the OpenWRT/Pantou software flow
+	// table, which is what bends Figure 11's with-FloodGuard curve past
+	// 200 PPS.
+	LookupPerRule time.Duration
+
+	// MissProcDelay is the switch-side processing cost of emitting one
+	// packet_in.
+	MissProcDelay time.Duration
+
+	// ChannelBits and ChannelLatency describe the data-to-control plane
+	// channel.
+	ChannelBits    float64
+	ChannelLatency time.Duration
+
+	// PacketInHeaderBytes bounds the payload attached to a buffered
+	// packet_in (miss_send_len); unbuffered packet_ins carry the whole
+	// frame regardless.
+	PacketInHeaderBytes int
+}
+
+// SoftwareProfile models the Mininet software switch of Figure 10:
+// 1.7 Gbps baseline, bandwidth halved around 130 PPS of table-miss
+// traffic, dysfunctional at 500 PPS. Kernel datapath ⇒ rule count does
+// not affect lookup cost.
+func SoftwareProfile() Profile {
+	return Profile{
+		Name:            "software",
+		DataRateBits:    1.7e9,
+		CollapseRatePPS: 500,
+		CollapseExp:     0.515, // (130/500)^0.515 ≈ 0.5
+		BufferSlots:     256,
+		BufferTimeout:   time.Second,
+		TableCapacity:   0,
+		LookupBase:      2 * time.Microsecond,
+		LookupPerRule:   0,
+		MissProcDelay:   300 * time.Microsecond,
+		ChannelBits:     100e6,
+		ChannelLatency:  200 * time.Microsecond,
+
+		PacketInHeaderBytes: 128,
+	}
+}
+
+// HardwareProfile models the LinkSys WRT54GL (Pantou/OpenWRT) switch of
+// Figure 11: 8.4 Mbps baseline, halved around 150 PPS, near-dead at
+// 1000 PPS, and a software flow table whose lookup cost grows with the
+// rule count.
+func HardwareProfile() Profile {
+	return Profile{
+		Name:            "hardware",
+		DataRateBits:    8.4e6,
+		CollapseRatePPS: 1000,
+		CollapseExp:     0.365, // (150/1000)^0.365 ≈ 0.5
+		BufferSlots:     64,
+		BufferTimeout:   time.Second,
+		TableCapacity:   1024,
+		LookupBase:      50 * time.Microsecond,
+		LookupPerRule:   time.Microsecond,
+		MissProcDelay:   2 * time.Millisecond,
+		ChannelBits:     10e6,
+		ChannelLatency:  500 * time.Microsecond,
+
+		PacketInHeaderBytes: 128,
+	}
+}

@@ -1,0 +1,498 @@
+// Package symexec implements the paper's two-phase proactive flow rule
+// derivation.
+//
+// Algorithm 1 (offline): Explore symbolically executes a packet_in
+// handler with the input fields AND the global variables symbolized,
+// traversing every feasible branch and recording each path's condition
+// together with its terminal decision.
+//
+// Algorithm 2 (runtime): DeriveRules assigns the live values of the
+// global variables to the recorded path conditions, keeps only the paths
+// whose decision is a Modify State Message (a flow rule install), and
+// converts each satisfying assignment into concrete proactive flow rules.
+package symexec
+
+import (
+	"fmt"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+	"floodguard/internal/solver"
+)
+
+// maxPaths bounds path explosion in pathological programs.
+const maxPaths = 4096
+
+// Path is one feasible execution path of a handler.
+type Path struct {
+	ID    int
+	Conds []appir.Cond
+	// CondLearns[i] is the number of Learns (in program order) executed
+	// before Conds[i] is evaluated. Handlers that mutate state before
+	// branching (l2_learning learns the source before testing the
+	// destination) make path satisfaction depend on those writes.
+	CondLearns []int
+	// Installs holds the rule templates of the path's Modify State
+	// Messages; empty for pure packet_out / drop paths.
+	Installs []appir.RuleTemplate
+	// PacketOuts counts packet_out decisions on the path.
+	PacketOuts int
+	// Drops reports an explicit drop decision.
+	Drops bool
+	// Learns records the state mutations on the path (used to identify
+	// state-sensitive variables).
+	Learns []appir.Learn
+}
+
+// String renders the path in "condition -> decision" form.
+func (p *Path) String() string {
+	decision := "noop"
+	switch {
+	case len(p.Installs) > 0:
+		decision = p.Installs[0].String()
+	case p.Drops:
+		decision = "drop"
+	case p.PacketOuts > 0:
+		decision = "packet_out"
+	}
+	return fmt.Sprintf("path %d: %s -> %s", p.ID, appir.CondsString(p.Conds), decision)
+}
+
+// Explore is Algorithm 1: it returns every structurally feasible path of
+// the program's handler. It is deterministic and state-free — table
+// contents stay symbolic — so it can run offline, before any attack.
+func Explore(prog *appir.Program) ([]Path, error) {
+	e := &explorer{}
+	if err := e.walk(prog.Handler, pathState{}, nil); err != nil {
+		return nil, fmt.Errorf("symexec %s: %w", prog.Name, err)
+	}
+	return e.paths, nil
+}
+
+type pathState struct {
+	conds      []appir.Cond
+	condLearns []int
+	installs   []appir.RuleTemplate
+	packetOuts int
+	drops      bool
+	learns     []appir.Learn
+}
+
+func (s pathState) withCond(c appir.Cond) pathState {
+	out := s
+	out.conds = append(append([]appir.Cond{}, s.conds...), c)
+	out.condLearns = append(append([]int{}, s.condLearns...), len(s.learns))
+	return out
+}
+
+type explorer struct {
+	paths []Path
+}
+
+// walk explores stmts; rest is the statement continuation after the
+// current block (needed because an If's branches continue into the
+// statements that follow it).
+func (e *explorer) walk(stmts []appir.Stmt, st pathState, rest [][]appir.Stmt) error {
+	if len(stmts) == 0 {
+		if len(rest) > 0 {
+			return e.walk(rest[0], st, rest[1:])
+		}
+		if len(e.paths) >= maxPaths {
+			return fmt.Errorf("path explosion: more than %d paths", maxPaths)
+		}
+		e.paths = append(e.paths, Path{
+			ID:         len(e.paths),
+			Conds:      st.conds,
+			CondLearns: st.condLearns,
+			Installs:   st.installs,
+			PacketOuts: st.packetOuts,
+			Drops:      st.drops,
+			Learns:     st.learns,
+		})
+		return nil
+	}
+	head, tail := stmts[0], stmts[1:]
+	switch x := head.(type) {
+	case appir.If:
+		cont := append([][]appir.Stmt{tail}, rest...)
+		for _, alt := range splitCond(x.Cond, true) {
+			branch := st
+			feasible := true
+			for _, c := range alt {
+				branch = branch.withCond(c)
+			}
+			if !solver.Feasible(branch.conds) {
+				feasible = false
+			}
+			if feasible {
+				if err := e.walk(x.Then, branch, cont); err != nil {
+					return err
+				}
+			}
+		}
+		for _, alt := range splitCond(x.Cond, false) {
+			branch := st
+			for _, c := range alt {
+				branch = branch.withCond(c)
+			}
+			if !solver.Feasible(branch.conds) {
+				continue
+			}
+			if err := e.walk(x.Else, branch, cont); err != nil {
+				return err
+			}
+		}
+		return nil
+	case appir.Install:
+		st.installs = append(append([]appir.RuleTemplate{}, st.installs...), x.Rule)
+	case appir.PacketOut:
+		st.packetOuts++
+	case appir.Drop:
+		st.drops = true
+	case appir.Learn:
+		st.learns = append(append([]appir.Learn{}, st.learns...), x)
+	case appir.Unlearn:
+		// state deletion doesn't constrain the path; derivation uses the
+		// live table contents at runtime regardless
+	case appir.SetScalar:
+		// scalar writes don't constrain the path
+	default:
+		return fmt.Errorf("unsupported statement %T", head)
+	}
+	return e.walk(tail, st, rest)
+}
+
+// splitCond decomposes a (possibly compound) condition into disjoint
+// alternatives of atomic conjuncts, for the requested truth value.
+// Example: not(A and B) -> [ [¬A], [A, ¬B] ].
+func splitCond(e appir.Expr, want bool) [][]appir.Cond {
+	switch x := e.(type) {
+	case appir.Not:
+		return splitCond(x.A, !want)
+	case appir.And:
+		if want {
+			var out [][]appir.Cond
+			for _, la := range splitCond(x.A, true) {
+				for _, lb := range splitCond(x.B, true) {
+					out = append(out, concat(la, lb))
+				}
+			}
+			return out
+		}
+		// ¬(A∧B) = ¬A ∨ (A∧¬B), disjoint.
+		var out [][]appir.Cond
+		out = append(out, splitCond(x.A, false)...)
+		for _, la := range splitCond(x.A, true) {
+			for _, lb := range splitCond(x.B, false) {
+				out = append(out, concat(la, lb))
+			}
+		}
+		return out
+	case appir.Or:
+		if want {
+			// A ∨ B = A ∨ (¬A∧B), disjoint.
+			var out [][]appir.Cond
+			out = append(out, splitCond(x.A, true)...)
+			for _, la := range splitCond(x.A, false) {
+				for _, lb := range splitCond(x.B, true) {
+					out = append(out, concat(la, lb))
+				}
+			}
+			return out
+		}
+		var out [][]appir.Cond
+		for _, la := range splitCond(x.A, false) {
+			for _, lb := range splitCond(x.B, false) {
+				out = append(out, concat(la, lb))
+			}
+		}
+		return out
+	default:
+		return [][]appir.Cond{{{Expr: e, Want: want}}}
+	}
+}
+
+func concat(a, b []appir.Cond) []appir.Cond {
+	out := make([]appir.Cond, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// StateSensitiveVariables returns the global variables read on any path —
+// the superset the paper symbolizes ("all state sensitive variables are
+// global variables to the function").
+func StateSensitiveVariables(paths []Path) []string {
+	seen := make(map[string]bool)
+	var order []string
+	add := func(names []string) {
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				order = append(order, n)
+			}
+		}
+	}
+	for _, p := range paths {
+		for _, c := range p.Conds {
+			add(appir.UsedGlobals(c.Expr))
+		}
+		for _, r := range p.Installs {
+			for _, mf := range r.Match {
+				add(appir.UsedGlobals(mf.Val))
+			}
+			for _, a := range r.Actions {
+				add(actionGlobals(a))
+			}
+		}
+	}
+	return order
+}
+
+func actionGlobals(a appir.ActionTemplate) []string {
+	switch x := a.(type) {
+	case appir.ActOutput:
+		return appir.UsedGlobals(x.Port)
+	case appir.ActSetNwDst:
+		return appir.UsedGlobals(x.IP)
+	case appir.ActSetNwSrc:
+		return appir.UsedGlobals(x.IP)
+	case appir.ActSetDlDst:
+		return appir.UsedGlobals(x.MAC)
+	default:
+		return nil
+	}
+}
+
+// ProactiveRule is one derived rule, traceable to its origin path.
+type ProactiveRule struct {
+	Rule   appir.ConcreteRule
+	PathID int
+}
+
+// DeriveRules is Algorithm 2: with the globals now holding their live
+// values from st, convert every install-terminated path into concrete
+// proactive flow rules. Rules derived from prefix bindings are priority-
+// boosted by prefix length so that overlapping prefixes resolve like
+// longest-prefix match; penalties from unrepresentable negations push a
+// rule below its more specific siblings.
+func DeriveRules(paths []Path, st *appir.State) ([]ProactiveRule, error) {
+	var out []ProactiveRule
+	for i := range paths {
+		p := &paths[i]
+		if len(p.Installs) == 0 {
+			continue // only Modify State Message paths (Algorithm 2, line 4)
+		}
+		assignments := solver.Concretize(p.Conds, st)
+		for _, asg := range assignments {
+			for _, tmpl := range p.Installs {
+				rule, ok, err := evalTemplate(tmpl, &asg, st)
+				if err != nil {
+					return nil, fmt.Errorf("path %d: %w", p.ID, err)
+				}
+				if !ok {
+					continue // residual: depends on an unbound field
+				}
+				out = append(out, ProactiveRule{Rule: rule, PathID: p.ID})
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalTemplate evaluates a rule template under a field assignment. ok is
+// false when the template reads a field the assignment does not pin.
+func evalTemplate(t appir.RuleTemplate, asg *solver.Assignment, st *appir.State) (appir.ConcreteRule, bool, error) {
+	m := openflow.MatchAll()
+	// First apply the assignment's own constraints: the path condition is
+	// part of the rule's match (e.g. nw_dst == vip).
+	for f, b := range asg.Fields {
+		if b.IsPrefix {
+			if err := appir.BindMatchField(&m, f, appir.IPValue(b.Prefix), b.PrefixLen); err != nil {
+				return appir.ConcreteRule{}, false, err
+			}
+			continue
+		}
+		if err := appir.BindMatchField(&m, f, b.Exact, 0); err != nil {
+			return appir.ConcreteRule{}, false, err
+		}
+	}
+	// Then the template's explicit match terms.
+	for _, mf := range t.Match {
+		if fr, ok := mf.Val.(appir.FieldRef); ok && fr.F == mf.F {
+			if b, bound := asg.Fields[mf.F]; bound && b.IsPrefix {
+				// Reflexive match on a prefix-bound field: already
+				// represented by the assignment's prefix constraint.
+				continue
+			}
+		}
+		v, ok, err := evalBound(mf.Val, asg, st)
+		if err != nil {
+			return appir.ConcreteRule{}, false, err
+		}
+		if !ok {
+			return appir.ConcreteRule{}, false, nil
+		}
+		if err := appir.BindMatchField(&m, mf.F, v, mf.PrefixLen); err != nil {
+			return appir.ConcreteRule{}, false, err
+		}
+	}
+	var actions []openflow.Action
+	for _, at := range t.Actions {
+		act, ok, err := evalAction(at, asg, st)
+		if err != nil {
+			return appir.ConcreteRule{}, false, err
+		}
+		if !ok {
+			return appir.ConcreteRule{}, false, nil
+		}
+		actions = append(actions, act)
+	}
+	prio := int(t.Priority) + asg.PrefixBits - 2*asg.Penalty
+	if prio < 1 {
+		prio = 1
+	}
+	if prio > 0xffff {
+		prio = 0xffff
+	}
+	return appir.ConcreteRule{
+		Match:       m,
+		Priority:    uint16(prio),
+		IdleTimeout: t.IdleTimeout,
+		HardTimeout: t.HardTimeout,
+		Actions:     actions,
+	}, true, nil
+}
+
+// evalBound evaluates an expression where field references resolve via
+// the assignment. ok is false if an unpinned field is read.
+func evalBound(e appir.Expr, asg *solver.Assignment, st *appir.State) (appir.Value, bool, error) {
+	switch x := e.(type) {
+	case appir.FieldRef:
+		b, bound := asg.Fields[x.F]
+		if !bound {
+			return appir.Value{}, false, nil
+		}
+		if b.IsPrefix {
+			// Reading a prefix-bound field as a value: use the prefix
+			// base (sound for LPM lookups keyed on the bound prefix).
+			return appir.IPValue(b.Prefix), true, nil
+		}
+		return b.Exact, true, nil
+	case appir.Const:
+		return x.V, true, nil
+	case appir.ScalarRef:
+		v, ok := st.Scalar(x.Name)
+		if !ok {
+			return appir.Value{}, false, fmt.Errorf("scalar %s unset", x.Name)
+		}
+		return v, true, nil
+	case appir.Lookup:
+		k, ok, err := evalBound(x.Key, asg, st)
+		if err != nil || !ok {
+			return appir.Value{}, ok, err
+		}
+		v, found := st.LookupTable(x.Table, k)
+		if !found {
+			return appir.Value{}, false, nil
+		}
+		return v, true, nil
+	case appir.LookupPrefix:
+		k, ok, err := evalBound(x.Key, asg, st)
+		if err != nil || !ok {
+			return appir.Value{}, ok, err
+		}
+		v, found := st.LookupLPM(x.Table, k)
+		if !found {
+			return appir.Value{}, false, nil
+		}
+		return v, true, nil
+	default:
+		return appir.Value{}, false, fmt.Errorf("unsupported template expression %s", e)
+	}
+}
+
+func evalAction(at appir.ActionTemplate, asg *solver.Assignment, st *appir.State) (openflow.Action, bool, error) {
+	switch x := at.(type) {
+	case appir.ActOutput:
+		v, ok, err := evalBound(x.Port, asg, st)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return openflow.Output(v.U16()), true, nil
+	case appir.ActFlood:
+		return openflow.Output(openflow.PortFlood), true, nil
+	case appir.ActSetNwDst:
+		v, ok, err := evalBound(x.IP, asg, st)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return openflow.ActionSetNwDst{IP: v.IP()}, true, nil
+	case appir.ActSetNwSrc:
+		v, ok, err := evalBound(x.IP, asg, st)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return openflow.ActionSetNwSrc{IP: v.IP()}, true, nil
+	case appir.ActSetDlDst:
+		v, ok, err := evalBound(x.MAC, asg, st)
+		if err != nil || !ok {
+			return nil, ok, err
+		}
+		return openflow.ActionSetDlDst{MAC: v.MAC()}, true, nil
+	default:
+		return nil, false, fmt.Errorf("unsupported action template %T", at)
+	}
+}
+
+// MatchPath finds the unique path whose condition a concrete packet
+// satisfies under the given state — the concrete-symbolic correspondence
+// used in soundness tests. Learns that the handler executes before a
+// condition are replayed on a cloned state so that self-referential
+// packets (e.g. src == dst under l2_learning) resolve like the concrete
+// interpreter. The given state is never mutated.
+func MatchPath(paths []Path, st *appir.State, pkt *netpkt.Packet, inPort uint16) (*Path, error) {
+	var found *Path
+	for i := range paths {
+		p := &paths[i]
+		sat := true
+		env := &appir.Env{State: st, Packet: pkt, InPort: inPort}
+		applied := 0
+		for ci, c := range p.Conds {
+			for applied < p.CondLearns[ci] && applied < len(p.Learns) {
+				l := p.Learns[applied]
+				key, err := appir.EvalExpr(l.Key, env)
+				if err != nil {
+					return nil, err
+				}
+				val, err := appir.EvalExpr(l.Val, env)
+				if err != nil {
+					return nil, err
+				}
+				if env.State == st {
+					env.State = st.Clone()
+				}
+				env.State.Learn(l.Table, key, val)
+				applied++
+			}
+			v, err := appir.EvalExpr(c.Expr, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bool() != c.Want {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			if found != nil {
+				return nil, fmt.Errorf("packet satisfies both path %d and path %d", found.ID, paths[i].ID)
+			}
+			found = &paths[i]
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("packet satisfies no path")
+	}
+	return found, nil
+}
