@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-all check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pooled marshal and batched sideband paths are the ones most worth
+# racing; run the whole tree so regressions elsewhere surface too.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Substrate microbenches only (-run=^$ skips tests). The root package's
+# scenario benches each replay a full experiment per iteration, so bench
+# filters them out; bench-all regenerates the paper's tables and figures
+# too and takes correspondingly long.
+bench:
+	$(GO) test -bench=. -benchtime=100x -benchmem -run=^$$ ./internal/...
+	$(GO) test -bench='OpenFlow|PacketMarshalParse|FlowTableLookup|CacheIngestEmit|ConcreteInterpreter' \
+		-benchtime=100x -benchmem -run=^$$ .
+
+bench-all:
+	$(GO) test -bench=. -benchtime=100x -benchmem -run=^$$ ./...
+
+check: build vet test race

@@ -447,6 +447,7 @@ func BenchmarkOpenFlowEncodeDecode(b *testing.B) {
 		BufferID: openflow.NoBuffer,
 		Actions:  []openflow.Action{openflow.Output(2)},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		frame := openflow.Encode(uint32(i), fm)
@@ -462,6 +463,7 @@ func BenchmarkPacketMarshalParse(b *testing.B) {
 	for i := range pkts {
 		pkts[i] = g.Next()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := netpkt.Parse(pkts[i%len(pkts)].Marshal()); err != nil {
@@ -486,6 +488,7 @@ func BenchmarkFlowTableLookup(b *testing.B) {
 				}
 			}
 			miss := g.Next()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tbl.Lookup(&miss, 1, now, 64) // worst case: full scan
@@ -516,6 +519,7 @@ func BenchmarkConcreteInterpreter(b *testing.B) {
 		EthType: netpkt.EtherTypeIPv4,
 		NwProto: netpkt.ProtoUDP,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := appir.Exec(prog, st, &pkt, 1); err != nil {
@@ -534,6 +538,7 @@ func BenchmarkCacheIngestEmit(b *testing.B) {
 		pkts[i] = g.Next()
 		pkts[i].NwTOS = dpcache.EncodeInPortTOS(uint16(i % 8))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.DeliverFromSwitch(pkts[i%len(pkts)])

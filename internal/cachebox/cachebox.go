@@ -15,7 +15,6 @@ package cachebox
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -48,6 +47,7 @@ type Box struct {
 
 	mu        sync.Mutex
 	agentConn net.Conn
+	agentW    *dpcproto.Writer
 	ingestLn  net.Listener
 	closed    bool
 	wg        sync.WaitGroup
@@ -79,6 +79,10 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 		return nil, nil, fmt.Errorf("cachebox: listen ingest: %w", err)
 	}
 	b.agentConn = agentConn
+	// Replay records toward the agent are coalesced: under attack load
+	// many scheduler emissions share one syscall; when idle the
+	// auto-flush delay bounds added latency.
+	b.agentW = dpcproto.NewBufferedWriter(agentConn, 0, dpcproto.DefaultFlushDelay)
 	b.ingestLn = ln
 
 	b.runner.Start()
@@ -100,21 +104,20 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 type boxSink struct{ b *Box }
 
 func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
-	frame := pkt.Marshal()
-	s.b.mu.Lock()
-	conn := s.b.agentConn
-	s.b.mu.Unlock()
-	if conn == nil {
-		return
-	}
-	_ = dpcproto.Write(conn, dpcproto.Replay{DPID: origin, InPort: inPort, Frame: frame})
+	// The Writer copies the frame into its batch buffer before returning,
+	// so pooled scratch is safe here.
+	fb := netpkt.GetFrame()
+	fb.B = pkt.MarshalAppend(fb.B)
+	_ = s.b.agentW.WriteReplay(origin, inPort, fb.B)
+	fb.Release()
 }
 
 // agentLoop consumes the agent's rate directives.
 func (b *Box) agentLoop(conn net.Conn) {
 	defer b.wg.Done()
+	r := dpcproto.NewReader(conn, 0)
 	for {
-		rec, err := dpcproto.Read(conn)
+		rec, err := r.Read()
 		if err != nil {
 			return
 		}
@@ -141,12 +144,13 @@ func (b *Box) acceptLoop(ln net.Listener) {
 func (b *Box) ingestLoop(conn net.Conn) {
 	defer b.wg.Done()
 	defer conn.Close()
+	r := dpcproto.NewReader(conn, 0)
 	for {
-		rec, err := dpcproto.Read(conn)
+		rec, err := r.Read()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				return
-			}
+			// EOF / closed-connection is the shim hanging up; anything
+			// else is a framing error. Either way this shim session is
+			// over — the distinction matters only to a debugger.
 			return
 		}
 		rp, ok := rec.(dpcproto.Replay)
@@ -170,17 +174,12 @@ func (b *Box) statsLoop() {
 		case <-b.statsTick.C:
 			var st dpcache.Stats
 			b.runner.Do(func() { st = b.cache.Stats() })
-			b.mu.Lock()
-			conn := b.agentConn
-			b.mu.Unlock()
-			if conn != nil {
-				_ = dpcproto.Write(conn, dpcproto.Stats{
-					Backlog:  uint32(st.Backlog),
-					Enqueued: st.Enqueued,
-					Emitted:  st.Emitted,
-					Dropped:  st.Dropped,
-				})
-			}
+			_ = b.agentW.Write(dpcproto.Stats{
+				Backlog:  uint32(st.Backlog),
+				Enqueued: st.Enqueued,
+				Emitted:  st.Emitted,
+				Dropped:  st.Dropped,
+			})
 		}
 	}
 }
@@ -205,6 +204,9 @@ func (b *Box) Close() {
 	if b.ingestLn != nil {
 		_ = b.ingestLn.Close()
 	}
+	if b.agentW != nil {
+		_ = b.agentW.Flush() // drain coalesced replays before hangup
+	}
 	if b.agentConn != nil {
 		_ = b.agentConn.Close()
 	}
@@ -222,6 +224,7 @@ type Shim struct {
 
 	mu   sync.Mutex
 	conn net.Conn
+	w    *dpcproto.Writer
 }
 
 // NewShim dials the box's ingest listener on behalf of one datapath.
@@ -230,19 +233,28 @@ func NewShim(boxAddr string, dpid uint64) (*Shim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cachebox: shim dial: %w", err)
 	}
-	return &Shim{dpid: dpid, conn: conn}, nil
+	return &Shim{
+		dpid: dpid,
+		conn: conn,
+		w:    dpcproto.NewBufferedWriter(conn, 0, dpcproto.DefaultFlushDelay),
+	}, nil
 }
 
 // Deliver forwards one migrated frame; it matches the rtswitch PortFunc
-// signature.
+// signature. Marshalling uses pooled scratch (the Writer copies the
+// frame before returning) and records coalesce into batched writes
+// during attack bursts.
 func (s *Shim) Deliver(pkt netpkt.Packet) {
-	frame := pkt.Marshal()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn == nil {
+	w := s.w
+	s.mu.Unlock()
+	if w == nil {
 		return
 	}
-	_ = dpcproto.Write(s.conn, dpcproto.Replay{DPID: s.dpid, Frame: frame})
+	fb := netpkt.GetFrame()
+	fb.B = pkt.MarshalAppend(fb.B)
+	_ = w.WriteReplay(s.dpid, 0, fb.B)
+	fb.Release()
 }
 
 // Close tears the shim's connection down.
@@ -250,8 +262,10 @@ func (s *Shim) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.conn != nil {
+		_ = s.w.Flush()
 		_ = s.conn.Close()
 		s.conn = nil
+		s.w = nil
 	}
 }
 
@@ -304,8 +318,9 @@ func (a *AgentListener) accept() {
 
 func (a *AgentListener) serve(conn net.Conn) {
 	defer a.wg.Done()
+	r := dpcproto.NewReader(conn, 0)
 	for {
-		rec, err := dpcproto.Read(conn)
+		rec, err := r.Read()
 		if err != nil {
 			return
 		}

@@ -528,6 +528,9 @@ func (g *Guard) CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, q
 	if g.ReplayObserver != nil {
 		g.ReplayObserver(origin, origInPort, &pkt, queued)
 	}
+	// Exact-size Marshal, not pooled scratch: pi.Data is retained by the
+	// packet_in event the controller queues for its applications, so the
+	// frame outlives this call.
 	data := pkt.Marshal()
 	pi := openflow.PacketIn{
 		BufferID: openflow.NoBuffer,

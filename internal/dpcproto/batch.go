@@ -1,0 +1,197 @@
+package dpcproto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Writer frames records into a reusable internal buffer, so steady-state
+// writes allocate nothing. A buffered Writer additionally coalesces
+// records into batched syscalls: records accumulate until the buffer
+// fills, Flush is called, or the auto-flush delay elapses — under replay
+// load many records share one syscall; when idle a record leaves within
+// the delay. Writer is safe for concurrent use.
+type Writer struct {
+	mu      sync.Mutex
+	dst     io.Writer
+	bw      *bufio.Writer // nil for the unbuffered single-write mode
+	buf     []byte        // reusable frame scratch
+	delay   time.Duration
+	timer   *time.Timer
+	pending bool
+}
+
+// NewWriter returns an unbuffered Writer: each record is one allocation-
+// free syscall (header and payload already coalesced). Flush is a no-op.
+func NewWriter(dst io.Writer) *Writer {
+	return &Writer{dst: dst}
+}
+
+// DefaultFlushDelay bounds how long a buffered record may wait for
+// companions before the Writer flushes on its own.
+const DefaultFlushDelay = time.Millisecond
+
+// NewBufferedWriter returns a coalescing Writer with the given buffer
+// size (<= 0 picks 32 KiB) and auto-flush delay (< 0 disables auto-flush
+// and leaves flushing entirely to the caller; 0 picks DefaultFlushDelay).
+func NewBufferedWriter(dst io.Writer, size int, flushDelay time.Duration) *Writer {
+	if size <= 0 {
+		size = 32 << 10
+	}
+	if flushDelay == 0 {
+		flushDelay = DefaultFlushDelay
+	}
+	if flushDelay < 0 {
+		flushDelay = 0
+	}
+	return &Writer{dst: dst, bw: bufio.NewWriterSize(dst, size), delay: flushDelay}
+}
+
+// Write frames one record. Unbuffered Writers issue the syscall
+// immediately; buffered Writers enqueue and schedule an auto-flush.
+// Passing a concrete record through the Record interface boxes it (one
+// small allocation); the per-packet path should use WriteReplay, which
+// does not.
+func (w *Writer) Write(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b, err := appendRecord(w.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	w.buf = b
+	return w.commitLocked(b)
+}
+
+// WriteReplay frames one replay record without boxing it into the
+// Record interface: the steady-state per-packet write is allocation-free.
+func (w *Writer) WriteReplay(dpid uint64, inPort uint16, frame []byte) error {
+	if len(frame)+10 > MaxPayload {
+		return fmt.Errorf("dpcproto: payload %d exceeds maximum", len(frame)+10)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	b := w.buf[:0]
+	b = binary.BigEndian.AppendUint16(b, magic)
+	b = append(b, version, byte(KindReplay))
+	b = binary.BigEndian.AppendUint32(b, uint32(10+len(frame)))
+	b = binary.BigEndian.AppendUint64(b, dpid)
+	b = binary.BigEndian.AppendUint16(b, inPort)
+	b = append(b, frame...)
+	w.buf = b
+	return w.commitLocked(b)
+}
+
+// commitLocked hands one framed record to the destination; the caller
+// holds w.mu.
+func (w *Writer) commitLocked(b []byte) error {
+	if w.bw == nil {
+		if _, err := w.dst.Write(b); err != nil {
+			return fmt.Errorf("dpcproto: write: %w", err)
+		}
+		return nil
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("dpcproto: write: %w", err)
+	}
+	if w.delay > 0 && !w.pending {
+		w.pending = true
+		if w.timer == nil {
+			w.timer = time.AfterFunc(w.delay, w.autoFlush)
+		} else {
+			w.timer.Reset(w.delay)
+		}
+	}
+	return nil
+}
+
+func (w *Writer) autoFlush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pending = false
+	if w.bw != nil {
+		_ = w.bw.Flush()
+	}
+}
+
+// Flush forces any coalesced records onto the underlying writer.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.pending = false
+	if w.bw == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("dpcproto: flush: %w", err)
+	}
+	return nil
+}
+
+// Buffered reports the bytes awaiting a flush.
+func (w *Writer) Buffered() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.bw == nil {
+		return 0
+	}
+	return w.bw.Buffered()
+}
+
+// Reader decodes records from a buffered stream, reusing one payload
+// buffer for Rate and Stats records. Replay records get a private
+// exact-size payload, because their Frame escapes to the caller. Reader
+// is not safe for concurrent use — one reader goroutine per connection.
+type Reader struct {
+	br  *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader over r with the given buffer size (<= 0
+// picks 64 KiB — enough to drain many replay records per syscall).
+func NewReader(r io.Reader, size int) *Reader {
+	if size <= 0 {
+		size = 64 << 10
+	}
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Read decodes one record. Rate and Stats payloads alias the Reader's
+// internal buffer and are fully unpacked before return; Replay frames
+// are freshly allocated and safe to retain.
+func (r *Reader) Read() (Record, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if m := binary.BigEndian.Uint16(hdr[0:2]); m != magic {
+		return nil, fmt.Errorf("dpcproto: bad magic %#04x", m)
+	}
+	if hdr[2] != version {
+		return nil, fmt.Errorf("dpcproto: unsupported version %d", hdr[2])
+	}
+	length := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if length > MaxPayload {
+		return nil, fmt.Errorf("dpcproto: payload %d exceeds maximum", length)
+	}
+	var payload []byte
+	if Kind(hdr[3]) == KindReplay {
+		payload = make([]byte, length)
+	} else {
+		if cap(r.buf) < length {
+			r.buf = make([]byte, length)
+		}
+		payload = r.buf[:length]
+	}
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return nil, fmt.Errorf("dpcproto: read payload: %w", err)
+	}
+	return decodeRecord(hdr[3], payload)
+}

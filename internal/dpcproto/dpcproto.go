@@ -73,9 +73,14 @@ type Stats struct {
 type Record interface {
 	kind() Kind
 	payload(b []byte) []byte
+	// payloadLen is the exact encoded payload size, for presizing.
+	payloadLen() int
 }
 
-func (Replay) kind() Kind { return KindReplay }
+func (Replay) kind() Kind        { return KindReplay }
+func (r Replay) payloadLen() int { return 10 + len(r.Frame) }
+func (Rate) payloadLen() int     { return 8 }
+func (Stats) payloadLen() int    { return 28 }
 func (r Replay) payload(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, r.DPID)
 	b = binary.BigEndian.AppendUint16(b, r.InPort)
@@ -95,17 +100,31 @@ func (s Stats) payload(b []byte) []byte {
 	return binary.BigEndian.AppendUint64(b, s.Dropped)
 }
 
-// Write frames and writes one record.
-func Write(w io.Writer, rec Record) error {
-	payload := rec.payload(make([]byte, 0, 64))
-	if len(payload) > MaxPayload {
-		return fmt.Errorf("dpcproto: payload %d exceeds maximum", len(payload))
+// appendRecord appends the framed wire form of rec to b: the header is
+// reserved up front and patched once the payload length is known, so
+// header and payload share one buffer and one Write.
+func appendRecord(b []byte, rec Record) ([]byte, error) {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, magic)
+	b = append(b, version, byte(rec.kind()), 0, 0, 0, 0)
+	b = rec.payload(b)
+	n := len(b) - start - headerLen
+	if n > MaxPayload {
+		return b[:start], fmt.Errorf("dpcproto: payload %d exceeds maximum", n)
 	}
-	hdr := make([]byte, 0, headerLen+len(payload))
-	hdr = binary.BigEndian.AppendUint16(hdr, magic)
-	hdr = append(hdr, version, byte(rec.kind()))
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(payload)))
-	if _, err := w.Write(append(hdr, payload...)); err != nil {
+	binary.BigEndian.PutUint32(b[start+4:start+8], uint32(n))
+	return b, nil
+}
+
+// Write frames and writes one record in a single allocation and a single
+// w.Write call. For per-packet paths prefer a Writer, which reuses its
+// buffer across records and can coalesce them into batched writes.
+func Write(w io.Writer, rec Record) error {
+	buf, err := appendRecord(make([]byte, 0, headerLen+rec.payloadLen()), rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("dpcproto: write: %w", err)
 	}
 	return nil
@@ -131,7 +150,14 @@ func Read(r io.Reader) (Record, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("dpcproto: read payload: %w", err)
 	}
-	switch Kind(hdr[3]) {
+	return decodeRecord(hdr[3], payload)
+}
+
+// decodeRecord interprets a payload. The returned Replay's Frame aliases
+// payload; callers reusing the buffer must hand Replay records a private
+// one.
+func decodeRecord(kind byte, payload []byte) (Record, error) {
+	switch Kind(kind) {
 	case KindReplay:
 		if len(payload) < 10 {
 			return nil, fmt.Errorf("dpcproto: replay record too short")
@@ -157,6 +183,6 @@ func Read(r io.Reader) (Record, error) {
 			Dropped:  binary.BigEndian.Uint64(payload[20:28]),
 		}, nil
 	default:
-		return nil, fmt.Errorf("dpcproto: unknown record kind %d", hdr[3])
+		return nil, fmt.Errorf("dpcproto: unknown record kind %d", kind)
 	}
 }

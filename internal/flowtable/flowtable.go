@@ -58,11 +58,108 @@ type Table struct {
 
 	lookups uint64
 	matched uint64
+
+	// micro is the OVS-style microflow exact-match cache: the winning
+	// entry (nil for a cached miss) per exact header tuple + ingress
+	// port, consulted before the priority scan and invalidated wholesale
+	// on any table mutation. Lookup results are deterministic for a
+	// fixed rule set, so whole-cache invalidation on Apply/Expire/Clear
+	// keeps it exact.
+	micro        map[microKey]*Entry
+	microHits    uint64
+	microMisses  uint64
+	microInvals  uint64
+	microMaxSize int
+}
+
+// DefaultMicroflowSize bounds the microflow cache; when full it is reset
+// rather than evicted entry-by-entry, so a spoofed flood (every packet a
+// fresh tuple) costs one bounded map insert per packet and nothing more.
+const DefaultMicroflowSize = 8192
+
+// microKey is the exact-match identity of a lookup. It extends
+// netpkt.FlowKey with the ingress port and the remaining fields a match
+// may constrain (VLAN tag, TOS, ARP opcode), so two packets share a key
+// only if every rule treats them identically.
+type microKey struct {
+	flow    netpkt.FlowKey
+	inPort  uint16
+	hasVLAN bool
+	vlanID  uint16
+	vlanPCP uint8
+	nwTOS   uint8
+	arpOp   uint16
+}
+
+func microKeyFor(p *netpkt.Packet, inPort uint16) microKey {
+	return microKey{
+		flow:    p.Key(),
+		inPort:  inPort,
+		hasVLAN: p.HasVLAN,
+		vlanID:  p.VLANID,
+		vlanPCP: p.VLANPCP,
+		nwTOS:   p.NwTOS,
+		arpOp:   p.ARPOp,
+	}
+}
+
+// Stats is a counter snapshot of the table and its microflow cache.
+type Stats struct {
+	Lookups          uint64
+	Matched          uint64
+	MicroflowHits    uint64
+	MicroflowMisses  uint64
+	MicroflowEntries int
+	Invalidations    uint64
 }
 
 // New returns a table bounded to capacity rules (0 = unbounded).
 func New(capacity int) *Table {
-	return &Table{capacity: capacity}
+	return &Table{capacity: capacity, microMaxSize: DefaultMicroflowSize}
+}
+
+// SetMicroflowSize rebounds the microflow cache (0 disables it). It
+// resets any cached state.
+func (t *Table) SetMicroflowSize(n int) {
+	t.microMaxSize = n
+	t.micro = nil
+}
+
+// Stats returns the counter snapshot.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Lookups:          t.lookups,
+		Matched:          t.matched,
+		MicroflowHits:    t.microHits,
+		MicroflowMisses:  t.microMisses,
+		MicroflowEntries: len(t.micro),
+		Invalidations:    t.microInvals,
+	}
+}
+
+// invalidateMicro drops every cached lookup result. It must be called on
+// any mutation of the rule set: cached pointers may name removed entries
+// and cached misses may be shadowed by new rules.
+func (t *Table) invalidateMicro() {
+	if len(t.micro) == 0 {
+		return
+	}
+	t.microInvals++
+	clear(t.micro)
+}
+
+// cacheLookup stores a lookup outcome (e == nil caches the miss).
+func (t *Table) cacheLookup(k microKey, e *Entry) {
+	if t.microMaxSize <= 0 {
+		return
+	}
+	if t.micro == nil {
+		t.micro = make(map[microKey]*Entry, 64)
+	} else if len(t.micro) >= t.microMaxSize {
+		t.microInvals++
+		clear(t.micro)
+	}
+	t.micro[k] = e
 }
 
 // Len returns the number of installed rules.
@@ -123,6 +220,7 @@ func (t *Table) add(m openflow.FlowMod, now time.Time) error {
 		if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
 			e.seq = old.seq
 			t.entries[i] = e
+			t.invalidateMicro()
 			return nil
 		}
 	}
@@ -132,20 +230,27 @@ func (t *Table) add(m openflow.FlowMod, now time.Time) error {
 	t.nextSeq++
 	t.entries = append(t.entries, e)
 	t.sortEntries()
+	t.invalidateMicro()
 	return nil
 }
 
 func (t *Table) modify(m openflow.FlowMod, strict bool) {
+	changed := false
 	for _, e := range t.entries {
 		if strict {
 			if e.Priority == m.Priority && e.Match.Equal(&m.Match) {
 				e.Actions = m.Actions
+				changed = true
 			}
 			continue
 		}
 		if Covers(&m.Match, &e.Match) {
 			e.Actions = m.Actions
+			changed = true
 		}
+	}
+	if changed {
+		t.invalidateMicro()
 	}
 }
 
@@ -169,6 +274,9 @@ func (t *Table) delete(m openflow.FlowMod, strict bool) []Removed {
 		}
 	}
 	t.entries = keep
+	if len(removed) > 0 {
+		t.invalidateMicro()
+	}
 	return removed
 }
 
@@ -182,19 +290,37 @@ func outputsTo(actions []openflow.Action, port uint16) bool {
 }
 
 // Lookup finds the highest-priority rule matching p on inPort, updating
-// counters. It returns nil on a table miss.
+// counters. It returns nil on a table miss. The microflow cache serves
+// repeats of an exact tuple without rescanning the priority list; misses
+// are cached too, since a miss is equally deterministic until the rule
+// set changes.
 func (t *Table) Lookup(p *netpkt.Packet, inPort uint16, now time.Time, frameLen int) *Entry {
 	t.lookups++
+	k := microKeyFor(p, inPort)
+	if e, ok := t.micro[k]; ok {
+		t.microHits++
+		if e == nil {
+			return nil
+		}
+		return t.hit(e, now, frameLen)
+	}
+	t.microMisses++
 	for _, e := range t.entries {
 		if e.Match.Matches(p, inPort) {
-			t.matched++
-			e.Packets++
-			e.Bytes += uint64(frameLen)
-			e.LastMatched = now
-			return e
+			t.cacheLookup(k, e)
+			return t.hit(e, now, frameLen)
 		}
 	}
+	t.cacheLookup(k, nil)
 	return nil
+}
+
+func (t *Table) hit(e *Entry, now time.Time, frameLen int) *Entry {
+	t.matched++
+	e.Packets++
+	e.Bytes += uint64(frameLen)
+	e.LastMatched = now
+	return e
 }
 
 // Peek is Lookup without counter updates (used by the cache-resident-rules
@@ -223,12 +349,16 @@ func (t *Table) Expire(now time.Time) []Removed {
 		}
 	}
 	t.entries = keep
+	if len(removed) > 0 {
+		t.invalidateMicro()
+	}
 	return removed
 }
 
 // Clear removes every rule.
 func (t *Table) Clear() {
 	t.entries = nil
+	t.invalidateMicro()
 }
 
 func (t *Table) sortEntries() {

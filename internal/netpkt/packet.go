@@ -67,8 +67,38 @@ func (p *Packet) Key() FlowKey {
 	}
 }
 
-// WireLen returns the on-the-wire frame length in bytes.
-func (p *Packet) WireLen() int { return len(p.Marshal()) }
+// WireLen returns the on-the-wire frame length in bytes, computed
+// arithmetically — it never materialises the frame. It always equals
+// len(p.Marshal()).
+func (p *Packet) WireLen() int {
+	n := ethHeaderLen
+	if p.HasVLAN {
+		n = ethVLANHeaderLen
+	}
+	switch p.EthType {
+	case EtherTypeARP:
+		return n + arpLen
+	case EtherTypeIPv4:
+		return n + ipv4HeaderLen + p.l4Len()
+	default:
+		return n + p.PayloadLen
+	}
+}
+
+// l4Len returns the encoded length of the L4 header plus payload for an
+// IPv4 packet.
+func (p *Packet) l4Len() int {
+	switch p.NwProto {
+	case ProtoTCP:
+		return tcpHeaderLen + p.PayloadLen
+	case ProtoUDP:
+		return udpHeaderLen + p.PayloadLen
+	case ProtoICMP:
+		return icmpHeaderLen + p.PayloadLen
+	default:
+		return p.PayloadLen
+	}
+}
 
 // IsIP reports whether p carries IPv4.
 func (p *Packet) IsIP() bool { return p.EthType == EtherTypeIPv4 }
@@ -117,8 +147,18 @@ func (p *Packet) String() string {
 	return b.String()
 }
 
-// Marshal encodes p as a full wire-format frame.
+// Marshal encodes p as a full wire-format frame in a single exact-size
+// allocation. Hot paths that can bound the frame's lifetime should prefer
+// MarshalAppend with a reused (or pooled, see GetFrame) buffer.
 func (p *Packet) Marshal() []byte {
+	return p.MarshalAppend(make([]byte, 0, p.WireLen()))
+}
+
+// MarshalAppend appends the wire-format frame to b and returns the
+// extended slice, allocating only if b lacks capacity. The caller owns
+// the returned slice; p retains no reference to it, so the buffer may be
+// reused for the next packet once the frame is consumed.
+func (p *Packet) MarshalAppend(b []byte) []byte {
 	eth := Ethernet{
 		Dst:       p.EthDst,
 		Src:       p.EthSrc,
@@ -127,7 +167,7 @@ func (p *Packet) Marshal() []byte {
 		VLANID:    p.VLANID,
 		VLANPCP:   p.VLANPCP,
 	}
-	b := eth.Encode(make([]byte, 0, 64+p.PayloadLen))
+	b = eth.Encode(b)
 	switch p.EthType {
 	case EtherTypeARP:
 		arp := ARP{
@@ -142,30 +182,42 @@ func (p *Packet) Marshal() []byte {
 		}
 		b = arp.Encode(b)
 	case EtherTypeIPv4:
-		payload := make([]byte, p.PayloadLen)
-		var l4 []byte
+		h := IPv4Header{TOS: p.NwTOS, Protocol: p.NwProto, Src: p.NwSrc, Dst: p.NwDst}
+		b = h.Encode(b, p.l4Len())
 		switch p.NwProto {
 		case ProtoTCP:
 			t := TCPHeader{SrcPort: p.TpSrc, DstPort: p.TpDst, Flags: p.TCPFlags}
-			l4 = t.Encode(nil)
-			l4 = append(l4, payload...)
+			b = t.Encode(b)
+			b = appendZeros(b, p.PayloadLen)
 		case ProtoUDP:
 			u := UDPHeader{SrcPort: p.TpSrc, DstPort: p.TpDst}
-			l4 = u.Encode(nil, len(payload))
-			l4 = append(l4, payload...)
+			b = u.Encode(b, p.PayloadLen)
+			b = appendZeros(b, p.PayloadLen)
 		case ProtoICMP:
+			// A zero payload contributes nothing to the RFC 1071 sum, so
+			// encoding the header alone yields the same checksum bytes.
 			ic := ICMPHeader{Type: uint8(p.TpSrc), Code: uint8(p.TpDst)}
-			l4 = ic.Encode(nil, payload)
+			b = ic.Encode(b, nil)
+			b = appendZeros(b, p.PayloadLen)
 		default:
-			l4 = payload
+			b = appendZeros(b, p.PayloadLen)
 		}
-		h := IPv4Header{TOS: p.NwTOS, Protocol: p.NwProto, Src: p.NwSrc, Dst: p.NwDst}
-		b = h.Encode(b, len(l4))
-		b = append(b, l4...)
 	default:
-		b = append(b, make([]byte, p.PayloadLen)...)
+		b = appendZeros(b, p.PayloadLen)
 	}
 	return b
+}
+
+// zeroPad backs appendZeros; the simulator carries payload lengths, not
+// payload bytes, so marshalled payloads are always zero-filled.
+var zeroPad [512]byte
+
+func appendZeros(b []byte, n int) []byte {
+	for n > len(zeroPad) {
+		b = append(b, zeroPad[:]...)
+		n -= len(zeroPad)
+	}
+	return append(b, zeroPad[:n]...)
 }
 
 // Parse decodes a wire-format frame into the flattened view. Unknown upper

@@ -1,0 +1,39 @@
+package netpkt
+
+import "sync"
+
+// FrameBuf is a reusable marshal scratch buffer handed out by GetFrame.
+// Holding the buffer inside a pooled box (rather than passing bare slices
+// through the pool) keeps Get/Release themselves allocation-free.
+type FrameBuf struct {
+	B []byte
+}
+
+// frameCap is the initial scratch capacity: larger than any headers-only
+// frame and most payload-carrying simulator frames.
+const frameCap = 2048
+
+// maxPooledCap bounds what Release returns to the pool, so one jumbo
+// frame does not pin a large buffer forever.
+const maxPooledCap = 1 << 16
+
+var framePool = sync.Pool{New: func() any { return &FrameBuf{B: make([]byte, 0, frameCap)} }}
+
+// GetFrame returns a scratch buffer with zero length for MarshalAppend.
+// The frame built in it must not outlive the Release call: callers may
+// only use the pool when the consumer (a socket write, a length
+// computation) finishes with the bytes before returning. Frames that
+// escape into retained messages must use Marshal instead.
+func GetFrame() *FrameBuf {
+	f := framePool.Get().(*FrameBuf)
+	f.B = f.B[:0]
+	return f
+}
+
+// Release returns the buffer to the pool for reuse.
+func (f *FrameBuf) Release() {
+	if cap(f.B) > maxPooledCap {
+		return
+	}
+	framePool.Put(f)
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the only protocol version this implementation speaks.
@@ -100,17 +101,52 @@ type Framed struct {
 
 // Encode serialises a framed message.
 func Encode(xid uint32, m Message) []byte {
-	body := m.encodeBody(make([]byte, 0, 64))
-	out := make([]byte, 0, headerLen+len(body))
-	out = append(out, Version, byte(m.MsgType()))
-	out = binary.BigEndian.AppendUint16(out, uint16(headerLen+len(body)))
-	out = binary.BigEndian.AppendUint32(out, xid)
-	return append(out, body...)
+	return AppendFrame(make([]byte, 0, 64), xid, m)
 }
 
-// WriteMessage frames and writes m to w.
+// AppendFrame appends the framed wire form of m to b: the header is
+// written up front with a zero length, the body encodes directly behind
+// it, and the length field is patched afterwards. Header and body share
+// one buffer, so steady-state encoding through a reused buffer does not
+// allocate.
+func AppendFrame(b []byte, xid uint32, m Message) []byte {
+	start := len(b)
+	b = append(b, Version, byte(m.MsgType()), 0, 0)
+	b = binary.BigEndian.AppendUint32(b, xid)
+	b = m.encodeBody(b)
+	binary.BigEndian.PutUint16(b[start+2:start+4], uint16(len(b)-start))
+	return b
+}
+
+// frameScratch recycles encode buffers for WriteMessage and FrameLen,
+// whose frames never outlive the call.
+var frameScratch = sync.Pool{
+	New: func() any { return &frameBuf{b: make([]byte, 0, 256)} },
+}
+
+type frameBuf struct{ b []byte }
+
+// FrameLen reports the framed length of m without retaining the frame.
+// Use it where only the on-wire size matters (e.g. packet_in byte
+// accounting) instead of paying Encode's allocation.
+func FrameLen(m Message) int {
+	fb := frameScratch.Get().(*frameBuf)
+	n := len(AppendFrame(fb.b[:0], 0, m))
+	fb.b = fb.b[:0]
+	frameScratch.Put(fb)
+	return n
+}
+
+// WriteMessage frames and writes m to w. The frame is built in pooled
+// scratch; w must not retain the slice passed to Write (net.Conn and
+// bytes.Buffer both copy).
 func WriteMessage(w io.Writer, xid uint32, m Message) error {
-	if _, err := w.Write(Encode(xid, m)); err != nil {
+	fb := frameScratch.Get().(*frameBuf)
+	fb.b = AppendFrame(fb.b[:0], xid, m)
+	_, err := w.Write(fb.b)
+	fb.b = fb.b[:0]
+	frameScratch.Put(fb)
+	if err != nil {
 		return fmt.Errorf("openflow: write %v: %w", m.MsgType(), err)
 	}
 	return nil

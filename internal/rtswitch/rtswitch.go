@@ -6,9 +6,7 @@
 package rtswitch
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -113,9 +111,9 @@ func (s *Switch) readLoop(conn net.Conn) {
 	for {
 		f, err := openflow.ReadMessage(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				return
-			}
+			// EOF / closed-connection is the controller hanging up;
+			// anything else is a framing error. Either way the session is
+			// over and the loop exits.
 			return
 		}
 		s.handle(f)
@@ -209,9 +207,11 @@ func (s *Switch) handle(f openflow.Framed) {
 // Inject delivers a packet into the switch on inPort; safe from any
 // goroutine.
 func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
-	frame := pkt.Marshal()
+	// The hit path never materialises the frame: byte accounting only
+	// needs the computed wire length.
+	frameLen := pkt.WireLen()
 	s.mu.Lock()
-	entry := s.table.Lookup(&pkt, inPort, time.Now(), len(frame))
+	entry := s.table.Lookup(&pkt, inPort, time.Now(), frameLen)
 	if entry != nil {
 		actions := entry.Actions
 		s.forwarded++
@@ -219,10 +219,15 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 		s.apply(pkt, inPort, actions)
 		return
 	}
-	// Miss.
+	// Miss: only now marshal, into pooled scratch. WriteMessage copies
+	// the packet_in body before returning, so the frame can be released
+	// right after send.
+	fb := netpkt.GetFrame()
+	fb.B = pkt.MarshalAppend(fb.B)
+	frame := fb.B
 	s.misses++
 	pi := openflow.PacketIn{
-		TotalLen: uint16(len(frame)),
+		TotalLen: uint16(frameLen),
 		InPort:   inPort,
 		Reason:   openflow.ReasonNoMatch,
 	}
@@ -242,6 +247,7 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 	s.packetIns++
 	s.mu.Unlock()
 	s.send(pi)
+	fb.Release()
 }
 
 // apply rewrites the packet and delivers it to the resolved ports.

@@ -48,6 +48,10 @@ type Stats struct {
 	DroppedNoRule uint64
 	PacketIns     uint64
 	AmplifiedIns  uint64
+	// MicroflowHits/Misses expose the flow table's exact-match cache:
+	// hits skip the priority-ordered rule scan entirely.
+	MicroflowHits   uint64
+	MicroflowMisses uint64
 }
 
 // Switch is one simulated OpenFlow switch.
@@ -210,6 +214,9 @@ func (s *Switch) Stats() Stats {
 	st.BufferSlots = s.profile.BufferSlots
 	st.TableRules = s.table.Len()
 	st.TableCapacity = s.profile.TableCapacity
+	ts := s.table.Stats()
+	st.MicroflowHits = ts.MicroflowHits
+	st.MicroflowMisses = ts.MicroflowMisses
 	return st
 }
 
@@ -318,8 +325,7 @@ func (s *Switch) sendToController(m openflow.Message) {
 	}
 	s.nextXID++
 	xid := s.nextXID
-	frame := openflow.Encode(xid, m)
-	s.ctlUp.Send(len(frame), func() {
+	s.ctlUp.Send(openflow.FrameLen(m), func() {
 		s.ctl.FromSwitch(s, openflow.Framed{XID: xid, Msg: m})
 	})
 }
@@ -327,8 +333,7 @@ func (s *Switch) sendToController(m openflow.Message) {
 // FromController delivers a controller→switch message through the
 // control channel model.
 func (s *Switch) FromController(f openflow.Framed) {
-	frame := openflow.Encode(f.XID, f.Msg)
-	s.ctlDown.Send(len(frame), func() {
+	s.ctlDown.Send(openflow.FrameLen(f.Msg), func() {
 		s.handleControl(f)
 	})
 }
@@ -454,27 +459,8 @@ func (s *Switch) deliver(p *port, pkt netpkt.Packet, frameLen int, extraDelay ti
 
 // estimateFrameLen sizes a packet on the wire without materialising it.
 func estimateFrameLen(p *netpkt.Packet) int {
-	n := 14
-	if p.HasVLAN {
-		n += 4
+	if n := p.WireLen(); n >= 60 {
+		return n
 	}
-	switch p.EthType {
-	case netpkt.EtherTypeARP:
-		n += 28
-	case netpkt.EtherTypeIPv4:
-		n += 20
-		switch p.NwProto {
-		case netpkt.ProtoTCP:
-			n += 20
-		case netpkt.ProtoUDP, netpkt.ProtoICMP:
-			n += 8
-		}
-		n += p.PayloadLen
-	default:
-		n += p.PayloadLen
-	}
-	if n < 60 {
-		n = 60 // minimum Ethernet frame
-	}
-	return n
+	return 60 // minimum Ethernet frame
 }
