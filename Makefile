@@ -1,6 +1,9 @@
 GO ?= go
+# Per-target budget for the coverage-guided fuzz smoke (raise locally for
+# a real hunt: make fuzz FUZZTIME=10m).
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all check
+.PHONY: all build test race vet bench bench-all check fuzz ci
 
 all: build test
 
@@ -31,3 +34,14 @@ bench-all:
 	$(GO) test -bench=. -benchtime=100x -benchmem -run=^$$ ./...
 
 check: build vet test race
+
+# The three wire-facing decoders, each under coverage-guided fuzzing for
+# FUZZTIME. Any crasher is written to the package's testdata/fuzz/ and
+# replays as a plain test case from then on.
+fuzz:
+	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME)
+
+# Everything CI runs, in CI's order.
+ci: build vet test race fuzz

@@ -7,7 +7,8 @@
 //
 //	fgsim <experiment> [flags]
 //
-// Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4, all
+// Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4,
+// compare, chaos, all
 package main
 
 import (
@@ -23,14 +24,16 @@ var asCSV bool
 func main() {
 	trials := flag.Int("trials", 5, "probe flows for tab4")
 	iters := flag.Int("iters", 50, "derivation repetitions for fig13")
-	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare)")
+	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
+	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
+	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *trials, *iters); err != nil {
+	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsim:", err)
 		os.Exit(1)
 	}
@@ -48,13 +51,14 @@ experiments:
   tab3            state-sensitive variables per application
   tab4            average first-packet delay (OpenFlow vs FloodGuard)
   compare         FloodGuard vs AvantGuard vs no defense, per flood protocol
+  chaos           seeded sideband flaps mid-Defense: degraded drops and recovery
   all             run everything in paper order
 
 flags:`)
 	flag.PrintDefaults()
 }
 
-func run(name string, trials, iters int) error {
+func run(name string, trials, iters int, seed int64, flaps int) error {
 	switch name {
 	case "sec2-baseline":
 		return sec2()
@@ -72,6 +76,8 @@ func run(name string, trials, iters int) error {
 		return tab4(trials)
 	case "compare":
 		return compare()
+	case "chaos":
+		return chaos(seed, flaps)
 	case "all":
 		for _, fn := range []func() error{
 			sec2, fig10, fig11, fig12,
@@ -79,6 +85,7 @@ func run(name string, trials, iters int) error {
 			tab3,
 			func() error { return tab4(trials) },
 			compare,
+			func() error { return chaos(seed, flaps) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -176,6 +183,18 @@ func tab4(trials int) error {
 	r, err := experiments.RunTab4(trials)
 	if err != nil {
 		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func chaos(seed int64, flaps int) error {
+	r, err := experiments.RunChaos(seed, flaps)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
 	}
 	r.Print(os.Stdout)
 	return nil

@@ -15,8 +15,10 @@ package cachebox
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"floodguard/internal/dpcache"
@@ -29,6 +31,14 @@ import (
 type Config struct {
 	// AgentAddr is the migration agent's dpcproto listener.
 	AgentAddr string
+	// DialAgent overrides the default TCP dial of AgentAddr; tests
+	// inject fault-wrapped or in-memory transports here.
+	DialAgent dpcproto.DialFunc
+	// AgentRedial tunes the self-healing agent channel. The zero value
+	// picks DefaultBackoff and the unbuffered writer — the right trade
+	// for the replay hop, where every record is accounted (requeued on
+	// failure) and a coalescing buffer would widen the loss window.
+	AgentRedial dpcproto.RedialOptions
 	// IngestAddr is where switch shims deliver migrated frames
 	// (host:port; port 0 picks an ephemeral one).
 	IngestAddr string
@@ -46,8 +56,7 @@ type Box struct {
 	cache  *dpcache.Cache
 
 	mu        sync.Mutex
-	agentConn net.Conn
-	agentW    *dpcproto.Writer
+	agent     *dpcproto.Redial
 	ingestLn  net.Listener
 	closed    bool
 	wg        sync.WaitGroup
@@ -69,27 +78,33 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 	}
 	b.cache = dpcache.New(eng, cfg.Cache, boxSink{b})
 
-	agentConn, err := net.DialTimeout("tcp", cfg.AgentAddr, 5*time.Second)
-	if err != nil {
+	dial := cfg.DialAgent
+	if dial == nil {
+		addr := cfg.AgentAddr
+		dial = func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	// The agent channel self-heals: a dropped sideband triggers capped
+	// exponential backoff redial in the background while writes fail
+	// fast (the failed packet is requeued into the cache, see boxSink)
+	// and the rate-directive reader blocks until the channel is back.
+	b.agent = dpcproto.NewRedial(dial, cfg.AgentRedial)
+	if err := b.agent.Connect(); err != nil {
 		return nil, nil, fmt.Errorf("cachebox: dial agent: %w", err)
 	}
 	ln, err := net.Listen("tcp", cfg.IngestAddr)
 	if err != nil {
-		agentConn.Close()
+		_ = b.agent.Close()
 		return nil, nil, fmt.Errorf("cachebox: listen ingest: %w", err)
 	}
-	b.agentConn = agentConn
-	// Replay records toward the agent are coalesced: under attack load
-	// many scheduler emissions share one syscall; when idle the
-	// auto-flush delay bounds added latency.
-	b.agentW = dpcproto.NewBufferedWriter(agentConn, 0, dpcproto.DefaultFlushDelay)
 	b.ingestLn = ln
 
 	b.runner.Start()
 	b.runner.Do(func() { b.cache.Start() })
 
 	b.wg.Add(2)
-	go b.agentLoop(agentConn)
+	go b.agentLoop()
 	go b.acceptLoop(ln)
 
 	b.statsTick = time.NewTicker(cfg.StatsInterval)
@@ -108,16 +123,22 @@ func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queu
 	// so pooled scratch is safe here.
 	fb := netpkt.GetFrame()
 	fb.B = pkt.MarshalAppend(fb.B)
-	_ = s.b.agentW.WriteReplay(origin, inPort, fb.B)
+	err := s.b.agent.WriteReplay(origin, inPort, fb.B)
 	fb.Release()
+	if err != nil {
+		// Sideband down mid-replay: the packet goes back to the front of
+		// its queue (CacheEmit runs on the runner goroutine, so this is
+		// in-discipline) and will be replayed once the channel heals.
+		s.b.cache.Requeue(origin, inPort, pkt, queued)
+	}
 }
 
-// agentLoop consumes the agent's rate directives.
-func (b *Box) agentLoop(conn net.Conn) {
+// agentLoop consumes the agent's rate directives; Redial.Read blocks
+// across reconnects and only fails once the box closes the channel.
+func (b *Box) agentLoop() {
 	defer b.wg.Done()
-	r := dpcproto.NewReader(conn, 0)
 	for {
-		rec, err := r.Read()
+		rec, err := b.agent.Read()
 		if err != nil {
 			return
 		}
@@ -174,7 +195,7 @@ func (b *Box) statsLoop() {
 		case <-b.statsTick.C:
 			var st dpcache.Stats
 			b.runner.Do(func() { st = b.cache.Stats() })
-			_ = b.agentW.Write(dpcproto.Stats{
+			_ = b.agent.Write(dpcproto.Stats{
 				Backlog:  uint32(st.Backlog),
 				Enqueued: st.Enqueued,
 				Emitted:  st.Emitted,
@@ -191,6 +212,10 @@ func (b *Box) Stats() dpcache.Stats {
 	return st
 }
 
+// AgentChannel exposes the self-healing sideband to the agent for
+// diagnostics (Connected, Redials, Failures).
+func (b *Box) AgentChannel() *dpcproto.Redial { return b.agent }
+
 // Close shuts everything down and waits for the loops.
 func (b *Box) Close() {
 	b.mu.Lock()
@@ -204,11 +229,9 @@ func (b *Box) Close() {
 	if b.ingestLn != nil {
 		_ = b.ingestLn.Close()
 	}
-	if b.agentW != nil {
-		_ = b.agentW.Flush() // drain coalesced replays before hangup
-	}
-	if b.agentConn != nil {
-		_ = b.agentConn.Close()
+	if b.agent != nil {
+		_ = b.agent.Flush() // drain any coalesced replays before hangup
+		_ = b.agent.Close() // also unblocks agentLoop's Read
 	}
 	b.mu.Unlock()
 	b.wg.Wait()
@@ -218,72 +241,103 @@ func (b *Box) Close() {
 
 // Shim is the switch-side forwarder: attach its Deliver method as the
 // cache port's peer (e.g. an rtswitch PortFunc) and migrated frames flow
-// to the box over TCP, stamped with the switch's datapath id.
+// to the box over TCP, stamped with the switch's datapath id. The
+// channel self-heals; frames offered while it is down are counted and
+// dropped (the data plane cannot wait — that is the cache's job).
 type Shim struct {
-	dpid uint64
-
-	mu   sync.Mutex
-	conn net.Conn
-	w    *dpcproto.Writer
+	dpid    uint64
+	ch      *dpcproto.Redial
+	dropped atomic.Uint64
 }
 
 // NewShim dials the box's ingest listener on behalf of one datapath.
 func NewShim(boxAddr string, dpid uint64) (*Shim, error) {
-	conn, err := net.DialTimeout("tcp", boxAddr, 5*time.Second)
-	if err != nil {
+	dial := func() (io.ReadWriteCloser, error) {
+		return net.DialTimeout("tcp", boxAddr, 5*time.Second)
+	}
+	// Buffered: migrated frames coalesce into batched writes during
+	// attack bursts; the bounded loss window on disconnect is acceptable
+	// for this best-effort hop and surfaces in Dropped.
+	ch := dpcproto.NewRedial(dial, dpcproto.RedialOptions{
+		BufferSize: 32 << 10,
+		FlushDelay: dpcproto.DefaultFlushDelay,
+	})
+	if err := ch.Connect(); err != nil {
 		return nil, fmt.Errorf("cachebox: shim dial: %w", err)
 	}
-	return &Shim{
-		dpid: dpid,
-		conn: conn,
-		w:    dpcproto.NewBufferedWriter(conn, 0, dpcproto.DefaultFlushDelay),
-	}, nil
+	return &Shim{dpid: dpid, ch: ch}, nil
 }
 
 // Deliver forwards one migrated frame; it matches the rtswitch PortFunc
 // signature. Marshalling uses pooled scratch (the Writer copies the
 // frame before returning) and records coalesce into batched writes
-// during attack bursts.
+// during attack bursts. A write against a down channel fails fast and
+// counts a drop; the background redial heals the channel.
 func (s *Shim) Deliver(pkt netpkt.Packet) {
-	s.mu.Lock()
-	w := s.w
-	s.mu.Unlock()
-	if w == nil {
-		return
-	}
 	fb := netpkt.GetFrame()
 	fb.B = pkt.MarshalAppend(fb.B)
-	_ = w.WriteReplay(s.dpid, 0, fb.B)
+	err := s.ch.WriteReplay(s.dpid, 0, fb.B)
 	fb.Release()
+	if err != nil {
+		s.dropped.Add(1)
+	}
 }
+
+// Dropped returns how many frames were lost to a down channel.
+func (s *Shim) Dropped() uint64 { return s.dropped.Load() }
+
+// Channel exposes the shim's self-healing transport for diagnostics.
+func (s *Shim) Channel() *dpcproto.Redial { return s.ch }
 
 // Close tears the shim's connection down.
 func (s *Shim) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.conn != nil {
-		_ = s.w.Flush()
-		_ = s.conn.Close()
-		s.conn = nil
-		s.w = nil
-	}
+	_ = s.ch.Flush()
+	_ = s.ch.Close()
 }
 
 // AgentListener is the controller-side endpoint a Box dials: it receives
-// replayed packets and can steer the box's rate.
+// replayed packets and can steer the box's rate. Install callbacks with
+// SetHooks.
 type AgentListener struct {
 	ln net.Listener
-
-	// OnReplay is invoked for every replayed packet (from the box's
-	// connection-serving goroutine).
-	OnReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet)
-	// OnStats is invoked for every health report.
-	OnStats func(s dpcproto.Stats)
 
 	mu     sync.Mutex
 	conn   net.Conn
 	wg     sync.WaitGroup
 	closed bool
+
+	onReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet)
+	onStats  func(s dpcproto.Stats)
+	onHealth func(connected bool)
+}
+
+// SetHooks installs the endpoint's callbacks (any may be nil); safe to
+// call while a box is connected.
+//
+//   - onReplay sees every replayed packet (from the connection-serving
+//     goroutine);
+//   - onStats sees every cache health report;
+//   - onHealth observes box connectivity: true when a box connection is
+//     established, false when the live one is lost (a connection the
+//     accept loop already replaced does not fire false). Wire it —
+//     marshalled onto the engine/runner goroutine — to
+//     Guard.SetCacheReachable so the FSM degrades and heals with the
+//     sideband.
+func (a *AgentListener) SetHooks(
+	onReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet),
+	onStats func(s dpcproto.Stats),
+	onHealth func(connected bool),
+) {
+	a.mu.Lock()
+	a.onReplay, a.onStats, a.onHealth = onReplay, onStats, onHealth
+	a.mu.Unlock()
+}
+
+// hooks snapshots the callbacks under the lock.
+func (a *AgentListener) hooks() (func(uint64, uint16, netpkt.Packet), func(dpcproto.Stats), func(bool)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.onReplay, a.onStats, a.onHealth
 }
 
 // ListenAgent binds the agent endpoint.
@@ -311,6 +365,9 @@ func (a *AgentListener) accept() {
 		}
 		a.conn = conn
 		a.mu.Unlock()
+		if _, _, onHealth := a.hooks(); onHealth != nil {
+			onHealth(true)
+		}
 		a.wg.Add(1)
 		go a.serve(conn)
 	}
@@ -318,23 +375,39 @@ func (a *AgentListener) accept() {
 
 func (a *AgentListener) serve(conn net.Conn) {
 	defer a.wg.Done()
+	defer func() {
+		// Report loss only for the live connection: a session the accept
+		// loop already replaced (box redialled) or a listener shutdown
+		// must not masquerade as a sideband failure.
+		a.mu.Lock()
+		wasCurrent := a.conn == conn && !a.closed
+		if a.conn == conn {
+			a.conn = nil
+		}
+		onHealth := a.onHealth
+		a.mu.Unlock()
+		if wasCurrent && onHealth != nil {
+			onHealth(false)
+		}
+	}()
 	r := dpcproto.NewReader(conn, 0)
 	for {
 		rec, err := r.Read()
 		if err != nil {
 			return
 		}
+		onReplay, onStats, _ := a.hooks()
 		switch r := rec.(type) {
 		case dpcproto.Replay:
-			if a.OnReplay != nil {
+			if onReplay != nil {
 				pkt, err := netpkt.Parse(r.Frame)
 				if err == nil {
-					a.OnReplay(r.DPID, r.InPort, pkt)
+					onReplay(r.DPID, r.InPort, pkt)
 				}
 			}
 		case dpcproto.Stats:
-			if a.OnStats != nil {
-				a.OnStats(r)
+			if onStats != nil {
+				onStats(r)
 			}
 		}
 	}

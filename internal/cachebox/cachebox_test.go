@@ -67,8 +67,7 @@ func startPair(t *testing.T, cacheCfg dpcache.Config) (*agentCollector, *AgentLi
 	if err != nil {
 		t.Fatal(err)
 	}
-	agent.OnReplay = col.onReplay
-	agent.OnStats = col.onStats
+	agent.SetHooks(col.onReplay, col.onStats, nil)
 	t.Cleanup(agent.Close)
 
 	box, ingestAddr, err := Start(Config{

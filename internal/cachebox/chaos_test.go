@@ -1,0 +1,227 @@
+package cachebox
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"floodguard/internal/dpcache"
+	"floodguard/internal/dpcproto"
+	"floodguard/internal/faultinject"
+	"floodguard/internal/netpkt"
+)
+
+// fastBackoff keeps chaos tests quick without changing semantics.
+func fastBackoff() dpcproto.Backoff {
+	return dpcproto.Backoff{Min: 2 * time.Millisecond, Max: 20 * time.Millisecond, Factor: 2, Jitter: 0.2}
+}
+
+// taggedPacket is taggedFrame before marshalling.
+func taggedPacket(inPort uint16, tpDst uint16) netpkt.Packet {
+	return netpkt.Packet{
+		EthSrc:  netpkt.MustMAC("00:00:00:00:00:01"),
+		EthDst:  netpkt.MustMAC("00:00:00:00:00:02"),
+		EthType: netpkt.EtherTypeIPv4,
+		NwSrc:   netpkt.MustIPv4("10.0.0.1"),
+		NwDst:   netpkt.MustIPv4("10.0.0.2"),
+		NwProto: netpkt.ProtoUDP,
+		NwTOS:   dpcache.EncodeInPortTOS(inPort),
+		TpDst:   tpDst,
+	}
+}
+
+// TestBoxReplaysAcrossAgentFlaps is the queue-preservation chaos test:
+// the box's sideband to the agent disconnects every N writes (seeded
+// fault injection), and yet every ingested packet must eventually reach
+// the agent — failed replays are requeued, the channel redials with
+// backoff, and nothing is lost beyond the (here: never triggered)
+// drop-oldest policy.
+func TestBoxReplaysAcrossAgentFlaps(t *testing.T) {
+	col := &agentCollector{}
+	agent, agentAddr, err := ListenAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthMu sync.Mutex
+	var health []bool
+	agent.SetHooks(col.onReplay, nil, func(up bool) {
+		healthMu.Lock()
+		health = append(health, up)
+		healthMu.Unlock()
+	})
+	t.Cleanup(agent.Close)
+
+	// Every 10th write on the box→agent channel kills the connection.
+	// Redial dials again instantly after a loss, and a replacement that
+	// lands before the agent reads EOF correctly reads as "never down" —
+	// so re-dials here take 25ms, long past loopback EOF latency, making
+	// every flap observable at the agent as a false/true health pair.
+	inj := faultinject.New(faultinject.Config{Seed: 7, DisconnectEvery: 10})
+	var dials atomic.Int64
+	dial := func() (io.ReadWriteCloser, error) {
+		if dials.Add(1) > 1 {
+			time.Sleep(25 * time.Millisecond)
+		}
+		c, err := net.DialTimeout("tcp", agentAddr.String(), time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return faultinject.WrapConn(c, inj), nil
+	}
+
+	box, ingestAddr, err := Start(Config{
+		DialAgent:   dial,
+		AgentRedial: dpcproto.RedialOptions{Backoff: fastBackoff()},
+		IngestAddr:    "127.0.0.1:0",
+		Cache:         dpcache.Config{QueueCapacity: 1024, InitialRatePPS: 500},
+		StatsInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(box.Close)
+
+	shim, err := net.Dial("tcp", ingestAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shim.Close()
+	const frames = 60
+	for i := uint16(0); i < frames; i++ {
+		if err := dpcproto.Write(shim, dpcproto.Replay{
+			DPID: 0x42, InPort: 0, Frame: taggedFrame(3, 1000+i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitFor(t, func() bool { return col.replayCount() == frames }, "all replays despite sideband flaps")
+
+	if box.AgentChannel().Redials() == 0 {
+		t.Error("channel never redialled despite injected disconnects")
+	}
+	st := box.Stats()
+	if st.Requeued == 0 {
+		t.Error("no requeues despite failed replays")
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (capacity never reached)", st.Dropped)
+	}
+	if st.Emitted+st.Dropped != st.Enqueued {
+		t.Errorf("conservation broken: emitted %d + dropped %d != enqueued %d",
+			st.Emitted, st.Dropped, st.Enqueued)
+	}
+	if st.Enqueued != frames {
+		t.Errorf("Enqueued = %d, want %d", st.Enqueued, frames)
+	}
+
+	// The health hook saw the flaps: an initial up, at least one down,
+	// and a recovery.
+	healthMu.Lock()
+	defer healthMu.Unlock()
+	if len(health) < 3 || !health[0] {
+		t.Fatalf("health events = %v, want initial true plus flaps", health)
+	}
+	var downs, ups int
+	for _, h := range health {
+		if h {
+			ups++
+		} else {
+			downs++
+		}
+	}
+	if downs == 0 || ups < 2 {
+		t.Errorf("health events = %v, want >=1 down and >=2 ups", health)
+	}
+}
+
+// TestShimCountsDropsWhileDown: the switch-side shim is best-effort —
+// frames offered while its channel is down fail fast, are counted, and
+// are shed (waiting is the cache's job, not the data plane's).
+func TestShimCountsDropsWhileDown(t *testing.T) {
+	col, _, _, ingestAddr := startPair(t, dpcache.Config{QueueCapacity: 128, InitialRatePPS: 500})
+
+	shim, err := NewShim(ingestAddr.String(), 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shim.Close)
+
+	pkt := taggedPacket(3, 2000)
+	shim.Deliver(pkt)
+	_ = shim.Channel().Flush()
+	waitFor(t, func() bool { return col.replayCount() >= 1 }, "first frame through the shim")
+
+	// With the channel closed for good, Deliver must neither block nor
+	// error out of the PortFunc signature — it counts a drop and returns.
+	shim.Channel().Close()
+	shim.Deliver(pkt)
+	if shim.Dropped() == 0 {
+		t.Error("Deliver on a dead channel did not count a drop")
+	}
+}
+
+// TestShimRedialsAfterBoxSideHangup: the box hanging up on the shim
+// (e.g. a box restart) must not permanently silence it — subsequent
+// deliveries redial in the background and frames flow again.
+func TestShimRedialsAfterBoxSideHangup(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A bare ingest endpoint we control: each accepted connection reads
+	// at most one record, then hangs up; the listener keeps accepting,
+	// so every recovered frame costs the shim one redial.
+	var mu sync.Mutex
+	var got int
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				r := dpcproto.NewReader(conn, 0)
+				if _, err := r.Read(); err != nil {
+					return
+				}
+				mu.Lock()
+				got++
+				mu.Unlock()
+			}()
+		}
+	}()
+
+	shim, err := NewShim(ln.Addr().String(), 0x7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shim.Close)
+	pkt := taggedPacket(1, 3000)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		shim.Deliver(pkt)
+		_ = shim.Channel().Flush()
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n >= 3 {
+			break // at least two post-hangup recoveries
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shim never recovered after hangups; frames through = %d, dropped = %d, redials = %d",
+				n, shim.Dropped(), shim.Channel().Redials())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if shim.Channel().Redials() == 0 {
+		t.Error("no redials recorded despite per-record hangups")
+	}
+}

@@ -28,7 +28,7 @@ func TestRealTimeMigrationPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agent.OnReplay = col.onReplay
+	agent.SetHooks(col.onReplay, nil, nil)
 	defer agent.Close()
 
 	box, ingestAddr, err := Start(Config{

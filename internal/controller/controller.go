@@ -165,11 +165,23 @@ func (c *Controller) AddMessageListener(fn func(dp Datapath, f openflow.Framed))
 	c.listeners = append(c.listeners, fn)
 }
 
-// Connect registers a datapath session.
+// Connect registers a datapath session. A reconnecting datapath (same
+// DPID, new transport) simply replaces its old session: applications and
+// FloodGuard keep addressing the DPID and transparently reach the new
+// channel.
 func (c *Controller) Connect(dp Datapath) {
 	c.datapaths[dp.DPID()] = dp
 	dp.Send(openflow.Framed{XID: c.xid(), Msg: openflow.Hello{}})
 	dp.Send(openflow.Framed{XID: c.xid(), Msg: openflow.FeaturesRequest{}})
+}
+
+// Disconnect removes a datapath session. The identity check makes the
+// call safe against the reconnect race: tearing down a dead session must
+// not evict the fresh one that already took its DPID.
+func (c *Controller) Disconnect(dp Datapath) {
+	if cur, ok := c.datapaths[dp.DPID()]; ok && cur == dp {
+		delete(c.datapaths, dp.DPID())
+	}
 }
 
 // Datapaths returns the connected datapaths keyed by DPID.

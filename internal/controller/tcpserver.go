@@ -1,15 +1,20 @@
 package controller
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
 )
+
+// DefaultWriteTimeout bounds a controller→switch write: a peer that
+// stops draining its socket for this long is declared dead and evicted
+// rather than allowed to wedge the session's writer.
+const DefaultWriteTimeout = 5 * time.Second
 
 // TCPServer serves the controller over real TCP connections speaking the
 // OpenFlow 1.0 wire protocol — the deployment shape of a production
@@ -25,9 +30,17 @@ type TCPServer struct {
 	wg       sync.WaitGroup
 	closed   bool
 
+	// WriteTimeout bounds each controller→switch write (zero picks
+	// DefaultWriteTimeout; negative disables the deadline).
+	WriteTimeout time.Duration
+
 	// OnConnect, when set, is invoked (on the runner goroutine) after a
 	// datapath completes its feature handshake.
 	OnConnect func(dp Datapath)
+	// OnDisconnect, when set, is invoked (on the runner goroutine) after
+	// a datapath session ends — peer hangup, write failure, or server
+	// shutdown — and has been removed from the controller.
+	OnDisconnect func(dpid uint64)
 }
 
 // NewTCPServer wraps a controller and its real-time runner.
@@ -68,8 +81,15 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 
 // tcpSession is one connected datapath.
 type tcpSession struct {
-	dpid uint64
-	conn net.Conn
+	dpid         uint64
+	conn         net.Conn
+	writeTimeout time.Duration
+
+	// dead is set on the first write failure: the peer is gone (or
+	// blackholed past the write deadline) and further frames are
+	// pointless. Closing the conn makes the read loop exit, which runs
+	// the eviction path exactly once.
+	dead atomic.Bool
 
 	writeMu sync.Mutex
 	xid     uint32
@@ -80,8 +100,15 @@ var _ Datapath = (*tcpSession)(nil)
 // DPID implements Datapath.
 func (t *tcpSession) DPID() uint64 { return t.dpid }
 
-// Send implements Datapath; safe from any goroutine.
+// Send implements Datapath; safe from any goroutine. A write error —
+// including a blown write deadline from a peer that stopped reading —
+// marks the session dead and closes the connection, so the serve loop
+// evicts it and notifies the controller instead of frames silently
+// vanishing into a dead socket.
 func (t *tcpSession) Send(f openflow.Framed) {
+	if t.dead.Load() {
+		return
+	}
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	xid := f.XID
@@ -89,9 +116,14 @@ func (t *tcpSession) Send(f openflow.Framed) {
 		t.xid++
 		xid = t.xid
 	}
-	// Write errors surface as a read-side disconnect; a production
-	// controller would log them.
-	_ = openflow.WriteMessage(t.conn, xid, f.Msg)
+	if t.writeTimeout > 0 {
+		_ = t.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+	}
+	if err := openflow.WriteMessage(t.conn, xid, f.Msg); err != nil {
+		if !t.dead.Swap(true) {
+			_ = t.conn.Close()
+		}
+	}
 }
 
 func (s *TCPServer) serveConn(conn net.Conn) {
@@ -107,6 +139,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		return
 	}
+	// A re-handshaking switch (its old channel died, it dialled back in)
+	// replaces its stale session; closing the old conn makes the stale
+	// serve goroutine run its eviction path, whose identity check keeps
+	// it from deleting this fresh session.
+	if old, ok := s.sessions[sess.dpid]; ok {
+		old.dead.Store(true)
+		_ = old.conn.Close()
+	}
 	s.sessions[sess.dpid] = sess
 	s.mu.Unlock()
 
@@ -118,16 +158,24 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	})
 	defer func() {
 		s.mu.Lock()
-		delete(s.sessions, sess.dpid)
+		evicted := s.sessions[sess.dpid] == sess
+		if evicted {
+			delete(s.sessions, sess.dpid)
+		}
 		s.mu.Unlock()
+		s.runner.Do(func() {
+			s.ctrl.Disconnect(sess)
+			if evicted && s.OnDisconnect != nil {
+				s.OnDisconnect(sess.dpid)
+			}
+		})
 	}()
 
 	for {
 		f, err := openflow.ReadMessage(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				return
-			}
+			// EOF, a closed conn (write-side eviction or replacement), or
+			// a framing error: the session is over either way.
 			return
 		}
 		s.runner.Do(func() { s.ctrl.HandleMessage(sess, f) })
@@ -156,7 +204,11 @@ func (s *TCPServer) handshake(conn net.Conn) (*tcpSession, error) {
 			return nil, err
 		}
 		if fr, ok := f.Msg.(openflow.FeaturesReply); ok {
-			return &tcpSession{dpid: fr.DatapathID, conn: conn, xid: 100}, nil
+			wt := s.WriteTimeout
+			if wt == 0 {
+				wt = DefaultWriteTimeout
+			}
+			return &tcpSession{dpid: fr.DatapathID, conn: conn, writeTimeout: wt, xid: 100}, nil
 		}
 		// Tolerate echo/other session chatter during the handshake.
 		if er, ok := f.Msg.(openflow.EchoRequest); ok {
@@ -165,6 +217,14 @@ func (s *TCPServer) handshake(conn net.Conn) (*tcpSession, error) {
 			}
 		}
 	}
+}
+
+// Session returns the live session for a datapath id, if any.
+func (s *TCPServer) Session(dpid uint64) (Datapath, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[dpid]
+	return sess, ok
 }
 
 // Sessions returns the connected datapath ids.

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -175,6 +176,152 @@ func TestTCPServerOnConnectHook(t *testing.T) {
 	runner.Do(func() { seen = gotDPID })
 	if seen != 0xabc {
 		t.Errorf("OnConnect dpid = %#x", seen)
+	}
+}
+
+// TestSendEvictsStalledReader is the dead-peer regression test: a switch
+// that handshakes and then stops draining its socket must not wedge the
+// controller — once the kernel buffers fill, the write deadline trips,
+// the session is evicted, and the disconnect callback fires.
+func TestSendEvictsStalledReader(t *testing.T) {
+	srv, addr, runner := startServer(t)
+	srv.WriteTimeout = 200 * time.Millisecond
+
+	var mu sync.Mutex
+	var gone []uint64
+	srv.OnDisconnect = func(dpid uint64) {
+		mu.Lock()
+		gone = append(gone, dpid)
+		mu.Unlock()
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	handshakeAs(t, conn, 0x9)
+	waitSessions(t, srv, 1)
+	dp, ok := srv.Session(0x9)
+	if !ok {
+		t.Fatal("no session")
+	}
+
+	// The client now reads nothing. Spam large frames until the socket
+	// buffers fill and the write deadline declares the peer dead.
+	payload := make([]byte, 32<<10)
+	deadline := time.Now().Add(15 * time.Second)
+	for len(srv.Sessions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled peer never evicted")
+		}
+		dp.Send(openflow.Framed{Msg: openflow.EchoRequest{Data: payload}})
+	}
+
+	// The eviction must reach the controller and the callback, once.
+	waitFor := time.Now().Add(5 * time.Second)
+	for time.Now().Before(waitFor) {
+		mu.Lock()
+		n := len(gone)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gone) != 1 || gone[0] != 0x9 {
+		t.Fatalf("OnDisconnect calls = %v, want exactly [0x9]", gone)
+	}
+	var inCtrl bool
+	runner.Do(func() { _, inCtrl = srv.ctrl.Datapath(0x9) })
+	if inCtrl {
+		t.Error("controller still lists the evicted datapath")
+	}
+	// Further Sends on the dead session are harmless no-ops.
+	dp.Send(openflow.Framed{Msg: openflow.Hello{}})
+}
+
+// TestSendToClosedPeerEvicts covers the half-closed/hung-up peer: after
+// the client disappears, Send must observe the write error and the
+// session must vanish from both server and controller.
+func TestSendToClosedPeerEvicts(t *testing.T) {
+	srv, addr, runner := startServer(t)
+	srv.WriteTimeout = 500 * time.Millisecond
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handshakeAs(t, conn, 0x4)
+	waitSessions(t, srv, 1)
+	dp, _ := srv.Session(0x4)
+	conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(srv.Sessions()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("closed peer never evicted")
+		}
+		dp.Send(openflow.Framed{Msg: openflow.EchoRequest{Data: []byte("ping")}})
+		time.Sleep(time.Millisecond)
+	}
+	var inCtrl bool
+	runner.Do(func() { _, inCtrl = srv.ctrl.Datapath(0x4) })
+	if inCtrl {
+		t.Error("controller still lists the closed datapath")
+	}
+}
+
+// TestReconnectReplacesStaleSession: a switch whose old channel is still
+// nominally open re-handshakes on a new connection; the fresh session
+// must take over the DPID and the stale one must die without evicting it.
+func TestReconnectReplacesStaleSession(t *testing.T) {
+	srv, addr, runner := startServer(t)
+	conn1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn1.Close()
+	handshakeAs(t, conn1, 0x8)
+	waitSessions(t, srv, 1)
+	old, _ := srv.Session(0x8)
+
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	handshakeAs(t, conn2, 0x8)
+
+	// The replacement closes conn1; its pending read surfaces the hangup.
+	_ = conn1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn1.Read(buf); err != nil {
+			break
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sess, ok := srv.Session(0x8); ok && sess != old {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fresh session never took over the DPID")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := len(srv.Sessions()); n != 1 {
+		t.Fatalf("sessions = %d, want 1", n)
+	}
+	// The controller must address the new transport, not the corpse.
+	var cur Datapath
+	runner.Do(func() { cur, _ = srv.ctrl.Datapath(0x8) })
+	fresh, _ := srv.Session(0x8)
+	if cur != fresh {
+		t.Error("controller datapath is not the fresh session")
 	}
 }
 

@@ -147,6 +147,13 @@ type Config struct {
 	DisableINPORTTag bool
 	// StatsPollInterval is how often the agent polls switch utilization.
 	StatsPollInterval time.Duration
+	// DegradedMaxPPS bounds direct packet_in dispatch while the guard is
+	// in the degraded fallback (cache unreachable): table-miss packets
+	// flow straight to the controller again, and everything beyond this
+	// budget per detection window is dropped at the platform layer. Zero
+	// falls back to RateLimit.MaxPPS — the same ceiling the cache replay
+	// path honours, so degradation never admits more load than Defense.
+	DegradedMaxPPS float64
 }
 
 // DefaultConfig returns the paper-faithful configuration.

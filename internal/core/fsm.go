@@ -26,6 +26,12 @@ const (
 	// StateFinish: attack over; migration stopped; the cache drains its
 	// remaining packets.
 	StateFinish
+	// StateDegraded: Defense with the data plane cache unreachable — the
+	// sideband to the cache box is down, so migration is withdrawn and
+	// the guard falls back to direct rate-limited packet_in handling
+	// (the paper's pre-migration behavior) until the channel heals.
+	// This state extends Figure 3 for channel-failure tolerance.
+	StateDegraded
 )
 
 // String names the state.
@@ -39,6 +45,8 @@ func (s FSMState) String() string {
 		return "defense"
 	case StateFinish:
 		return "finish"
+	case StateDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -63,8 +71,11 @@ func newFSM() *fsm { return &fsm{state: StateIdle} }
 var legalTransitions = map[FSMState][]FSMState{
 	StateIdle:    {StateInit},
 	StateInit:    {StateDefense},
-	StateDefense: {StateFinish},
+	StateDefense: {StateFinish, StateDegraded},
 	StateFinish:  {StateIdle, StateInit},
+	// Degraded heals back into Defense when the sideband recovers, or
+	// winds down through Finish when the attack ends first.
+	StateDegraded: {StateDefense, StateFinish},
 }
 
 // to transitions the machine, panicking on illegal edges (a programming

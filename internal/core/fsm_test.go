@@ -57,10 +57,54 @@ func TestFSMRejectsIllegalTransitions(t *testing.T) {
 	}
 }
 
+// TestFSMTransitionMatrix enumerates every ordered state pair and pins
+// the full Figure-3 relation (including the degraded extension): the
+// five legal-edge sets below ARE the machine, so any edit to
+// legalTransitions must show up here.
+func TestFSMTransitionMatrix(t *testing.T) {
+	all := []FSMState{StateIdle, StateInit, StateDefense, StateFinish, StateDegraded}
+	legal := map[FSMState]map[FSMState]bool{
+		StateIdle:     {StateInit: true},
+		StateInit:     {StateDefense: true},
+		StateDefense:  {StateFinish: true, StateDegraded: true},
+		StateFinish:   {StateIdle: true, StateInit: true},
+		StateDegraded: {StateDefense: true, StateFinish: true},
+	}
+	// paths drives the machine from its initial state into each row state.
+	paths := map[FSMState][]FSMState{
+		StateIdle:     nil,
+		StateInit:     {StateInit},
+		StateDefense:  {StateInit, StateDefense},
+		StateFinish:   {StateInit, StateDefense, StateFinish},
+		StateDegraded: {StateInit, StateDefense, StateDegraded},
+	}
+	for _, from := range all {
+		for _, to := range all {
+			f := newFSM()
+			for _, s := range paths[from] {
+				if err := f.to(s, t0, "setup"); err != nil {
+					t.Fatalf("setup path to %v: %v", from, err)
+				}
+			}
+			err := f.to(to, t0, "probe")
+			if legal[from][to] && err != nil {
+				t.Errorf("%v -> %v rejected: %v", from, to, err)
+			}
+			if !legal[from][to] && err == nil {
+				t.Errorf("%v -> %v allowed", from, to)
+			}
+			if !legal[from][to] && f.State() != from {
+				t.Errorf("rejected transition moved state to %v", f.State())
+			}
+		}
+	}
+}
+
 func TestFSMStateStrings(t *testing.T) {
 	names := map[FSMState]string{
 		StateIdle: "idle", StateInit: "init",
 		StateDefense: "defense", StateFinish: "finish",
+		StateDegraded: "degraded",
 	}
 	for s, want := range names {
 		if got := s.String(); got != want {

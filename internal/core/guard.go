@@ -56,9 +56,21 @@ type Guard struct {
 	statsTicker  *netsim.Ticker
 	drainTicker  *netsim.Ticker
 
+	// Degradation state: sideband health as reported through
+	// SetCacheReachable, and the direct-dispatch budget consumed in the
+	// current detection window while degraded.
+	cacheReachable  bool
+	degradedAllowed int
+
 	// Counters.
 	DetectedAttacks uint64
 	Replayed        uint64
+	// DegradedEntries counts Defense→Degraded transitions.
+	DegradedEntries uint64
+	// DegradedDrops counts packet_ins shed by the degraded direct rate
+	// limiter (beyond-budget table-miss traffic while the cache is
+	// unreachable).
+	DegradedDrops uint64
 	// LastReplayDelay is the cache residence time of the most recently
 	// replayed packet (Table IV's data plane cache column).
 	LastReplayDelay time.Duration
@@ -75,13 +87,14 @@ func NewGuard(eng *netsim.Engine, ctrl *controller.Controller, cfg Config) (*Gua
 		return nil, err
 	}
 	g := &Guard{
-		cfg:      cfg,
-		eng:      eng,
-		ctrl:     ctrl,
-		fsm:      newFSM(),
-		analyzer: an,
-		switches: make(map[uint64]*protectedSwitch),
-		rateEWMA: netsim.NewEWMA(cfg.Detection.RateEWMAAlpha),
+		cfg:            cfg,
+		eng:            eng,
+		ctrl:           ctrl,
+		fsm:            newFSM(),
+		analyzer:       an,
+		switches:       make(map[uint64]*protectedSwitch),
+		rateEWMA:       netsim.NewEWMA(cfg.Detection.RateEWMAAlpha),
+		cacheReachable: true,
 	}
 	// Shared default cache (paper §IV.E: "ideally, we only need to deploy
 	// one data plane cache to serve all switches").
@@ -178,10 +191,21 @@ func (g *Guard) Stop() {
 
 // packetInHook observes every packet_in before app dispatch (detection
 // signal). Replayed packets are excluded from the rate: they are under
-// the agent's own control.
+// the agent's own control. While degraded, the hook is also the direct
+// rate limiter: with the cache unreachable, table-miss traffic reaches
+// the controller unmigrated again, and everything beyond the per-window
+// budget is shed here so the serial executor keeps its headroom.
 func (g *Guard) packetInHook(ev *controller.PacketInEvent) bool {
-	if !g.replaying {
-		g.pktInsSample++
+	if g.replaying {
+		return true
+	}
+	g.pktInsSample++
+	if g.fsm.State() == StateDegraded {
+		if float64(g.degradedAllowed) >= g.degradedWindowBudget() {
+			g.DegradedDrops++
+			return false
+		}
+		g.degradedAllowed++
 	}
 	return true
 }
@@ -302,6 +326,7 @@ func (g *Guard) detect() {
 	perSec := float64(time.Second) / float64(d.SampleInterval)
 	rate := g.rateEWMA.Observe(float64(g.pktInsSample) * perSec)
 	g.pktInsSample = 0
+	g.degradedAllowed = 0 // fresh direct-dispatch budget each window
 
 	// Migration rate: what the caches are absorbing (attack-ongoing
 	// signal while in Defense, when the controller no longer sees the
@@ -329,6 +354,14 @@ func (g *Guard) detect() {
 	case StateDefense:
 		ongoing := score >= 1 || g.migrationRate >= d.RateThresholdPPS
 		if ongoing {
+			g.lastOver = now
+		} else if now.Sub(g.lastOver) >= d.QuietPeriod {
+			g.onAttackOver()
+		}
+	case StateDegraded:
+		// Migration is withdrawn, so the controller sees the flood
+		// directly again: the score alone decides whether it is over.
+		if score >= 1 {
 			g.lastOver = now
 		} else if now.Sub(g.lastOver) >= d.QuietPeriod {
 			g.onAttackOver()
@@ -363,12 +396,16 @@ func (g *Guard) onAttackDetected() {
 	}
 
 	// 1. Migrate: per-ingress-port wildcard rules to the cache port.
-	for _, ps := range g.switches {
-		g.installMigration(ps)
-	}
 	// 2. Cache replay begins at the floor rate.
-	for _, c := range g.caches {
-		c.SetRate(g.cfg.RateLimit.MinPPS)
+	// Both need the sideband; with it down, Defense is entered degraded
+	// and the direct fallback limiter carries the load until it heals.
+	if g.cacheReachable {
+		for _, ps := range g.switches {
+			g.installMigration(ps)
+		}
+		for _, c := range g.caches {
+			c.SetRate(g.cfg.RateLimit.MinPPS)
+		}
 	}
 	g.rateTicker = g.eng.NewTicker(g.cfg.RateLimit.AdjustInterval, g.adjustRate)
 
@@ -383,6 +420,9 @@ func (g *Guard) onAttackDetected() {
 		if g.fsm.State() == StateInit {
 			_ = g.fsm.to(StateDefense, g.eng.Now(), "proactive flow rules installed")
 			g.trackTicker = g.eng.NewTicker(g.cfg.Analyzer.TrackInterval, g.track)
+			if !g.cacheReachable {
+				g.degrade()
+			}
 		}
 	})
 }
@@ -441,8 +481,10 @@ func (g *Guard) removeMigration(ps *protectedSwitch) {
 
 // track is the application tracker: it re-derives and re-installs
 // proactive rules when global state drifts, per the §IV.D strategy.
+// Degraded keeps the tracker live: proactive rules sit in switch TCAM,
+// not behind the sideband, and they matter more when migration is off.
 func (g *Guard) track() {
-	if g.fsm.State() != StateDefense {
+	if st := g.fsm.State(); st != StateDefense && st != StateDegraded {
 		return
 	}
 	if !g.analyzer.NeedsUpdate() {
@@ -456,6 +498,9 @@ func (g *Guard) track() {
 // cache's packet_in rate while the controller has headroom and backs off
 // when backlog builds.
 func (g *Guard) adjustRate() {
+	if !g.cacheReachable {
+		return // replay rides the sideband; nothing to steer while it is down
+	}
 	rl := g.cfg.RateLimit
 	backlog := g.ctrl.Backlog()
 	for _, c := range g.caches {
@@ -495,6 +540,9 @@ func (g *Guard) onAttackOver() {
 func (g *Guard) checkDrained() {
 	if g.fsm.State() != StateFinish {
 		return
+	}
+	if !g.cacheReachable {
+		return // queued packets cannot replay until the sideband heals
 	}
 	for _, c := range g.caches {
 		if !c.Drained() {

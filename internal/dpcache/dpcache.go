@@ -110,6 +110,21 @@ func (f *fifo) push(e entry) {
 	f.n++
 }
 
+// pushFront returns an entry to the head of the queue (a failed
+// delivery being put back). A full queue refuses it: the returned
+// packet is by construction the oldest in the queue, so dropping it is
+// exactly the drop-oldest overflow policy.
+func (f *fifo) pushFront(e entry) bool {
+	if f.n == len(f.buf) {
+		f.dropped++
+		return false
+	}
+	f.head = (f.head - 1 + len(f.buf)) % len(f.buf)
+	f.buf[f.head] = e
+	f.n++
+	return true
+}
+
 func (f *fifo) pop() (entry, bool) {
 	if f.n == 0 {
 		return entry{}, false
@@ -165,6 +180,11 @@ type Stats struct {
 	// PriorityServed counts packets served from the cache-resident rule
 	// fast path (§IV.E option).
 	PriorityServed uint64
+	// Requeued counts failed deliveries returned to their queue (the
+	// sideband dropped mid-replay); each also rolls Emitted back, so the
+	// conservation equation Enqueued == Emitted + Dropped + Backlog
+	// survives delivery failures.
+	Requeued uint64
 }
 
 // Cache is one data plane cache instance. It attaches to a switch port
@@ -187,6 +207,7 @@ type Cache struct {
 	enqueued uint64
 	emitted  uint64
 	prioSrvd uint64
+	requeued uint64
 }
 
 // New creates a cache on the engine; Start arms the scheduler.
@@ -269,6 +290,27 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 	c.queues[Classify(&pkt)].push(e)
 }
 
+// Requeue returns a packet whose delivery failed (the sideband to the
+// agent went down mid-replay) to the front of its queue, preserving
+// FIFO order and its accumulated residence time. The matching CacheEmit
+// is rolled back from Emitted, so no packet is counted delivered that
+// the agent never saw. A full queue drops it instead — the requeued
+// packet is the oldest, so this is the standard drop-oldest policy.
+func (c *Cache) Requeue(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
+	c.emitted--
+	c.requeued++
+	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now().Add(-queued)}
+	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
+		c.priority.pushFront(e)
+		return
+	}
+	if c.cfg.SingleQueue {
+		c.queues[QueueDefault].pushFront(e)
+		return
+	}
+	c.queues[Classify(&pkt)].pushFront(e)
+}
+
 // Adapter returns a PortPeer view of the cache bound to one origin
 // datapath; attach it to that switch's cache port.
 func (c *Cache) Adapter(origin uint64) *Adapter { return &Adapter{c: c, origin: origin} }
@@ -328,6 +370,7 @@ func (c *Cache) Stats() Stats {
 		Emitted:        c.emitted,
 		Backlog:        c.Backlog(),
 		PriorityServed: c.prioSrvd,
+		Requeued:       c.requeued,
 	}
 	for i, q := range c.queues {
 		s.PerQueue[i] = q.len()

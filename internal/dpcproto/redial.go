@@ -1,0 +1,389 @@
+package dpcproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with jitter, the retry policy
+// for every reconnecting dpcproto channel. The nth retry (0-based) waits
+// Min·Factor^n, capped at Max, then stretched by a uniform random factor
+// in [1-Jitter, 1+Jitter] so a fleet of reconnecting shims does not
+// thunder in lockstep.
+type Backoff struct {
+	Min    time.Duration
+	Max    time.Duration
+	Factor float64
+	Jitter float64
+}
+
+// DefaultBackoff returns the sideband's standard policy: 20ms doubling
+// to a 2s cap with ±20% jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Min: 20 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.2}
+}
+
+// Delay computes the wait before retry attempt (0-based), drawing jitter
+// from rng (nil uses the global source).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	if b.Min <= 0 {
+		b.Min = 20 * time.Millisecond
+	}
+	if b.Max < b.Min {
+		b.Max = b.Min
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	d := float64(b.Min)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		f := rand.Float64
+		if rng != nil {
+			f = rng.Float64
+		}
+		d *= 1 - b.Jitter + 2*b.Jitter*f()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// DialFunc opens one sideband connection. Implementations typically wrap
+// net.DialTimeout; chaos tests wrap the result in a faultinject.Conn.
+type DialFunc func() (io.ReadWriteCloser, error)
+
+// ErrClosed is returned by operations on a Redial after Close.
+var ErrClosed = errors.New("dpcproto: redial channel closed")
+
+// ErrReconnecting is returned by writes while the channel is down and
+// the background redial loop is still working; the caller owns the
+// retry/requeue policy for the failed record (the cache box requeues the
+// packet, the switch shim counts a drop).
+var ErrReconnecting = errors.New("dpcproto: reconnecting")
+
+// RedialOptions tunes a Redial.
+type RedialOptions struct {
+	// Backoff is the reconnect policy (zero value → DefaultBackoff).
+	Backoff Backoff
+	// WriteTimeout, when > 0 and the connection implements
+	// SetWriteDeadline, bounds every record write so a blackholed peer
+	// surfaces as an error instead of a wedged writer.
+	WriteTimeout time.Duration
+	// BufferSize > 0 frames records through a coalescing buffered Writer
+	// (batched syscalls, a bounded loss window on disconnect);
+	// 0 selects the unbuffered Writer: one syscall per record and no
+	// buffered bytes to lose, the right trade for the rate-limited
+	// replay hop where delivery is accounted per record.
+	BufferSize int
+	// FlushDelay is the buffered Writer's auto-flush delay
+	// (0 → DefaultFlushDelay; ignored when BufferSize == 0).
+	FlushDelay time.Duration
+	// Seed fixes the jitter RNG for reproducible chaos runs.
+	Seed int64
+	// OnStateChange, when set, observes connectivity transitions
+	// (true = connected). Called from Redial's internal goroutines;
+	// implementations must not call back into the Redial synchronously.
+	OnStateChange func(connected bool)
+}
+
+// Redial is a self-healing dpcproto channel: a connection produced by a
+// dial callback, re-established with capped exponential backoff when it
+// fails. Writes are fail-fast — a write against a down channel returns
+// ErrReconnecting immediately rather than blocking the caller's packet
+// path — while Read blocks until the channel heals, which suits the
+// one-reader-goroutine-per-connection structure of the agent and box
+// loops. All methods are safe for concurrent use.
+type Redial struct {
+	dial DialFunc
+	opts RedialOptions
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conn    io.ReadWriteCloser
+	w       *Writer
+	r       *Reader
+	gen     uint64 // bumped on every successful (re)connect
+	dialing bool
+	closed  bool
+	rng     *rand.Rand
+
+	redials   uint64 // successful reconnects after the initial Connect
+	failures  uint64 // write/read errors that invalidated a connection
+	connected bool
+}
+
+// NewRedial wraps dial. Call Connect for a synchronous first dial, or
+// let the first Read/Write trigger the background loop.
+func NewRedial(dial DialFunc, opts RedialOptions) *Redial {
+	if opts.Backoff == (Backoff{}) {
+		opts.Backoff = DefaultBackoff()
+	}
+	c := &Redial{dial: dial, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Connect dials synchronously once; on failure the channel stays down
+// (no background retry starts until an operation wants it). Use it at
+// startup where "the agent is unreachable" should fail fast.
+func (c *Redial) Connect() error {
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.installLocked(conn)
+	c.mu.Unlock()
+	c.notify(true)
+	return nil
+}
+
+// installLocked adopts conn as the live session; caller holds c.mu.
+func (c *Redial) installLocked(conn io.ReadWriteCloser) {
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn = conn
+	if c.opts.BufferSize > 0 {
+		c.w = NewBufferedWriter(conn, c.opts.BufferSize, c.opts.FlushDelay)
+	} else {
+		c.w = NewWriter(conn)
+	}
+	c.r = NewReader(conn, 0)
+	c.gen++
+	c.connected = true
+	c.cond.Broadcast()
+}
+
+func (c *Redial) notify(up bool) {
+	if c.opts.OnStateChange != nil {
+		c.opts.OnStateChange(up)
+	}
+}
+
+// session returns the live writer/reader and its generation, kicking the
+// background redial loop if the channel is down. wait=true blocks until
+// connected or closed.
+func (c *Redial) session(wait bool) (uint64, *Writer, *Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return 0, nil, nil, ErrClosed
+		}
+		if c.conn != nil {
+			return c.gen, c.w, c.r, nil
+		}
+		if !c.dialing {
+			c.dialing = true
+			go c.redialLoop()
+		}
+		if !wait {
+			return 0, nil, nil, ErrReconnecting
+		}
+		c.cond.Wait()
+	}
+}
+
+// invalidate retires generation gen after an operation on it failed; a
+// newer generation (already redialled) is left alone.
+func (c *Redial) invalidate(gen uint64) {
+	c.mu.Lock()
+	if c.closed || gen != c.gen || c.conn == nil {
+		c.mu.Unlock()
+		return
+	}
+	_ = c.conn.Close()
+	c.conn, c.w, c.r = nil, nil, nil
+	c.failures++
+	wasUp := c.connected
+	c.connected = false
+	if !c.dialing {
+		c.dialing = true
+		go c.redialLoop()
+	}
+	c.mu.Unlock()
+	if wasUp {
+		c.notify(false)
+	}
+}
+
+// redialLoop re-establishes the connection with capped exponential
+// backoff until it succeeds or the channel is closed.
+func (c *Redial) redialLoop() {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed || c.conn != nil {
+			c.dialing = false
+			c.mu.Unlock()
+			return
+		}
+		delay := c.opts.Backoff.Delay(attempt, c.rng)
+		c.mu.Unlock()
+
+		if attempt > 0 {
+			time.Sleep(delay)
+		}
+		conn, err := c.dial()
+
+		c.mu.Lock()
+		if c.closed {
+			c.dialing = false
+			c.mu.Unlock()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err != nil {
+			c.mu.Unlock()
+			continue
+		}
+		c.installLocked(conn)
+		c.redials++
+		c.dialing = false
+		c.mu.Unlock()
+		c.notify(true)
+		return
+	}
+}
+
+// setWriteDeadline arms the per-record deadline when the connection
+// supports it.
+func (c *Redial) setWriteDeadline(gen uint64) {
+	if c.opts.WriteTimeout <= 0 {
+		return
+	}
+	c.mu.Lock()
+	conn := c.conn
+	ok := gen == c.gen
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	if d, has := conn.(interface{ SetWriteDeadline(time.Time) error }); has {
+		_ = d.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	}
+}
+
+// Write frames one record onto the live connection. It fails fast with
+// ErrReconnecting while the channel is down; a write error invalidates
+// the connection (triggering the background redial) and is returned to
+// the caller, which owns the record's fate.
+func (c *Redial) Write(rec Record) error {
+	gen, w, _, err := c.session(false)
+	if err != nil {
+		return err
+	}
+	c.setWriteDeadline(gen)
+	if err := w.Write(rec); err != nil {
+		c.invalidate(gen)
+		return fmt.Errorf("dpcproto: redial write: %w", err)
+	}
+	return nil
+}
+
+// WriteReplay is Write for the boxing-free replay fast path.
+func (c *Redial) WriteReplay(dpid uint64, inPort uint16, frame []byte) error {
+	gen, w, _, err := c.session(false)
+	if err != nil {
+		return err
+	}
+	c.setWriteDeadline(gen)
+	if err := w.WriteReplay(dpid, inPort, frame); err != nil {
+		c.invalidate(gen)
+		return fmt.Errorf("dpcproto: redial write: %w", err)
+	}
+	return nil
+}
+
+// Flush forces coalesced records out (no-op for unbuffered channels).
+func (c *Redial) Flush() error {
+	gen, w, _, err := c.session(false)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		c.invalidate(gen)
+		return err
+	}
+	return nil
+}
+
+// Read decodes one record, blocking across reconnects: when the
+// connection dies mid-read the error invalidates it and Read waits for
+// the redial loop to heal the channel, so a single reader goroutine
+// survives arbitrary channel churn. Read returns only when a record
+// arrives or the Redial is closed.
+func (c *Redial) Read() (Record, error) {
+	for {
+		gen, _, r, err := c.session(true)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := r.Read()
+		if err == nil {
+			return rec, nil
+		}
+		c.invalidate(gen)
+	}
+}
+
+// Connected reports whether a live connection is currently installed.
+func (c *Redial) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
+}
+
+// Redials returns how many times the channel has been re-established
+// after a failure.
+func (c *Redial) Redials() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// Failures returns how many connection invalidations have occurred.
+func (c *Redial) Failures() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
+}
+
+// Close tears the channel down; blocked Reads return ErrClosed.
+func (c *Redial) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		if c.w != nil {
+			_ = c.w.Flush()
+		}
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChaosShape pins the chaos scenario: every flap must enter the
+// degraded state, shed traffic against the 40pps direct budget, and
+// recover within the measurement cap; the run must wind down fully.
+func TestChaosShape(t *testing.T) {
+	const flaps = 3
+	r, err := RunChaos(0xF100D, flaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Flaps) != flaps || r.DegradedEntries != flaps {
+		t.Fatalf("flaps recorded %d, degraded entries %d, want %d each",
+			len(r.Flaps), r.DegradedEntries, flaps)
+	}
+	var drops uint64
+	for _, f := range r.Flaps {
+		if f.Down <= 0 {
+			t.Errorf("flap %d: non-positive down duration %v", f.Index, f.Down)
+		}
+		if f.Recovery < 0 {
+			t.Errorf("flap %d: negative recovery %v", f.Index, f.Recovery)
+		}
+		drops += f.Drops
+	}
+	if drops == 0 || r.DegradedDrops == 0 {
+		t.Error("no degraded drops despite 200pps flood vs 40pps budget")
+	}
+	if !r.Drained {
+		t.Error("scenario did not drain back to idle")
+	}
+	if r.Cache.Emitted+r.Cache.Dropped != r.Cache.Enqueued {
+		t.Errorf("cache conservation broken: emitted %d + dropped %d != enqueued %d",
+			r.Cache.Emitted, r.Cache.Dropped, r.Cache.Enqueued)
+	}
+
+	var pretty strings.Builder
+	r.Print(&pretty)
+	for _, frag := range []string{"sideband flaps", "degraded entries", "drain"} {
+		if !strings.Contains(pretty.String(), frag) {
+			t.Errorf("chaos printer missing %q:\n%s", frag, pretty.String())
+		}
+	}
+	var csvOut bytes.Buffer
+	if err := r.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(csvOut.String()), "\n"); lines != flaps {
+		t.Errorf("CSV rows = %d, want header + %d flaps:\n%s", lines+1, flaps, csvOut.String())
+	}
+}
+
+// TestChaosDeterminism pins seeded reproducibility of the flap schedule
+// and its measured effects.
+func TestChaosDeterminism(t *testing.T) {
+	a, err := RunChaos(42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DegradedDrops != b.DegradedDrops || a.Replayed != b.Replayed {
+		t.Errorf("identical seeds diverged: drops %d vs %d, replayed %d vs %d",
+			a.DegradedDrops, b.DegradedDrops, a.Replayed, b.Replayed)
+	}
+	for i := range a.Flaps {
+		if a.Flaps[i].Down != b.Flaps[i].Down || a.Flaps[i].Drops != b.Flaps[i].Drops {
+			t.Errorf("flap %d diverged: down %v vs %v, drops %d vs %d", i,
+				a.Flaps[i].Down, b.Flaps[i].Down, a.Flaps[i].Drops, b.Flaps[i].Drops)
+		}
+	}
+}

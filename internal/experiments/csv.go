@@ -116,3 +116,24 @@ func WriteCSVComparison(w io.Writer, cells []ComparisonCell) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// WriteCSV emits the chaos scenario: one row per sideband flap.
+func (r *ChaosResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"flap", "at_seconds", "down_seconds", "degraded_drops", "recovery_seconds"}); err != nil {
+		return err
+	}
+	for _, f := range r.Flaps {
+		if err := cw.Write([]string{
+			strconv.Itoa(f.Index),
+			strconv.FormatFloat(f.At.Seconds(), 'f', 3, 64),
+			strconv.FormatFloat(f.Down.Seconds(), 'f', 3, 64),
+			strconv.FormatUint(f.Drops, 10),
+			strconv.FormatFloat(f.Recovery.Seconds(), 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

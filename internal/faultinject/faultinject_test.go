@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"floodguard/internal/netsim"
+)
+
+func TestInjectorIsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 42, DropProb: 0.2, DelayProb: 0.1, TruncateProb: 0.1,
+		ErrorProb: 0.1, DisconnectProb: 0.05,
+	}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 10000; i++ {
+		da, db := a.Decide(64), b.Decide(64)
+		if da != db {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	for f := FaultNone; f < numFaults; f++ {
+		if a.Count(f) != b.Count(f) {
+			t.Fatalf("count(%v) diverged: %d vs %d", f, a.Count(f), b.Count(f))
+		}
+	}
+}
+
+func TestInjectorEveryNSchedulesAreExact(t *testing.T) {
+	in := New(Config{Seed: 1, DisconnectEvery: 50, DropEvery: 7})
+	for i := uint64(1); i <= 700; i++ {
+		d := in.Decide(0)
+		switch {
+		case i%50 == 0:
+			if d.Fault != FaultDisconnect {
+				t.Fatalf("op %d: fault = %v, want disconnect", i, d.Fault)
+			}
+		case i%7 == 0:
+			if d.Fault != FaultDrop {
+				t.Fatalf("op %d: fault = %v, want drop", i, d.Fault)
+			}
+		default:
+			if d.Fault != FaultNone {
+				t.Fatalf("op %d: fault = %v, want none", i, d.Fault)
+			}
+		}
+	}
+	if got := in.Count(FaultDisconnect); got != 14 {
+		t.Errorf("disconnects = %d, want 14", got)
+	}
+}
+
+func TestInjectorZeroConfigNeverFaults(t *testing.T) {
+	in := New(Config{Seed: 9})
+	for i := 0; i < 1000; i++ {
+		if d := in.Decide(100); d.Fault != FaultNone {
+			t.Fatalf("op %d faulted: %+v", i, d)
+		}
+	}
+}
+
+// rwc adapts a buffer into an io.ReadWriteCloser for Conn tests.
+type rwc struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (r *rwc) Close() error { r.closed = true; return nil }
+
+func TestConnDropSwallowsWrites(t *testing.T) {
+	under := &rwc{}
+	c := WrapConnSplit(under, New(Config{Seed: 1, DropEvery: 1}), nil)
+	n, err := c.Write([]byte("hello"))
+	if err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v; drop must fake success", n, err)
+	}
+	if under.Len() != 0 {
+		t.Fatalf("underlying saw %d bytes; drop must swallow", under.Len())
+	}
+}
+
+func TestConnTruncateWritesPrefixAndErrors(t *testing.T) {
+	// TruncateProb 1 with the first decision: find a seed whose first
+	// KeepBytes > 0 so the prefix path is exercised.
+	under := &rwc{}
+	c := WrapConnSplit(under, New(Config{Seed: 3, TruncateProb: 1}), nil)
+	payload := []byte("0123456789")
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	if n != under.Len() {
+		t.Fatalf("reported %d bytes, underlying saw %d", n, under.Len())
+	}
+	if under.Len() >= len(payload) {
+		t.Fatalf("truncate kept %d of %d bytes", under.Len(), len(payload))
+	}
+}
+
+func TestConnDisconnectClosesUnderlyingAndSticks(t *testing.T) {
+	under := &rwc{}
+	c := WrapConn(under, New(Config{Seed: 1, DisconnectEvery: 1}))
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Write err = %v, want ErrDisconnected", err)
+	}
+	if !under.closed {
+		t.Fatal("disconnect did not close the underlying channel")
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Read after disconnect = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestConnPassesThroughWhenQuiet(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	c := WrapConn(client, New(Config{Seed: 5}))
+	go func() {
+		buf := make([]byte, 5)
+		_, _ = io.ReadFull(server, buf)
+		_, _ = server.Write(buf)
+	}()
+	if _, err := c.Write([]byte("salut")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "salut" {
+		t.Fatalf("echo = %q", buf)
+	}
+	_ = c.Close()
+	_ = c.Close() // idempotent
+}
+
+func TestLinkDropsAndDelays(t *testing.T) {
+	eng := netsim.NewEngine()
+	raw := netsim.NewLink(eng, 0, time.Millisecond)
+	fl := WrapLink(eng, raw, New(Config{Seed: 1, DropEvery: 2}))
+
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		fl.Send(100, func() { delivered++ })
+	}
+	eng.RunFor(time.Second)
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5 (every 2nd dropped)", delivered)
+	}
+	if fl.Dropped() != 5 {
+		t.Fatalf("Dropped() = %d, want 5", fl.Dropped())
+	}
+	// Dropped frames still occupy the link.
+	if fl.Inner().FramesSent() != 10 {
+		t.Fatalf("FramesSent = %d, want 10", fl.Inner().FramesSent())
+	}
+}
+
+func TestLinkDelayDefersDelivery(t *testing.T) {
+	eng := netsim.NewEngine()
+	raw := netsim.NewLink(eng, 0, 0)
+	fl := WrapLink(eng, raw, New(Config{Seed: 2, DelayProb: 1, MaxDelay: 10 * time.Millisecond}))
+
+	var at time.Time
+	fl.Send(1, func() { at = eng.Now() })
+	eng.RunFor(time.Second)
+	if !at.After(netsim.Epoch) {
+		t.Fatalf("delayed frame delivered at %v, want after epoch", at)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	want := map[Fault]string{
+		FaultNone: "none", FaultDrop: "drop", FaultDelay: "delay",
+		FaultTruncate: "truncate", FaultError: "error", FaultDisconnect: "disconnect",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), s)
+		}
+	}
+}
