@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all check fuzz ci
+.PHONY: all build test race vet bench bench-all bench-telemetry cover check fuzz ci
 
 all: build test
 
@@ -32,6 +32,19 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchtime=100x -benchmem -run=^$$ ./...
+
+# The observability hot paths: telemetry primitives plus the two PR-1
+# fast-path benches the instrumentation must not regress (both have a
+# 0 allocs/op budget).
+bench-telemetry:
+	$(GO) test -bench=. -benchtime=100x -benchmem -run=^$$ ./internal/telemetry/
+	$(GO) test -bench=MicroflowHit -benchtime=100x -benchmem -run=^$$ .
+	$(GO) test -bench=WriteReplay -benchtime=100x -benchmem -run=^$$ ./internal/dpcproto/
+
+# Coverage over the whole tree; cover.out is the artifact CI uploads.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -1
 
 check: build vet test race
 

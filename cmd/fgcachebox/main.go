@@ -19,6 +19,7 @@ import (
 
 	"floodguard/internal/cachebox"
 	"floodguard/internal/dpcache"
+	"floodguard/internal/telemetry"
 )
 
 func main() {
@@ -27,15 +28,16 @@ func main() {
 	queue := flag.Int("queue", 4096, "per-protocol queue capacity (packets)")
 	rate := flag.Float64("rate", 50, "initial replay rate (packets/second)")
 	stats := flag.Duration("stats", time.Second, "health report interval")
+	metrics := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof)")
 	flag.Parse()
 
-	if err := run(*agent, *ingest, *queue, *rate, *stats); err != nil {
+	if err := run(*agent, *ingest, *queue, *rate, *stats, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "fgcachebox:", err)
 		os.Exit(1)
 	}
 }
 
-func run(agent, ingest string, queue int, rate float64, statsEvery time.Duration) error {
+func run(agent, ingest string, queue int, rate float64, statsEvery time.Duration, metricsAddr string) error {
 	box, addr, err := cachebox.Start(cachebox.Config{
 		AgentAddr:  agent,
 		IngestAddr: ingest,
@@ -51,6 +53,16 @@ func run(agent, ingest string, queue int, rate float64, statsEvery time.Duration
 	}
 	defer box.Close()
 	fmt.Printf("fgcachebox: ingesting on %v, replaying to %s\n", addr, agent)
+	if metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		box.Instrument(reg, 64)
+		ln, err := telemetry.Serve(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("fgcachebox: telemetry on http://%v/metrics\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -15,11 +15,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"floodguard/internal/experiments"
+	"floodguard/internal/telemetry"
 )
 
-var asCSV bool
+var (
+	asCSV      bool
+	windowsCSV string
+)
 
 func main() {
 	trials := flag.Int("trials", 5, "probe flows for tab4")
@@ -27,15 +34,67 @@ func main() {
 	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
 	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos)")
+	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
+	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
+	flag.StringVar(&windowsCSV, "windows-csv", "", "write the chaos run's per-window telemetry rows to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
+
+	var reg *telemetry.Registry
+	hold := false
+	if *metricsAddr != "" || *metricsCSV != "" {
+		reg = telemetry.NewRegistry()
+		experiments.SetRegistry(reg)
+	}
+	if *metricsAddr != "" {
+		ln, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fgsim: telemetry on http://%v/metrics\n", ln.Addr())
+		hold = true
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		start := time.Now()
+		stop := make(chan struct{})
+		defer func() {
+			close(stop)
+			_ = reg.DumpCSV(f, time.Since(start)) // final dump after the run
+		}()
+		go func() {
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					_ = reg.DumpCSV(f, time.Since(start))
+				}
+			}
+		}()
+	}
+
 	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsim:", err)
 		os.Exit(1)
+	}
+	if hold {
+		fmt.Fprintln(os.Stderr, "fgsim: run complete; telemetry endpoint still live (Ctrl-C to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 
@@ -192,6 +251,16 @@ func chaos(seed int64, flaps int) error {
 	r, err := experiments.RunChaos(seed, flaps)
 	if err != nil {
 		return err
+	}
+	if windowsCSV != "" {
+		f, err := os.Create(windowsCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteCSVWindows(f, r.Windows); err != nil {
+			return err
+		}
 	}
 	if asCSV {
 		return r.WriteCSV(os.Stdout)

@@ -55,8 +55,8 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	if !ok {
 		t.Fatalf("idle not restored; state = %v", guard.State())
 	}
-	if guard.DetectedAttacks != 1 {
-		t.Errorf("DetectedAttacks = %d", guard.DetectedAttacks)
+	if guard.DetectedAttacks() != 1 {
+		t.Errorf("DetectedAttacks = %d", guard.DetectedAttacks())
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/switchsim"
+	"floodguard/internal/telemetry"
 )
 
 // synTimeout reclaims half-open entries for spoofed sources.
@@ -50,7 +51,14 @@ type Proxy struct {
 
 	pending  map[pendingKey]*netsim.Event
 	capacity int
-	stats    Stats
+
+	// Counters are atomics and the half-open occupancy is mirrored into a
+	// gauge, so Stats() is safe from any goroutine while the engine runs.
+	synsIntercepted telemetry.Counter
+	completed       telemetry.Counter
+	staleExpired    telemetry.Counter
+	nonTCPPassed    telemetry.Counter
+	halfOpen        telemetry.Gauge
 }
 
 // New wraps a switch with connection migration. capacity bounds the
@@ -64,11 +72,31 @@ func New(eng *netsim.Engine, sw *switchsim.Switch, capacity int) *Proxy {
 	}
 }
 
-// Stats returns a snapshot.
-func (p *Proxy) Stats() Stats { return p.stats }
+// Stats returns a snapshot. Safe to call from any goroutine.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		SYNsIntercepted: p.synsIntercepted.Value(),
+		Completed:       p.completed.Value(),
+		StaleExpired:    p.staleExpired.Value(),
+		NonTCPPassed:    p.nonTCPPassed.Value(),
+	}
+}
 
 // HalfOpen returns the current half-open table occupancy.
-func (p *Proxy) HalfOpen() int { return len(p.pending) }
+func (p *Proxy) HalfOpen() int { return int(p.halfOpen.Value()) }
+
+// Instrument attaches the proxy's counters to reg under the given metric
+// name prefix (e.g. "fg_avantguard").
+func (p *Proxy) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_syns_intercepted_total", "TCP SYNs absorbed by the connection-migration proxy.", &p.synsIntercepted)
+	reg.RegisterCounter(prefix+"_completed_total", "Handshakes finished and exposed upstream.", &p.completed)
+	reg.RegisterCounter(prefix+"_stale_expired_total", "Half-open entries reclaimed by timeout.", &p.staleExpired)
+	reg.RegisterCounter(prefix+"_non_tcp_passed_total", "Table-miss packets the proxy cannot help with.", &p.nonTCPPassed)
+	reg.RegisterGauge(prefix+"_half_open", "Half-open connection table occupancy.", &p.halfOpen)
+}
 
 // Inject is the data plane entry point, replacing direct calls to the
 // switch's Inject for ingress traffic.
@@ -77,7 +105,7 @@ func (p *Proxy) Inject(pkt netpkt.Packet, inPort uint16) {
 		// Not TCP: connection migration cannot help. The packet takes
 		// the ordinary path (and, if it misses, floods the controller).
 		if p.sw.Table().Peek(&pkt, inPort) == nil {
-			p.stats.NonTCPPassed++
+			p.nonTCPPassed.Inc()
 		}
 		p.sw.Inject(pkt, inPort)
 		return
@@ -92,7 +120,7 @@ func (p *Proxy) Inject(pkt netpkt.Packet, inPort uint16) {
 	case pkt.TCPFlags&netpkt.TCPSyn != 0 && pkt.TCPFlags&netpkt.TCPAck == 0:
 		// SYN to an unknown flow: answer with a stateless SYN-ACK
 		// cookie; the real switch datapath and controller never see it.
-		p.stats.SYNsIntercepted++
+		p.synsIntercepted.Inc()
 		if len(p.pending) >= p.capacity {
 			// Half-open table full: drop (the proxy's own saturation
 			// bound; cookies keep this cheap in real hardware).
@@ -100,12 +128,14 @@ func (p *Proxy) Inject(pkt netpkt.Packet, inPort uint16) {
 		}
 		ev := p.eng.Schedule(synTimeout, func() {
 			delete(p.pending, key)
-			p.stats.StaleExpired++
+			p.halfOpen.Set(int64(len(p.pending)))
+			p.staleExpired.Inc()
 		})
 		if old, ok := p.pending[key]; ok {
 			old.Cancel()
 		}
 		p.pending[key] = ev
+		p.halfOpen.Set(int64(len(p.pending)))
 		// The SYN-ACK back to the client is data-plane local; we do not
 		// model its bytes (the client is either real, and will ACK, or
 		// spoofed, and the SYN-ACK vanishes).
@@ -115,7 +145,8 @@ func (p *Proxy) Inject(pkt netpkt.Packet, inPort uint16) {
 			// the classic reactive pipeline.
 			ev.Cancel()
 			delete(p.pending, key)
-			p.stats.Completed++
+			p.halfOpen.Set(int64(len(p.pending)))
+			p.completed.Inc()
 			syn := pkt
 			syn.TCPFlags = netpkt.TCPSyn
 			p.sw.Inject(syn, inPort) // replayed SYN reaches the controller

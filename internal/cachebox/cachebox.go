@@ -25,6 +25,7 @@ import (
 	"floodguard/internal/dpcproto"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
+	"floodguard/internal/telemetry"
 )
 
 // Config parameterises a Box.
@@ -62,6 +63,27 @@ type Box struct {
 	wg        sync.WaitGroup
 	statsTick *time.Ticker
 	statsDone chan struct{}
+
+	// trace is written on the runner goroutine (Instrument marshals the
+	// assignment) and read only by boxSink.CacheEmit, which also runs
+	// there — no lock needed.
+	trace *telemetry.Tracer
+}
+
+// Instrument attaches the box's cache queues, sideband channel, and a
+// sampled replay-stage tracer to reg. sampleEvery traces one in N
+// replays (<=0 traces every one).
+func (b *Box) Instrument(reg *telemetry.Registry, sampleEvery int) {
+	if reg == nil {
+		return
+	}
+	b.cache.Register(reg, "fg_cachebox")
+	b.agent.Register(reg, "fg_cachebox_agent")
+	tr := telemetry.NewTracer(reg, sampleEvery)
+	b.runner.Do(func() {
+		b.trace = tr
+		b.cache.SetTracer(tr)
+	})
 }
 
 // Start dials the agent, begins ingesting, and arms the scheduler. It
@@ -121,10 +143,19 @@ type boxSink struct{ b *Box }
 func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
 	// The Writer copies the frame into its batch buffer before returning,
 	// so pooled scratch is safe here.
+	traced := s.b.trace.Sample()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	fb := netpkt.GetFrame()
 	fb.B = pkt.MarshalAppend(fb.B)
 	err := s.b.agent.WriteReplay(origin, inPort, fb.B)
 	fb.Release()
+	if traced {
+		// Replay stage: scheduler dequeue to sideband write, wall clock.
+		s.b.trace.Observe(telemetry.StageReplay, time.Since(t0))
+	}
 	if err != nil {
 		// Sideband down mid-replay: the packet goes back to the front of
 		// its queue (CacheEmit runs on the runner goroutine, so this is
@@ -286,6 +317,16 @@ func (s *Shim) Deliver(pkt netpkt.Packet) {
 // Dropped returns how many frames were lost to a down channel.
 func (s *Shim) Dropped() uint64 { return s.dropped.Load() }
 
+// Instrument attaches the shim's drop counter and channel health to reg
+// under the given metric name prefix (e.g. "fg_shim").
+func (s *Shim) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_dropped_total", "Migrated frames lost to a down box channel.", s.dropped.Load)
+	s.ch.Register(reg, prefix+"_channel")
+}
+
 // Channel exposes the shim's self-healing transport for diagnostics.
 func (s *Shim) Channel() *dpcproto.Redial { return s.ch }
 
@@ -309,6 +350,21 @@ type AgentListener struct {
 	onReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet)
 	onStats  func(s dpcproto.Stats)
 	onHealth func(connected bool)
+
+	replays   telemetry.Counter
+	statsRecs telemetry.Counter
+	connected telemetry.Gauge
+}
+
+// Instrument attaches the endpoint's counters to reg under the given
+// metric name prefix (e.g. "fg_agent").
+func (a *AgentListener) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_replays_total", "Replay records received from the box.", &a.replays)
+	reg.RegisterCounter(prefix+"_stats_total", "Cache health reports received from the box.", &a.statsRecs)
+	reg.RegisterGauge(prefix+"_connected", "1 while a box connection is live.", &a.connected)
 }
 
 // SetHooks installs the endpoint's callbacks (any may be nil); safe to
@@ -365,6 +421,7 @@ func (a *AgentListener) accept() {
 		}
 		a.conn = conn
 		a.mu.Unlock()
+		a.connected.Set(1)
 		if _, _, onHealth := a.hooks(); onHealth != nil {
 			onHealth(true)
 		}
@@ -386,8 +443,11 @@ func (a *AgentListener) serve(conn net.Conn) {
 		}
 		onHealth := a.onHealth
 		a.mu.Unlock()
-		if wasCurrent && onHealth != nil {
-			onHealth(false)
+		if wasCurrent {
+			a.connected.Set(0)
+			if onHealth != nil {
+				onHealth(false)
+			}
 		}
 	}()
 	r := dpcproto.NewReader(conn, 0)
@@ -399,6 +459,7 @@ func (a *AgentListener) serve(conn net.Conn) {
 		onReplay, onStats, _ := a.hooks()
 		switch r := rec.(type) {
 		case dpcproto.Replay:
+			a.replays.Inc()
 			if onReplay != nil {
 				pkt, err := netpkt.Parse(r.Frame)
 				if err == nil {
@@ -406,6 +467,7 @@ func (a *AgentListener) serve(conn net.Conn) {
 				}
 			}
 		case dpcproto.Stats:
+			a.statsRecs.Inc()
 			if onStats != nil {
 				onStats(r)
 			}

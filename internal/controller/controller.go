@@ -17,6 +17,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // Datapath is a controller-side handle to one connected switch.
@@ -126,9 +127,17 @@ type Controller struct {
 	busyUntil time.Time
 	nextXID   uint32
 
-	packetIns   uint64
-	suppressed  uint64
-	flowModsOut uint64
+	// Counters are atomic so accessors and registry scrapes are safe
+	// from any goroutine while the engine runs.
+	packetIns    telemetry.Counter
+	suppressed   telemetry.Counter
+	flowModsOut  telemetry.Counter
+	sessions     telemetry.Gauge
+	backlogNanos telemetry.Gauge // mirrors busyUntil-now at last dispatch
+
+	// trace, when set, records sampled packet_in decision latencies into
+	// the flow_install stage histogram (nil-safe).
+	trace *telemetry.Tracer
 }
 
 // New creates a controller on the engine.
@@ -170,6 +179,9 @@ func (c *Controller) AddMessageListener(fn func(dp Datapath, f openflow.Framed))
 // FloodGuard keep addressing the DPID and transparently reach the new
 // channel.
 func (c *Controller) Connect(dp Datapath) {
+	if _, ok := c.datapaths[dp.DPID()]; !ok {
+		c.sessions.Inc()
+	}
 	c.datapaths[dp.DPID()] = dp
 	dp.Send(openflow.Framed{XID: c.xid(), Msg: openflow.Hello{}})
 	dp.Send(openflow.Framed{XID: c.xid(), Msg: openflow.FeaturesRequest{}})
@@ -181,6 +193,7 @@ func (c *Controller) Connect(dp Datapath) {
 func (c *Controller) Disconnect(dp Datapath) {
 	if cur, ok := c.datapaths[dp.DPID()]; ok && cur == dp {
 		delete(c.datapaths, dp.DPID())
+		c.sessions.Dec()
 	}
 }
 
@@ -200,13 +213,33 @@ func (c *Controller) Datapath(dpid uint64) (Datapath, bool) {
 }
 
 // PacketIns returns the number of packet_in events accepted for dispatch.
-func (c *Controller) PacketIns() uint64 { return c.packetIns }
+func (c *Controller) PacketIns() uint64 { return c.packetIns.Value() }
 
 // Suppressed returns the number of packet_ins suppressed by hooks.
-func (c *Controller) Suppressed() uint64 { return c.suppressed }
+func (c *Controller) Suppressed() uint64 { return c.suppressed.Value() }
 
 // FlowModsSent returns the number of flow_mods emitted.
-func (c *Controller) FlowModsSent() uint64 { return c.flowModsOut }
+func (c *Controller) FlowModsSent() uint64 { return c.flowModsOut.Value() }
+
+// SetTracer wires the pipeline tracer; sampled packet_in decisions
+// record their dispatch-to-enact latency into the flow_install stage
+// histogram. A nil tracer disables tracing.
+func (c *Controller) SetTracer(t *telemetry.Tracer) { c.trace = t }
+
+// Instrument attaches the platform's counters to reg under the given
+// metric name prefix (e.g. "fg_controller").
+func (c *Controller) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_packet_ins_total", "Packet_in events accepted for dispatch.", &c.packetIns)
+	reg.RegisterCounter(prefix+"_suppressed_total", "Packet_ins suppressed by platform hooks.", &c.suppressed)
+	reg.RegisterCounter(prefix+"_flow_mods_total", "Flow_mods emitted to switches.", &c.flowModsOut)
+	reg.RegisterGauge(prefix+"_sessions", "Connected datapath sessions.", &c.sessions)
+	reg.GaugeFunc(prefix+"_backlog_seconds", "Serial executor backlog at last dispatch.", func() float64 {
+		return time.Duration(c.backlogNanos.Value()).Seconds()
+	})
+}
 
 // Backlog returns how much queued compute the serial executor still owes
 // — the controller-load signal FloodGuard's detector and rate limiter
@@ -261,11 +294,11 @@ func (c *Controller) handlePacketIn(dp Datapath, pi openflow.PacketIn) {
 	ev := &PacketInEvent{Datapath: dp, Msg: pi, Packet: pkt}
 	for _, h := range c.hooks {
 		if !h(ev) {
-			c.suppressed++
+			c.suppressed.Inc()
 			return
 		}
 	}
-	c.packetIns++
+	c.packetIns.Inc()
 
 	// Serial executor: compute starts when the previous event's work is
 	// done, and the decision is enacted when this event's work is done.
@@ -299,6 +332,10 @@ func (c *Controller) handlePacketIn(dp Datapath, pi openflow.PacketIn) {
 		}
 	}
 	c.busyUntil = finish
+	c.backlogNanos.Set(int64(finish.Sub(now)))
+	if c.trace.Sample() {
+		c.trace.Observe(telemetry.StageFlowInstall, finish.Add(c.ExtraLatency).Sub(now))
+	}
 
 	c.eng.At(finish.Add(c.ExtraLatency), func() {
 		for _, w := range works {
@@ -331,7 +368,7 @@ func (c *Controller) enact(dp Datapath, pi openflow.PacketIn, app *App, d appir.
 		}
 		buffer = openflow.NoBuffer
 		app.installs++
-		c.flowModsOut++
+		c.flowModsOut.Inc()
 		dp.Send(openflow.Framed{XID: c.xid(), Msg: fm})
 	}
 	if len(d.Installs) > 0 && pi.BufferID == openflow.NoBuffer && len(d.Outputs) > 0 {

@@ -9,6 +9,7 @@ import (
 
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // DefaultWriteTimeout bounds a controller→switch write: a peer that
@@ -41,6 +42,29 @@ type TCPServer struct {
 	// a datapath session ends — peer hangup, write failure, or server
 	// shutdown — and has been removed from the controller.
 	OnDisconnect func(dpid uint64)
+
+	// evictions counts sessions killed by a write failure or blown write
+	// deadline (as opposed to peer hangups).
+	evictions telemetry.Counter
+}
+
+// Evictions returns how many sessions were evicted for write failures
+// (including blown write deadlines).
+func (s *TCPServer) Evictions() uint64 { return s.evictions.Value() }
+
+// Instrument attaches the server's counters to reg under the given
+// metric name prefix (e.g. "fg_ofserver").
+func (s *TCPServer) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_evictions_total",
+		"Sessions evicted on write failure or blown write deadline.", &s.evictions)
+	reg.GaugeFunc(prefix+"_sessions", "Live TCP datapath sessions.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
 }
 
 // NewTCPServer wraps a controller and its real-time runner.
@@ -84,6 +108,7 @@ type tcpSession struct {
 	dpid         uint64
 	conn         net.Conn
 	writeTimeout time.Duration
+	evictions    *telemetry.Counter // server-wide eviction counter
 
 	// dead is set on the first write failure: the peer is gone (or
 	// blackholed past the write deadline) and further frames are
@@ -121,6 +146,7 @@ func (t *tcpSession) Send(f openflow.Framed) {
 	}
 	if err := openflow.WriteMessage(t.conn, xid, f.Msg); err != nil {
 		if !t.dead.Swap(true) {
+			t.evictions.Inc()
 			_ = t.conn.Close()
 		}
 	}
@@ -208,7 +234,7 @@ func (s *TCPServer) handshake(conn net.Conn) (*tcpSession, error) {
 			if wt == 0 {
 				wt = DefaultWriteTimeout
 			}
-			return &tcpSession{dpid: fr.DatapathID, conn: conn, writeTimeout: wt, xid: 100}, nil
+			return &tcpSession{dpid: fr.DatapathID, conn: conn, writeTimeout: wt, xid: 100, evictions: &s.evictions}, nil
 		}
 		// Tolerate echo/other session chatter during the handshake.
 		if er, ok := f.Msg.(openflow.EchoRequest); ok {

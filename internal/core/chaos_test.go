@@ -48,10 +48,10 @@ func TestGuardChaosSoak(t *testing.T) {
 		b.eng.RunFor(up)
 	}
 
-	if got := b.guard.DegradedEntries; got != flaps {
+	if got := b.guard.DegradedEntries(); got != flaps {
 		t.Errorf("DegradedEntries = %d, want %d", got, flaps)
 	}
-	if b.guard.DegradedDrops == 0 {
+	if b.guard.DegradedDrops() == 0 {
 		t.Error("degraded limiter shed nothing despite a 200pps flood vs a 40pps budget")
 	}
 	// Every flap is two recorded edges; count them from the history.
@@ -121,7 +121,7 @@ func TestGuardChaosSoakDeterministic(t *testing.T) {
 			b.guard.SetCacheReachable(true)
 			b.eng.RunFor(100*time.Millisecond + time.Duration(rng.Intn(300))*time.Millisecond)
 		}
-		return b.guard.Transitions(), b.guard.DegradedDrops, b.guard.Replayed
+		return b.guard.Transitions(), b.guard.DegradedDrops(), b.guard.Replayed()
 	}
 	tr1, drops1, rep1 := run()
 	tr2, drops2, rep2 := run()
@@ -193,8 +193,8 @@ func TestGuardDetectsWhileCacheUnreachable(t *testing.T) {
 	if got := b.guard.State(); got != StateDegraded {
 		t.Fatalf("state = %v, want degraded (cache down at detection)", got)
 	}
-	if b.guard.DetectedAttacks != 1 {
-		t.Errorf("DetectedAttacks = %d, want 1", b.guard.DetectedAttacks)
+	if b.guard.DetectedAttacks() != 1 {
+		t.Errorf("DetectedAttacks = %d, want 1", b.guard.DetectedAttacks())
 	}
 	// No migration rules: nothing may point at the unreachable cache.
 	for _, e := range b.sw.Table().Entries() {
@@ -205,7 +205,7 @@ func TestGuardDetectsWhileCacheUnreachable(t *testing.T) {
 	if b.guard.Caches()[0].Stats().Enqueued != 0 {
 		t.Error("cache absorbed packets while unreachable")
 	}
-	if b.guard.DegradedDrops == 0 {
+	if b.guard.DegradedDrops() == 0 {
 		t.Error("degraded limiter shed nothing")
 	}
 	// Healing mid-attack upgrades to full Defense with migration.

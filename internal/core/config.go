@@ -154,7 +154,14 @@ type Config struct {
 	// falls back to RateLimit.MaxPPS — the same ceiling the cache replay
 	// path honours, so degradation never admits more load than Defense.
 	DegradedMaxPPS float64
+	// TraceSampleEvery samples one in N packets for pipeline lifecycle
+	// tracing when the guard is instrumented (0 picks
+	// DefaultTraceSampleEvery; 1 traces every packet).
+	TraceSampleEvery int
 }
+
+// DefaultTraceSampleEvery is the default pipeline tracing sample rate.
+const DefaultTraceSampleEvery = 64
 
 // DefaultConfig returns the paper-faithful configuration.
 func DefaultConfig() Config {
@@ -165,5 +172,6 @@ func DefaultConfig() Config {
 		Cache:             dpcache.DefaultConfig(),
 		CachePort:         63,
 		StatsPollInterval: 50 * time.Millisecond,
+		TraceSampleEvery:  DefaultTraceSampleEvery,
 	}
 }

@@ -52,7 +52,7 @@ func (g *Guard) degrade() {
 	if err := g.fsm.to(StateDegraded, g.eng.Now(), "sideband to data plane cache lost; direct rate-limited fallback"); err != nil {
 		return
 	}
-	g.DegradedEntries++
+	g.degradedEntries.Inc()
 	g.degradedAllowed = 0
 	for _, ps := range g.switches {
 		g.removeMigration(ps)

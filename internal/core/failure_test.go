@@ -115,8 +115,8 @@ func TestDetectorIgnoresShortBenignBurst(t *testing.T) {
 	if b.guard.State() != StateIdle {
 		t.Errorf("state = %v; a one-window benign burst tripped the defense", b.guard.State())
 	}
-	if b.guard.DetectedAttacks != 0 {
-		t.Errorf("DetectedAttacks = %d", b.guard.DetectedAttacks)
+	if b.guard.DetectedAttacks() != 0 {
+		t.Errorf("DetectedAttacks = %d", b.guard.DetectedAttacks())
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
 	"floodguard/internal/switchsim"
+	"floodguard/internal/telemetry"
 )
 
 // protectedSwitch is one datapath under FloodGuard's protection.
@@ -62,22 +63,57 @@ type Guard struct {
 	cacheReachable  bool
 	degradedAllowed int
 
-	// Counters.
-	DetectedAttacks uint64
-	Replayed        uint64
-	// DegradedEntries counts Defense→Degraded transitions.
-	DegradedEntries uint64
-	// DegradedDrops counts packet_ins shed by the degraded direct rate
-	// limiter (beyond-budget table-miss traffic while the cache is
-	// unreachable).
-	DegradedDrops uint64
-	// LastReplayDelay is the cache residence time of the most recently
-	// replayed packet (Table IV's data plane cache column).
-	LastReplayDelay time.Duration
+	// Counters (atomics: safe to read from any goroutine through the
+	// accessor methods or a telemetry registry while the engine runs).
+	detectedAttacks telemetry.Counter
+	replayed        telemetry.Counter
+	degradedEntries telemetry.Counter
+	degradedDrops   telemetry.Counter
+	packetIns       telemetry.Counter
+	lastReplayNanos telemetry.Gauge
+
+	// Per-window detector gauges, pushed once per detection sample so a
+	// scrape never touches engine-owned state.
+	stateGauge telemetry.Gauge
+	gRate      telemetry.FloatGauge
+	gMigRate   telemetry.FloatGauge
+	gScore     telemetry.FloatGauge
+
+	// events is the FSM transition log (always on; ring of eventLogSize).
+	events *telemetry.EventLog
+	// trace, when armed by Instrument, samples packet lifecycles.
+	trace *telemetry.Tracer
+
 	// ReplayObserver, when set, sees every replayed packet with its
 	// cache residence time (experiment instrumentation).
 	ReplayObserver func(origin uint64, inPort uint16, pkt *netpkt.Packet, queued time.Duration)
 }
+
+// eventLogSize bounds the FSM transition ring.
+const eventLogSize = 256
+
+// DetectedAttacks returns how many times the detector has fired.
+func (g *Guard) DetectedAttacks() uint64 { return g.detectedAttacks.Value() }
+
+// Replayed returns the number of packets re-raised from the cache.
+func (g *Guard) Replayed() uint64 { return g.replayed.Value() }
+
+// DegradedEntries counts Defense→Degraded transitions.
+func (g *Guard) DegradedEntries() uint64 { return g.degradedEntries.Value() }
+
+// DegradedDrops counts packet_ins shed by the degraded direct rate
+// limiter (beyond-budget table-miss traffic while the cache is
+// unreachable).
+func (g *Guard) DegradedDrops() uint64 { return g.degradedDrops.Value() }
+
+// LastReplayDelay is the cache residence time of the most recently
+// replayed packet (Table IV's data plane cache column).
+func (g *Guard) LastReplayDelay() time.Duration {
+	return time.Duration(g.lastReplayNanos.Value())
+}
+
+// Events returns the retained FSM transition events, oldest first.
+func (g *Guard) Events() []telemetry.Event { return g.events.Events() }
 
 // NewGuard attaches FloodGuard to a controller. Register all applications
 // on the controller before calling Protect/Start.
@@ -95,7 +131,10 @@ func NewGuard(eng *netsim.Engine, ctrl *controller.Controller, cfg Config) (*Gua
 		switches:       make(map[uint64]*protectedSwitch),
 		rateEWMA:       netsim.NewEWMA(cfg.Detection.RateEWMAAlpha),
 		cacheReachable: true,
+		events:         telemetry.NewEventLog(eventLogSize),
 	}
+	g.stateGauge.Set(int64(StateIdle))
+	g.fsm.onEnter = g.onTransition
 	// Shared default cache (paper §IV.E: "ideally, we only need to deploy
 	// one data plane cache to serve all switches").
 	g.caches = []*dpcache.Cache{dpcache.New(eng, cfg.Cache, g)}
@@ -129,6 +168,83 @@ func (g *Guard) Analyzer() *Analyzer { return g.analyzer }
 
 // State returns the FSM state.
 func (g *Guard) State() FSMState { return g.fsm.State() }
+
+// onTransition records every FSM move into the event log with the key
+// gauges at transition time; it runs on the engine goroutine, where all
+// detector state is safe to read.
+func (g *Guard) onTransition(tr Transition) {
+	g.stateGauge.Set(int64(tr.To))
+	var backlog int
+	var enq uint64
+	for _, c := range g.caches {
+		s := c.Stats()
+		backlog += s.Backlog
+		enq += s.Enqueued
+	}
+	g.events.Append(telemetry.Event{
+		Time:   tr.At,
+		From:   tr.From.String(),
+		To:     tr.To.String(),
+		Reason: tr.Reason,
+		Fields: map[string]float64{
+			"cache_backlog":      float64(backlog),
+			"cache_enqueued":     float64(enq),
+			"packet_in_rate_pps": g.rateEWMA.Value(),
+			"migration_rate_pps": g.migrationRate,
+			"replayed":           float64(g.replayed.Value()),
+			"degraded_drops":     float64(g.degradedDrops.Value()),
+		},
+	})
+}
+
+// Instrument attaches the guard, its FSM event log, its caches, and its
+// controller to reg, and arms sampled pipeline tracing (one in
+// cfg.TraceSampleEvery packets). It returns the tracer so deployments
+// can wire it into their switches too. Call once, before Start.
+func (g *Guard) Instrument(reg *telemetry.Registry) *telemetry.Tracer {
+	every := g.cfg.TraceSampleEvery
+	if every <= 0 {
+		every = DefaultTraceSampleEvery
+	}
+	g.trace = telemetry.NewTracer(reg, every)
+	for i, c := range g.caches {
+		c.SetTracer(g.trace)
+		prefix := "fg_cache"
+		if i > 0 {
+			prefix = fmt.Sprintf("fg_cache%d", i)
+		}
+		c.Register(reg, prefix)
+	}
+	if g.cacheTbl != nil {
+		g.cacheTbl.Register(reg, "fg_cachetbl")
+	}
+	reg.RegisterCounter("fg_guard_attacks_detected_total",
+		"Times the saturation detector fired.", &g.detectedAttacks)
+	reg.RegisterCounter("fg_guard_replayed_total",
+		"Packets re-raised from the data plane cache.", &g.replayed)
+	reg.RegisterCounter("fg_guard_degraded_entries_total",
+		"Defense to Degraded transitions.", &g.degradedEntries)
+	reg.RegisterCounter("fg_guard_degraded_drops_total",
+		"Packet_ins shed by the degraded direct rate limiter.", &g.degradedDrops)
+	reg.RegisterCounter("fg_guard_packet_ins_total",
+		"Data-plane packet_ins observed by the detector (replays excluded).", &g.packetIns)
+	reg.RegisterGauge("fg_guard_state",
+		"Current FSM state (1=idle 2=init 3=defense 4=finish 5=degraded).", &g.stateGauge)
+	reg.RegisterFloatGauge("fg_guard_packet_in_rate_pps",
+		"Smoothed packet_in rate per detection window.", &g.gRate)
+	reg.RegisterFloatGauge("fg_guard_migration_rate_pps",
+		"Rate of packets diverted into the caches.", &g.gMigRate)
+	reg.RegisterFloatGauge("fg_guard_score",
+		"Composite detection score (>=1 triggers).", &g.gScore)
+	reg.GaugeFunc("fg_guard_last_replay_delay_seconds",
+		"Cache residence time of the most recent replay.", func() float64 {
+			return time.Duration(g.lastReplayNanos.Value()).Seconds()
+		})
+	reg.RegisterEventLog("fsm_transitions", g.events)
+	g.ctrl.Instrument(reg, "fg_controller")
+	g.ctrl.SetTracer(g.trace)
+	return g.trace
+}
 
 // Transitions returns the FSM history.
 func (g *Guard) Transitions() []Transition { return g.fsm.History() }
@@ -200,9 +316,10 @@ func (g *Guard) packetInHook(ev *controller.PacketInEvent) bool {
 		return true
 	}
 	g.pktInsSample++
+	g.packetIns.Inc()
 	if g.fsm.State() == StateDegraded {
 		if float64(g.degradedAllowed) >= g.degradedWindowBudget() {
-			g.DegradedDrops++
+			g.degradedDrops.Inc()
 			return false
 		}
 		g.degradedAllowed++
@@ -341,6 +458,11 @@ func (g *Guard) detect() {
 	score := g.score(rate)
 	now := g.eng.Now()
 
+	// Push the window's readings into scrape-safe gauges.
+	g.gRate.Set(rate)
+	g.gMigRate.Set(g.migrationRate)
+	g.gScore.Set(score)
+
 	switch g.fsm.State() {
 	case StateIdle:
 		if score >= 1 {
@@ -387,7 +509,7 @@ func (g *Guard) onAttackDetected() {
 	if err := g.fsm.to(StateInit, now, "saturation attack detected"); err != nil {
 		return
 	}
-	g.DetectedAttacks++
+	g.detectedAttacks.Inc()
 	g.overSamples = 0
 	g.lastOver = now
 	if g.drainTicker != nil {
@@ -571,8 +693,9 @@ func (g *Guard) CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, q
 	if !ok {
 		return
 	}
-	g.Replayed++
-	g.LastReplayDelay = queued
+	g.replayed.Inc()
+	g.lastReplayNanos.Set(int64(queued))
+	g.trace.Observe(telemetry.StageReraise, queued)
 	if g.ReplayObserver != nil {
 		g.ReplayObserver(origin, origInPort, &pkt, queued)
 	}

@@ -93,8 +93,8 @@ func TestGuardStaysIdleWithoutAttack(t *testing.T) {
 	if got := b.guard.State(); got != StateIdle {
 		t.Errorf("state = %v, want idle (no attack)", got)
 	}
-	if b.guard.DetectedAttacks != 0 {
-		t.Errorf("DetectedAttacks = %d", b.guard.DetectedAttacks)
+	if b.guard.DetectedAttacks() != 0 {
+		t.Errorf("DetectedAttacks = %d", b.guard.DetectedAttacks())
 	}
 	// Dormant: cache emits nothing, no migration rules.
 	if b.guard.Caches()[0].Stats().Enqueued != 0 {
@@ -110,8 +110,8 @@ func TestGuardDetectsAndDefends(t *testing.T) {
 	if got := b.guard.State(); got != StateDefense {
 		t.Fatalf("state = %v, want defense", got)
 	}
-	if b.guard.DetectedAttacks != 1 {
-		t.Errorf("DetectedAttacks = %d, want 1", b.guard.DetectedAttacks)
+	if b.guard.DetectedAttacks() != 1 {
+		t.Errorf("DetectedAttacks = %d, want 1", b.guard.DetectedAttacks())
 	}
 
 	// Migration rules present: one per ingress port (3 hosts), priority 1.
@@ -268,8 +268,8 @@ func TestGuardReentersDefenseOnSecondAttack(t *testing.T) {
 	if b.guard.State() != StateDefense {
 		t.Errorf("state = %v, want defense on second attack", b.guard.State())
 	}
-	if b.guard.DetectedAttacks != 2 {
-		t.Errorf("DetectedAttacks = %d, want 2", b.guard.DetectedAttacks)
+	if b.guard.DetectedAttacks() != 2 {
+		t.Errorf("DetectedAttacks = %d, want 2", b.guard.DetectedAttacks())
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // EncodeInPortTOS packs an ingress port number into the TOS/DSCP bits a
@@ -89,12 +90,15 @@ type entry struct {
 
 // fifo is a bounded queue that drops the earliest entry on overflow
 // (the paper's "tail drop scheme ... the earliest coming packet inside
-// the packet buffer queue will be dropped").
+// the packet buffer queue will be dropped"). The queue itself is owned
+// by the engine goroutine; depth and dropped are atomics so a metrics
+// scrape can read them from any thread.
 type fifo struct {
 	buf     []entry
 	head    int
 	n       int
-	dropped uint64
+	dropped telemetry.Counter
+	depth   telemetry.Gauge // mirrors n
 }
 
 func newFIFO(capacity int) *fifo { return &fifo{buf: make([]entry, capacity)} }
@@ -104,10 +108,12 @@ func (f *fifo) push(e entry) {
 		// Drop the oldest to make room.
 		f.head = (f.head + 1) % len(f.buf)
 		f.n--
-		f.dropped++
+		f.dropped.Inc()
+		f.depth.Dec()
 	}
 	f.buf[(f.head+f.n)%len(f.buf)] = e
 	f.n++
+	f.depth.Inc()
 }
 
 // pushFront returns an entry to the head of the queue (a failed
@@ -116,12 +122,13 @@ func (f *fifo) push(e entry) {
 // exactly the drop-oldest overflow policy.
 func (f *fifo) pushFront(e entry) bool {
 	if f.n == len(f.buf) {
-		f.dropped++
+		f.dropped.Inc()
 		return false
 	}
 	f.head = (f.head - 1 + len(f.buf)) % len(f.buf)
 	f.buf[f.head] = e
 	f.n++
+	f.depth.Inc()
 	return true
 }
 
@@ -132,6 +139,7 @@ func (f *fifo) pop() (entry, bool) {
 	e := f.buf[f.head]
 	f.head = (f.head + 1) % len(f.buf)
 	f.n--
+	f.depth.Dec()
 	return e, true
 }
 
@@ -204,15 +212,25 @@ type Cache struct {
 	rate   float64
 	ticker *netsim.Ticker
 
-	enqueued uint64
-	emitted  uint64
-	prioSrvd uint64
-	requeued uint64
+	// Counters are atomic so Stats() and a registry scrape are safe from
+	// any goroutine. emitted is a gauge because Requeue rolls a failed
+	// delivery back out of it (conservation: Enqueued == Emitted +
+	// Dropped + Backlog).
+	enqueued telemetry.Counter
+	emitted  telemetry.Gauge
+	prioSrvd telemetry.Counter
+	requeued telemetry.Counter
+	ratePPS  telemetry.FloatGauge // mirrors rate for scrape goroutines
+
+	// trace, when set, feeds cache residence time into the pipeline
+	// cache_wait histogram (nil-safe).
+	trace *telemetry.Tracer
 }
 
 // New creates a cache on the engine; Start arms the scheduler.
 func New(eng *netsim.Engine, cfg Config, sink Sink) *Cache {
 	c := &Cache{eng: eng, cfg: cfg, sink: sink, rate: cfg.InitialRatePPS}
+	c.ratePPS.Set(cfg.InitialRatePPS)
 	for i := range c.queues {
 		c.queues[i] = newFIFO(cfg.QueueCapacity)
 	}
@@ -239,6 +257,7 @@ func (c *Cache) SetRate(pps float64) {
 		return
 	}
 	c.rate = pps
+	c.ratePPS.Set(pps)
 	c.arm()
 }
 
@@ -277,7 +296,7 @@ func (c *Cache) DeliverFromSwitch(pkt netpkt.Packet) { c.Ingest(0, pkt) }
 func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 	inPort := DecodeInPortTOS(pkt.NwTOS)
 	pkt.NwTOS = 0 // strip the tag
-	c.enqueued++
+	c.enqueued.Inc()
 	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now()}
 	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
 		c.priority.push(e)
@@ -297,8 +316,8 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 // the agent never saw. A full queue drops it instead — the requeued
 // packet is the oldest, so this is the standard drop-oldest policy.
 func (c *Cache) Requeue(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
-	c.emitted--
-	c.requeued++
+	c.emitted.Dec()
+	c.requeued.Inc()
 	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now().Add(-queued)}
 	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
 		c.priority.pushFront(e)
@@ -328,7 +347,7 @@ func (a *Adapter) DeliverFromSwitch(pkt netpkt.Packet) { a.c.Ingest(a.origin, pk
 // across the protocol queues.
 func (c *Cache) emitOne() {
 	if e, ok := c.priority.pop(); ok {
-		c.prioSrvd++
+		c.prioSrvd.Inc()
 		c.deliver(e)
 		return
 	}
@@ -343,8 +362,9 @@ func (c *Cache) emitOne() {
 }
 
 func (c *Cache) deliver(e entry) {
-	c.emitted++
+	c.emitted.Inc()
 	queued := c.eng.Now().Sub(e.arrived)
+	c.trace.Observe(telemetry.StageCacheWait, queued)
 	c.eng.Schedule(c.cfg.ProcessingDelay, func() {
 		c.sink.CacheEmit(e.origin, e.inPort, e.pkt, queued+c.cfg.ProcessingDelay)
 	})
@@ -363,21 +383,61 @@ func (c *Cache) Backlog() int {
 // transition condition of the FloodGuard state machine.
 func (c *Cache) Drained() bool { return c.Backlog() == 0 }
 
-// Stats returns a snapshot.
+// Stats returns a snapshot. It reads only atomics, so it is safe from
+// any goroutine (per-field reads are individually atomic; the snapshot
+// as a whole is best-effort consistent while the engine runs).
 func (c *Cache) Stats() Stats {
 	s := Stats{
-		Enqueued:       c.enqueued,
-		Emitted:        c.emitted,
-		Backlog:        c.Backlog(),
-		PriorityServed: c.prioSrvd,
-		Requeued:       c.requeued,
+		Enqueued:       c.enqueued.Value(),
+		Emitted:        uint64(c.emitted.Value()),
+		PriorityServed: c.prioSrvd.Value(),
+		Requeued:       c.requeued.Value(),
 	}
 	for i, q := range c.queues {
-		s.PerQueue[i] = q.len()
-		s.Dropped += q.dropped
+		s.PerQueue[i] = int(q.depth.Value())
+		s.Backlog += int(q.depth.Value())
+		s.Dropped += q.dropped.Value()
 	}
-	s.Dropped += c.priority.dropped
+	s.Backlog += int(c.priority.depth.Value())
+	s.Dropped += c.priority.dropped.Value()
 	return s
+}
+
+// SetTracer wires the pipeline tracer; delivered packets record their
+// cache residence time into the cache_wait stage histogram. A nil
+// tracer disables tracing.
+func (c *Cache) SetTracer(t *telemetry.Tracer) { c.trace = t }
+
+// Register attaches the cache's counters and per-protocol-class queue
+// depth gauges to reg under the given metric name prefix (e.g.
+// "fg_cache").
+func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_enqueued_total", "Migrated packets accepted into the cache.", &c.enqueued)
+	reg.GaugeFunc(prefix+"_emitted_total", "Packets delivered to the migration agent (net of requeues).", func() float64 {
+		return float64(c.emitted.Value())
+	})
+	reg.RegisterCounter(prefix+"_priority_served_total", "Packets served from the cache-resident rule fast path.", &c.prioSrvd)
+	reg.RegisterCounter(prefix+"_requeued_total", "Failed deliveries returned to their queue.", &c.requeued)
+	for i, q := range c.queues {
+		cls := QueueClass(i).String()
+		reg.RegisterGauge(prefix+`_queue_depth{class="`+cls+`"}`, "Current protocol queue depth.", &q.depth)
+		reg.RegisterCounter(prefix+`_dropped_total{class="`+cls+`"}`, "Packets dropped by queue overflow.", &q.dropped)
+	}
+	reg.RegisterGauge(prefix+`_queue_depth{class="priority"}`, "Current protocol queue depth.", &c.priority.depth)
+	reg.RegisterCounter(prefix+`_dropped_total{class="priority"}`, "Packets dropped by queue overflow.", &c.priority.dropped)
+	reg.GaugeFunc(prefix+"_backlog", "Total queued packets across all queues.", func() float64 {
+		n := c.priority.depth.Value()
+		for i := range c.queues {
+			n += c.queues[i].depth.Value()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc(prefix+"_rate_pps", "Current packet_in generation rate.", func() float64 {
+		return c.ratePPS.Value()
+	})
 }
 
 // MigrationRules builds the per-ingress-port wildcard rules the agent

@@ -51,7 +51,7 @@ func TestFIFOPropertyDropAccounting(t *testing.T) {
 		for i := 0; i < int(n%512); i++ {
 			q.push(entry{})
 		}
-		return int(q.dropped)+q.len() == int(n%512)
+		return int(q.dropped.Value())+q.len() == int(n%512)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

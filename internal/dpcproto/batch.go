@@ -7,6 +7,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"floodguard/internal/telemetry"
 )
 
 // Writer frames records into a reusable internal buffer, so steady-state
@@ -23,6 +25,37 @@ type Writer struct {
 	delay   time.Duration
 	timer   *time.Timer
 	pending bool
+
+	// Telemetry. records/bytes are plain uint64s guarded by mu — the
+	// write path already holds it, so counting is free of extra atomics
+	// on the allocation-free fast path. batchRecs counts records since
+	// the last flush; batchHist (optional) observes it at each flush,
+	// giving the records-per-syscall distribution.
+	records   uint64
+	bytes     uint64
+	batchRecs int
+	batchHist *telemetry.Histogram
+}
+
+// WriterStats is a counter snapshot of a Writer.
+type WriterStats struct {
+	Records uint64 // records framed
+	Bytes   uint64 // framed bytes handed to the destination
+}
+
+// Stats snapshots the write counters under the writer lock.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WriterStats{Records: w.records, Bytes: w.bytes}
+}
+
+// SetBatchHistogram wires an optional records-per-flush histogram
+// (buffered writers only; unbuffered writers never batch).
+func (w *Writer) SetBatchHistogram(h *telemetry.Histogram) {
+	w.mu.Lock()
+	w.batchHist = h
+	w.mu.Unlock()
 }
 
 // NewWriter returns an unbuffered Writer: each record is one allocation-
@@ -89,6 +122,8 @@ func (w *Writer) WriteReplay(dpid uint64, inPort uint16, frame []byte) error {
 // commitLocked hands one framed record to the destination; the caller
 // holds w.mu.
 func (w *Writer) commitLocked(b []byte) error {
+	w.records++
+	w.bytes += uint64(len(b))
 	if w.bw == nil {
 		if _, err := w.dst.Write(b); err != nil {
 			return fmt.Errorf("dpcproto: write: %w", err)
@@ -98,6 +133,7 @@ func (w *Writer) commitLocked(b []byte) error {
 	if _, err := w.bw.Write(b); err != nil {
 		return fmt.Errorf("dpcproto: write: %w", err)
 	}
+	w.batchRecs++
 	if w.delay > 0 && !w.pending {
 		w.pending = true
 		if w.timer == nil {
@@ -114,8 +150,18 @@ func (w *Writer) autoFlush() {
 	defer w.mu.Unlock()
 	w.pending = false
 	if w.bw != nil {
+		w.observeBatchLocked()
 		_ = w.bw.Flush()
 	}
+}
+
+// observeBatchLocked records the size of the batch about to flush;
+// caller holds w.mu.
+func (w *Writer) observeBatchLocked() {
+	if w.batchHist != nil && w.batchRecs > 0 {
+		w.batchHist.Observe(float64(w.batchRecs))
+	}
+	w.batchRecs = 0
 }
 
 // Flush forces any coalesced records onto the underlying writer.
@@ -129,6 +175,7 @@ func (w *Writer) Flush() error {
 	if w.bw == nil {
 		return nil
 	}
+	w.observeBatchLocked()
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("dpcproto: flush: %w", err)
 	}

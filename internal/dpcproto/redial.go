@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"floodguard/internal/telemetry"
 )
 
 // Backoff is a capped exponential backoff with jitter, the retry policy
@@ -122,6 +124,8 @@ type Redial struct {
 	redials   uint64 // successful reconnects after the initial Connect
 	failures  uint64 // write/read errors that invalidated a connection
 	connected bool
+
+	batchHist *telemetry.Histogram // optional, threaded to each Writer
 }
 
 // NewRedial wraps dial. Call Connect for a synchronous first dial, or
@@ -167,6 +171,9 @@ func (c *Redial) installLocked(conn io.ReadWriteCloser) {
 		c.w = NewWriter(conn)
 	}
 	c.r = NewReader(conn, 0)
+	if c.batchHist != nil {
+		c.w.SetBatchHistogram(c.batchHist)
+	}
 	c.gen++
 	c.connected = true
 	c.cond.Broadcast()
@@ -366,6 +373,40 @@ func (c *Redial) Failures() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.failures
+}
+
+// Generation returns the current connection generation (bumped on every
+// successful connect), 0 before the first connect.
+func (c *Redial) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Register attaches the channel's counters to reg under the given metric
+// name prefix (e.g. "fg_sideband"), including a records-per-flush batch
+// size histogram wired into every future connection's Writer.
+func (c *Redial) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_redials_total", "Successful channel reconnects.", c.Redials)
+	reg.CounterFunc(prefix+"_failures_total", "Connection invalidations (write/read errors).", c.Failures)
+	reg.CounterFunc(prefix+"_generation", "Current connection generation.", c.Generation)
+	reg.GaugeFunc(prefix+"_connected", "1 while a live connection is installed.", func() float64 {
+		if c.Connected() {
+			return 1
+		}
+		return 0
+	})
+	h := telemetry.NewHistogram(telemetry.CountBuckets)
+	reg.RegisterHistogram(prefix+"_batch_records", "Records coalesced per flush (buffered channels).", h)
+	c.mu.Lock()
+	c.batchHist = h
+	if c.w != nil {
+		c.w.SetBatchHistogram(h)
+	}
+	c.mu.Unlock()
 }
 
 // Close tears the channel down; blocked Reads return ErrClosed.

@@ -35,6 +35,14 @@ type BandwidthResult struct {
 // sampled over the measurement window and scaled by the profile's data
 // rate.
 func MeasureBandwidth(profile switchsim.Profile, withFG bool, attackPPS float64) (float64, error) {
+	bw, _, err := MeasureBandwidthWindows(profile, withFG, attackPPS)
+	return bw, err
+}
+
+// MeasureBandwidthWindows is MeasureBandwidth plus the per-window
+// telemetry timeline sampled over the whole run (attack warm-in and
+// measurement) at 100ms resolution.
+func MeasureBandwidthWindows(profile switchsim.Profile, withFG bool, attackPPS float64) (float64, []TelemetryWindow, error) {
 	cfg := TestbedConfig{
 		Profile:            profile,
 		WithFloodGuard:     withFG,
@@ -44,11 +52,14 @@ func MeasureBandwidth(profile switchsim.Profile, withFG bool, attackPPS float64)
 	}
 	tb, err := NewTestbed(cfg)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer tb.Close()
 	tb.WarmUp()
 
+	sampler := NewWindowSampler(tb, tb.Eng.Now())
+	sampler.Start(100 * time.Millisecond)
+	defer sampler.Stop()
 	if attackPPS > 0 {
 		tb.Flooder.Start(attackPPS)
 	}
@@ -63,7 +74,8 @@ func MeasureBandwidth(profile switchsim.Profile, withFG bool, attackPPS float64)
 		share += tb.Switch.GoodputShare()
 	}
 	share /= samples
-	return share * profile.DataRateBits, nil
+	sampler.Stop()
+	return share * profile.DataRateBits, sampler.Windows, nil
 }
 
 // RunBandwidthSweep reproduces Figure 10 (software profile) or Figure 11

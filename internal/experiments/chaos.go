@@ -9,6 +9,7 @@ import (
 	"floodguard/internal/core"
 	"floodguard/internal/dpcache"
 	"floodguard/internal/switchsim"
+	"floodguard/internal/telemetry"
 )
 
 // ChaosFlap is one measured sideband outage: the channel between the
@@ -44,6 +45,11 @@ type ChaosResult struct {
 	DrainTime time.Duration
 	// Drained reports whether the scenario wound down completely.
 	Drained bool
+	// Windows is the per-window telemetry timeline sampled across the
+	// whole scenario (attack, flaps, drain) at 100ms resolution.
+	Windows []TelemetryWindow
+	// Events is the guard's FSM transition log after the run.
+	Events []telemetry.Event
 }
 
 // RunChaos runs the chaos scenario: the Figure 9 topology under a
@@ -71,6 +77,9 @@ func RunChaos(seed int64, flaps int) (*ChaosResult, error) {
 
 	const attackPPS = 200
 	start := tb.Eng.Now()
+	sampler := NewWindowSampler(tb, start)
+	sampler.Start(100 * time.Millisecond)
+	defer sampler.Stop()
 	tb.Flooder.Start(attackPPS)
 	tb.Eng.RunFor(2 * time.Second)
 
@@ -79,7 +88,7 @@ func RunChaos(seed int64, flaps int) (*ChaosResult, error) {
 	threshold := guardCfg.Detection.RateThresholdPPS
 	for i := 0; i < flaps; i++ {
 		flap := ChaosFlap{Index: i, At: tb.Eng.Now().Sub(start)}
-		drops0 := tb.Guard.DegradedDrops
+		drops0 := tb.Guard.DegradedDrops()
 
 		// The engine parks the virtual clock between RunFor calls, so
 		// flipping reachability here is in-discipline with engine events.
@@ -87,7 +96,7 @@ func RunChaos(seed int64, flaps int) (*ChaosResult, error) {
 		flap.Down = 150*time.Millisecond + time.Duration(rng.Intn(400))*time.Millisecond
 		tb.Eng.RunFor(flap.Down)
 		tb.Guard.SetCacheReachable(true)
-		flap.Drops = tb.Guard.DegradedDrops - drops0
+		flap.Drops = tb.Guard.DegradedDrops() - drops0
 
 		// Recovery: step until the direct packet_in rate is back under
 		// the detection threshold (migration rules absorbing again).
@@ -112,11 +121,14 @@ func RunChaos(seed int64, flaps int) (*ChaosResult, error) {
 		}
 	}
 	res.DrainTime = tb.Eng.Now().Sub(attackEnd)
-	res.DegradedEntries = tb.Guard.DegradedEntries
-	res.DegradedDrops = tb.Guard.DegradedDrops
-	res.Replayed = tb.Guard.Replayed
+	res.DegradedEntries = tb.Guard.DegradedEntries()
+	res.DegradedDrops = tb.Guard.DegradedDrops()
+	res.Replayed = tb.Guard.Replayed()
 	res.Cache = cache.Stats()
 	res.Drained = tb.Guard.State() == core.StateIdle && cache.Drained()
+	sampler.Stop()
+	res.Windows = sampler.Windows
+	res.Events = tb.Guard.Events()
 	return res, nil
 }
 

@@ -264,7 +264,7 @@ func TestTestbedDeterminism(t *testing.T) {
 		tb.WarmUp()
 		tb.Flooder.Start(150)
 		tb.Eng.RunFor(3 * time.Second)
-		return tb.Guard.Replayed ^ tb.Switch.Stats().PacketIns<<16 ^ uint64(tb.Switch.Table().Len())<<32
+		return tb.Guard.Replayed() ^ tb.Switch.Stats().PacketIns<<16 ^ uint64(tb.Switch.Table().Len())<<32
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("identical scenarios diverged: %x vs %x", a, b)

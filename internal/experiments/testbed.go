@@ -162,6 +162,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		}
 		tb.Guard = guard
 	}
+	tb.Instrument(liveReg)
 	return tb, nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"floodguard/internal/netpkt"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // ErrTableFull reports a flow-mod rejected for lack of table capacity.
@@ -51,13 +52,16 @@ type Removed struct {
 }
 
 // Table is a single OpenFlow 1.0 flow table.
+//
+// Counters are kept as four disjoint atomics — every Lookup increments
+// exactly one of microHitsPos/microHitsNeg/scanMatched/scanMissed — so
+// the hot positive-cache-hit path pays a single atomic add while
+// Lookups/Matched/MicroflowHits/MicroflowMisses are derived sums that a
+// metrics scrape can read race-free from another goroutine.
 type Table struct {
 	capacity int
 	entries  []*Entry // sorted by (priority desc, seq asc)
 	nextSeq  uint64
-
-	lookups uint64
-	matched uint64
 
 	// micro is the OVS-style microflow exact-match cache: the winning
 	// entry (nil for a cached miss) per exact header tuple + ingress
@@ -66,10 +70,15 @@ type Table struct {
 	// fixed rule set, so whole-cache invalidation on Apply/Expire/Clear
 	// keeps it exact.
 	micro        map[microKey]*Entry
-	microHits    uint64
-	microMisses  uint64
-	microInvals  uint64
 	microMaxSize int
+
+	microHitsPos telemetry.Counter // micro hit on a cached rule
+	microHitsNeg telemetry.Counter // micro hit on a cached miss
+	scanMatched  telemetry.Counter // micro miss, priority scan found a rule
+	scanMissed   telemetry.Counter // micro miss, table miss
+	microInvals  telemetry.Counter
+	microEntries telemetry.Gauge
+	ruleCount    telemetry.Gauge // mirrors len(entries) for scrape goroutines
 }
 
 // DefaultMicroflowSize bounds the microflow cache; when full it is reset
@@ -123,29 +132,64 @@ func New(capacity int) *Table {
 func (t *Table) SetMicroflowSize(n int) {
 	t.microMaxSize = n
 	t.micro = nil
+	t.microEntries.Set(0)
 }
 
-// Stats returns the counter snapshot.
+// Stats returns the counter snapshot. It reads only atomics, so it is
+// safe from any goroutine.
 func (t *Table) Stats() Stats {
+	pos, neg := t.microHitsPos.Value(), t.microHitsNeg.Value()
+	sm, sx := t.scanMatched.Value(), t.scanMissed.Value()
 	return Stats{
-		Lookups:          t.lookups,
-		Matched:          t.matched,
-		MicroflowHits:    t.microHits,
-		MicroflowMisses:  t.microMisses,
-		MicroflowEntries: len(t.micro),
-		Invalidations:    t.microInvals,
+		Lookups:          pos + neg + sm + sx,
+		Matched:          pos + sm,
+		MicroflowHits:    pos + neg,
+		MicroflowMisses:  sm + sx,
+		MicroflowEntries: int(t.microEntries.Value()),
+		Invalidations:    t.microInvals.Value(),
 	}
+}
+
+// Register attaches the table's counters to reg under the given metric
+// name prefix (e.g. "fg_flowtable"). Derived counters are pull-through
+// sums over the disjoint atomics, so registration adds no hot-path cost.
+func (t *Table) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_lookups_total", "Flow table lookups.", func() uint64 {
+		return t.microHitsPos.Value() + t.microHitsNeg.Value() + t.scanMatched.Value() + t.scanMissed.Value()
+	})
+	reg.CounterFunc(prefix+"_matched_total", "Lookups that found a rule.", func() uint64 {
+		return t.microHitsPos.Value() + t.scanMatched.Value()
+	})
+	reg.CounterFunc(prefix+"_microflow_hits_total", "Lookups served by the microflow cache.", func() uint64 {
+		return t.microHitsPos.Value() + t.microHitsNeg.Value()
+	})
+	reg.CounterFunc(prefix+"_microflow_misses_total", "Lookups that fell through to the priority scan.", func() uint64 {
+		return t.scanMatched.Value() + t.scanMissed.Value()
+	})
+	reg.RegisterCounter(prefix+"_microflow_invalidations_total",
+		"Whole-cache microflow invalidations.", &t.microInvals)
+	reg.RegisterGauge(prefix+"_microflow_entries",
+		"Current microflow cache occupancy.", &t.microEntries)
+	reg.GaugeFunc(prefix+"_rules",
+		"Installed flow rules (updated on mutation).", func() float64 {
+			return float64(t.ruleCount.Value())
+		})
 }
 
 // invalidateMicro drops every cached lookup result. It must be called on
 // any mutation of the rule set: cached pointers may name removed entries
 // and cached misses may be shadowed by new rules.
 func (t *Table) invalidateMicro() {
+	t.ruleCount.Set(int64(len(t.entries)))
 	if len(t.micro) == 0 {
 		return
 	}
-	t.microInvals++
+	t.microInvals.Inc()
 	clear(t.micro)
+	t.microEntries.Set(0)
 }
 
 // cacheLookup stores a lookup outcome (e == nil caches the miss).
@@ -156,23 +200,33 @@ func (t *Table) cacheLookup(k microKey, e *Entry) {
 	if t.micro == nil {
 		t.micro = make(map[microKey]*Entry, 64)
 	} else if len(t.micro) >= t.microMaxSize {
-		t.microInvals++
+		t.microInvals.Inc()
 		clear(t.micro)
 	}
 	t.micro[k] = e
+	t.microEntries.Set(int64(len(t.micro)))
 }
 
 // Len returns the number of installed rules.
 func (t *Table) Len() int { return len(t.entries) }
 
+// RuleCount returns the installed rule count from the gauge mirrored at
+// mutation points — unlike Len, safe to call from any goroutine.
+func (t *Table) RuleCount() int { return int(t.ruleCount.Value()) }
+
 // Capacity returns the rule capacity (0 = unbounded).
 func (t *Table) Capacity() int { return t.capacity }
 
 // Lookups returns the total number of Lookup calls.
-func (t *Table) Lookups() uint64 { return t.lookups }
+func (t *Table) Lookups() uint64 {
+	return t.microHitsPos.Value() + t.microHitsNeg.Value() +
+		t.scanMatched.Value() + t.scanMissed.Value()
+}
 
 // Matched returns the number of Lookup calls that found a rule.
-func (t *Table) Matched() uint64 { return t.matched }
+func (t *Table) Matched() uint64 {
+	return t.microHitsPos.Value() + t.scanMatched.Value()
+}
 
 // Entries returns a snapshot of the rules in match order.
 func (t *Table) Entries() []*Entry {
@@ -295,28 +349,28 @@ func outputsTo(actions []openflow.Action, port uint16) bool {
 // are cached too, since a miss is equally deterministic until the rule
 // set changes.
 func (t *Table) Lookup(p *netpkt.Packet, inPort uint16, now time.Time, frameLen int) *Entry {
-	t.lookups++
 	k := microKeyFor(p, inPort)
 	if e, ok := t.micro[k]; ok {
-		t.microHits++
 		if e == nil {
+			t.microHitsNeg.Inc()
 			return nil
 		}
+		t.microHitsPos.Inc()
 		return t.hit(e, now, frameLen)
 	}
-	t.microMisses++
 	for _, e := range t.entries {
 		if e.Match.Matches(p, inPort) {
+			t.scanMatched.Inc()
 			t.cacheLookup(k, e)
 			return t.hit(e, now, frameLen)
 		}
 	}
+	t.scanMissed.Inc()
 	t.cacheLookup(k, nil)
 	return nil
 }
 
 func (t *Table) hit(e *Entry, now time.Time, frameLen int) *Entry {
-	t.matched++
 	e.Packets++
 	e.Bytes += uint64(frameLen)
 	e.LastMatched = now

@@ -14,6 +14,7 @@ import (
 	"floodguard/internal/flowtable"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // PortFunc receives frames forwarded out of a port.
@@ -293,6 +294,37 @@ func (s *Switch) Stats() (packetIns, misses, forwarded uint64, rules int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.packetIns, s.misses, s.forwarded, s.table.Len()
+}
+
+// Instrument attaches the switch's counters to reg under the given
+// metric name prefix (e.g. "fg_rtswitch") and registers the flow table
+// under prefix+"_table". The pull-through funcs snapshot under s.mu, so
+// a scrape never races the datapath.
+func (s *Switch) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+"_packet_ins_total", "packet_in messages sent to the controller.", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.packetIns
+	})
+	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets.", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.misses
+	})
+	reg.CounterFunc(prefix+"_forwarded_total", "Packets matched and forwarded by the datapath.", func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.forwarded
+	})
+	reg.GaugeFunc(prefix+"_buffer_used", "Occupied packet buffer slots.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.buffer))
+	})
+	s.table.Register(reg, prefix+"_table")
 }
 
 // Rules returns the number of installed flow rules.

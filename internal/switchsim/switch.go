@@ -9,6 +9,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
 )
 
 // PortPeer receives frames the switch forwards out of a port.
@@ -77,7 +78,18 @@ type Switch struct {
 	expirer   *netsim.Ticker
 	nextXID   uint32
 
-	stats Stats
+	// Per-packet counters are atomics and the EWMA/buffer scalars are
+	// mirrored into gauges at their mutation points, so Stats() and a
+	// registry scrape never race the engine goroutine.
+	forwarded    telemetry.Counter
+	missed       telemetry.Counter
+	droppedNoRul telemetry.Counter
+	packetIns    telemetry.Counter
+	amplifiedIns telemetry.Counter
+	missRatePPS  telemetry.FloatGauge
+	bufUsed      telemetry.Gauge
+
+	trace *telemetry.Tracer
 }
 
 // sampleInterval is the health sampling period for rate EWMAs.
@@ -186,7 +198,7 @@ func (s *Switch) Stop() {
 
 func (s *Switch) sample() {
 	perSec := float64(time.Second) / float64(sampleInterval)
-	s.stats.MissRatePPS = s.missEWMA.Observe(float64(s.missCount) * perSec)
+	s.missRatePPS.Set(s.missEWMA.Observe(float64(s.missCount) * perSec))
 	s.fwdEWMA.Observe(float64(s.fwdCount) * perSec)
 	s.missCount = 0
 	s.fwdCount = 0
@@ -207,17 +219,48 @@ func (s *Switch) expire() {
 	}
 }
 
-// Stats returns a health snapshot.
+// Stats returns a health snapshot. Safe to call from any goroutine: every
+// field reads an atomic or a mirrored gauge.
 func (s *Switch) Stats() Stats {
-	st := s.stats
-	st.BufferUsed = len(s.buffer)
-	st.BufferSlots = s.profile.BufferSlots
-	st.TableRules = s.table.Len()
-	st.TableCapacity = s.profile.TableCapacity
 	ts := s.table.Stats()
-	st.MicroflowHits = ts.MicroflowHits
-	st.MicroflowMisses = ts.MicroflowMisses
-	return st
+	return Stats{
+		MissRatePPS:     s.missRatePPS.Value(),
+		BufferUsed:      int(s.bufUsed.Value()),
+		BufferSlots:     s.profile.BufferSlots,
+		TableRules:      s.table.RuleCount(),
+		TableCapacity:   s.profile.TableCapacity,
+		Forwarded:       s.forwarded.Value(),
+		Missed:          s.missed.Value(),
+		DroppedNoRule:   s.droppedNoRul.Value(),
+		PacketIns:       s.packetIns.Value(),
+		AmplifiedIns:    s.amplifiedIns.Value(),
+		MicroflowHits:   ts.MicroflowHits,
+		MicroflowMisses: ts.MicroflowMisses,
+	}
+}
+
+// SetTracer attaches a pipeline tracer; sampled table misses then record
+// the packet_in stage (miss processing plus control channel transit).
+func (s *Switch) SetTracer(t *telemetry.Tracer) { s.trace = t }
+
+// Instrument attaches the switch's counters and gauges to reg under the
+// given metric name prefix (e.g. "fg_switch") and registers the flow
+// table under prefix+"_table".
+func (s *Switch) Instrument(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(prefix+"_forwarded_total", "Packets matched and forwarded by the datapath.", &s.forwarded)
+	reg.RegisterCounter(prefix+"_missed_total", "Table-miss packets.", &s.missed)
+	reg.RegisterCounter(prefix+"_dropped_total", "Packets dropped by rule or for lack of a controller.", &s.droppedNoRul)
+	reg.RegisterCounter(prefix+"_packet_ins_total", "packet_in messages emitted to the control plane.", &s.packetIns)
+	reg.RegisterCounter(prefix+"_amplified_ins_total", "packet_ins carrying the full frame (buffer exhausted).", &s.amplifiedIns)
+	reg.RegisterFloatGauge(prefix+"_miss_rate_pps", "EWMA table-miss rate (packets/sec).", &s.missRatePPS)
+	reg.RegisterGauge(prefix+"_buffer_used", "Occupied packet buffer slots.", &s.bufUsed)
+	reg.GaugeFunc(prefix+"_buffer_slots", "Total packet buffer slots.", func() float64 {
+		return float64(s.profile.BufferSlots)
+	})
+	s.table.Register(reg, prefix+"_table")
 }
 
 // LookupCost returns the current per-packet lookup latency given the
@@ -232,7 +275,7 @@ func (s *Switch) ControlShareConsumed() float64 {
 	if s.profile.CollapseRatePPS <= 0 {
 		return 0
 	}
-	x := s.stats.MissRatePPS / s.profile.CollapseRatePPS
+	x := s.missRatePPS.Value() / s.profile.CollapseRatePPS
 	if x <= 0 {
 		return 0
 	}
@@ -268,10 +311,10 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 		s.miss(pkt, inPort, frameLen)
 		return
 	}
-	s.stats.Forwarded++
+	s.forwarded.Inc()
 	s.fwdCount++
 	if len(entry.Actions) == 0 {
-		s.stats.DroppedNoRule++ // explicit drop rule
+		s.droppedNoRul.Inc() // explicit drop rule
 		return
 	}
 	out := pkt
@@ -280,10 +323,10 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 }
 
 func (s *Switch) miss(pkt netpkt.Packet, inPort uint16, frameLen int) {
-	s.stats.Missed++
+	s.missed.Inc()
 	s.missCount++
 	if s.ctl == nil {
-		s.stats.DroppedNoRule++
+		s.droppedNoRul.Inc()
 		return
 	}
 	msg := openflow.PacketIn{
@@ -298,9 +341,11 @@ func (s *Switch) miss(pkt netpkt.Packet, inPort uint16, frameLen int) {
 		if s.profile.BufferTimeout > 0 {
 			bp.expiry = s.eng.Schedule(s.profile.BufferTimeout, func() {
 				delete(s.buffer, id)
+				s.bufUsed.Set(int64(len(s.buffer)))
 			})
 		}
 		s.buffer[id] = bp
+		s.bufUsed.Set(int64(len(s.buffer)))
 		msg.BufferID = id
 		data := pkt.Marshal()
 		if max := s.profile.PacketInHeaderBytes; max > 0 && len(data) > max {
@@ -311,11 +356,27 @@ func (s *Switch) miss(pkt netpkt.Packet, inPort uint16, frameLen int) {
 		// Buffer exhausted: the whole frame rides the control channel.
 		msg.BufferID = openflow.NoBuffer
 		msg.Data = pkt.Marshal()
-		s.stats.AmplifiedIns++
+		s.amplifiedIns.Inc()
 	}
-	s.stats.PacketIns++
+	s.packetIns.Inc()
+	traced := s.trace.Sample()
+	var t0 time.Time
+	if traced {
+		t0 = s.eng.Now()
+	}
 	s.eng.Schedule(s.profile.MissProcDelay, func() {
-		s.sendToController(msg)
+		if !traced {
+			s.sendToController(msg)
+			return
+		}
+		// Sampled miss: record the packet_in stage — miss processing plus
+		// control channel transit — at the moment of controller delivery.
+		s.nextXID++
+		xid := s.nextXID
+		s.ctlUp.Send(openflow.FrameLen(msg), func() {
+			s.trace.Observe(telemetry.StagePacketIn, s.eng.Now().Sub(t0))
+			s.ctl.FromSwitch(s, openflow.Framed{XID: xid, Msg: msg})
+		})
 	})
 }
 
@@ -402,6 +463,7 @@ func (s *Switch) releaseBuffer(id uint32, actions []openflow.Action) {
 		return
 	}
 	delete(s.buffer, id)
+	s.bufUsed.Set(int64(len(s.buffer)))
 	if bp.expiry != nil {
 		bp.expiry.Cancel()
 	}

@@ -1,0 +1,242 @@
+// Package telemetry is FloodGuard's unified observability layer: a
+// lock-free metrics core (atomic counters, gauges, fixed-bucket latency
+// histograms, windowed rates) behind a named registry, plus two event
+// systems — sampled packet-lifecycle tracing aggregated into per-stage
+// latency histograms, and a ring-buffered FSM transition log — and an
+// optional HTTP exposition endpoint (Prometheus text format, JSON
+// snapshot, pprof).
+//
+// Hot-path budget: a counter increment or gauge move is a single atomic
+// op and allocates nothing; histogram observation is a handful of atomic
+// ops and is only reached behind a sampling gate on per-packet paths.
+// Every metric type is usable as its zero value, so components own their
+// counters unconditionally and attach them to a registry only when a
+// deployment wants exposition.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic integer gauge (a value that can go up and down:
+// queue depths, session counts). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an atomic float64 gauge (rates, fractions). The zero
+// value is ready to use.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// LatencyBuckets is the default histogram bucket layout for pipeline
+// stage latencies: roughly exponential from 10µs to 10s, wide enough for
+// both the microsecond switch path and multi-second cache residence.
+var LatencyBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// CountBuckets is a power-of-two bucket layout for size/count
+// distributions (batch sizes, queue lengths).
+var CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (seconds, for latency histograms). Buckets are cumulative at
+// exposition time, Prometheus-style: an observation lands in the first
+// bucket whose upper bound is >= the value. Observation is lock-free:
+// one atomic add for the bucket, one for the count, one for the sum
+// (accumulated in nanoseconds to stay on the integer fast path).
+type Histogram struct {
+	bounds   []float64 // sorted upper bounds; implicit +Inf bucket after
+	counts   []atomic.Uint64
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram returns a histogram over the given sorted upper bounds
+// (nil picks LatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(v * 1e9))
+}
+
+// ObserveDuration records one duration as seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	i := 0
+	secs := d.Seconds()
+	for i < len(h.bounds) && secs > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return float64(h.sumNanos.Load()) / 1e9 }
+
+// Bucket is one cumulative histogram bucket at snapshot time.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MarshalJSON renders the +Inf upper bound as the string "+Inf";
+// encoding/json rejects non-finite float64s, which would otherwise
+// abort the whole snapshot.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.UpperBound, 1) {
+		le = formatFloat(b.UpperBound)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// Buckets returns the cumulative bucket counts (the final entry is the
+// +Inf bucket and equals Count, modulo in-flight observations).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	return out
+}
+
+// Rate measures a windowed event rate: events are accumulated into a
+// ring of fixed-width time slots and the rate is the sum over the ring
+// divided by its span. Both Add and PerSecond take the current time
+// explicitly, so virtual-clock components pass their engine's Now and
+// real-time components pass time.Now — rollover is driven entirely by
+// the caller's clock, never the wall clock.
+//
+// Add is lock-free: an epoch compare plus at most one CAS-reset and one
+// atomic add. Slots whose epoch has expired are ignored at read time, so
+// a stale slot never inflates the rate.
+type Rate struct {
+	slotWidth time.Duration
+	slots     []rateSlot
+}
+
+type rateSlot struct {
+	epoch atomic.Int64
+	n     atomic.Uint64
+}
+
+// NewRate returns a windowed rate over `slots` slots of width slotWidth
+// (defaults: 10 slots of 1s).
+func NewRate(slots int, slotWidth time.Duration) *Rate {
+	if slots <= 0 {
+		slots = 10
+	}
+	if slotWidth <= 0 {
+		slotWidth = time.Second
+	}
+	return &Rate{slotWidth: slotWidth, slots: make([]rateSlot, slots)}
+}
+
+// Add records n events at now.
+func (r *Rate) Add(n uint64, now time.Time) {
+	e := now.UnixNano() / int64(r.slotWidth)
+	s := &r.slots[int(e%int64(len(r.slots)))]
+	if s.epoch.Load() != e {
+		// New window for this slot: reset. A racing Add that swaps the
+		// epoch first wins the reset; both adds land in the fresh window.
+		if s.epoch.Swap(e) != e {
+			s.n.Store(0)
+		}
+	}
+	s.n.Add(n)
+}
+
+// PerSecond returns the event rate over the ring's span as of now,
+// counting only slots whose window is still live.
+func (r *Rate) PerSecond(now time.Time) float64 {
+	e := now.UnixNano() / int64(r.slotWidth)
+	oldest := e - int64(len(r.slots)) + 1
+	var total uint64
+	for i := range r.slots {
+		se := r.slots[i].epoch.Load()
+		if se >= oldest && se <= e {
+			total += r.slots[i].n.Load()
+		}
+	}
+	span := time.Duration(len(r.slots)) * r.slotWidth
+	return float64(total) / span.Seconds()
+}
+
+// Total returns the sum currently held across live and stale slots
+// (test/diagnostic helper; not a lifetime total).
+func (r *Rate) Total() uint64 {
+	var total uint64
+	for i := range r.slots {
+		total += r.slots[i].n.Load()
+	}
+	return total
+}
