@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry cover check fuzz ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json cover check fuzz ci
 
 all: build test
 
@@ -41,6 +41,25 @@ bench-telemetry:
 	$(GO) test -bench=MicroflowHit -benchtime=100x -benchmem -run=^$$ .
 	$(GO) test -bench=WriteReplay -benchtime=100x -benchmem -run=^$$ ./internal/dpcproto/
 
+# The PR-4 performance families rendered as BENCH_4.json with
+# regression gates: the two 0-alloc fast paths must stay 0-alloc, the
+# warm memo must stay an order of magnitude under the cold derive, and
+# the 1000-path sequential derive has an absolute ceiling generous
+# enough for slow CI machines (~6x the reference box).
+bench-json:
+	@rm -f bench4.txt
+	$(GO) test -bench='BenchmarkMicroflowHit$$|BenchmarkDeriveRules' -benchtime=20x -benchmem -run=^$$ . | tee -a bench4.txt
+	$(GO) test -bench=WriteReplay -benchtime=100x -benchmem -run=^$$ ./internal/dpcproto/ | tee -a bench4.txt
+	$(GO) test -bench=Concretize -benchtime=100x -benchmem -run=^$$ ./internal/solver/ | tee -a bench4.txt
+	$(GO) test -bench=MicroflowHitRetention -benchtime=10000x -benchmem -run=^$$ ./internal/flowtable/ | tee -a bench4.txt
+	$(GO) run ./cmd/benchjson -in bench4.txt -out BENCH_4.json \
+		-gate 'BenchmarkMicroflowHit(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkWriteReplay/write-replay(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkDeriveRules/paths-1000/workers-1(-|$$):ns_per_op<=60000000' \
+		-gate 'BenchmarkDeriveRulesMemo/warm/paths-1000(-|$$):ns_per_op<=6000000' \
+		-gate 'BenchmarkConcretize/entries=1024(-|$$):allocs_per_op<=16' \
+		-gate 'BenchmarkMicroflowHitRetentionUnderChurn/churn-every-16(-|$$):hitrate>=0.9'
+
 # Coverage over the whole tree; cover.out is the artifact CI uploads.
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
@@ -48,13 +67,15 @@ cover:
 
 check: build vet test race
 
-# The three wire-facing decoders, each under coverage-guided fuzzing for
-# FUZZTIME. Any crasher is written to the package's testdata/fuzz/ and
-# replays as a plain test case from then on.
+# The three wire-facing decoders plus the symbolic-execution pipeline,
+# each under coverage-guided fuzzing for FUZZTIME. Any crasher is
+# written to the package's testdata/fuzz/ and replays as a plain test
+# case from then on.
 fuzz:
 	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/symexec/ -run '^$$' -fuzz FuzzExplore -fuzztime $(FUZZTIME)
 
 # Everything CI runs, in CI's order.
 ci: build vet test race fuzz

@@ -252,7 +252,7 @@ func BenchmarkAblationUpdateStrategy(b *testing.B) {
 				}
 			}
 		}
-		return an.Derivations
+		return an.Derivations.Value()
 	}
 	b.Run("every-change", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

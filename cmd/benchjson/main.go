@@ -1,0 +1,256 @@
+// Command benchjson converts `go test -bench` text (stdin or -in) into
+// a machine-readable JSON report and enforces regression gates on the
+// parsed numbers. CI pipes the PR's benchmark families through it and
+// uploads the JSON as the build's performance artifact:
+//
+//	go test -bench Foo -benchmem -run '^$' ./... | benchjson -out BENCH.json \
+//	    -gate 'BenchmarkFoo:ns_per_op<=1000000'
+//
+// A gate is regexp-pattern:metric<=bound (or >=); anchor with (-|$) to
+// keep BenchmarkFoo from also matching BenchmarkFooBar. Metrics are
+// ns_per_op, bytes_per_op, allocs_per_op, or any custom unit the
+// benchmark reported (speedup, hitrate, ...). A gate whose pattern
+// matches no parsed benchmark fails the run — a silently-renamed
+// benchmark must not turn its gate into a no-op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+type gate struct {
+	pattern *regexp.Regexp
+	metric  string
+	max     bool // true: value must be <= bound; false: >= bound
+	bound   float64
+}
+
+type gateList []gate
+
+func (g *gateList) String() string { return fmt.Sprint(*g) }
+
+func (g *gateList) Set(s string) error {
+	colon := strings.LastIndex(s, ":")
+	if colon < 0 {
+		return fmt.Errorf("gate %q: want pattern:metric<=bound", s)
+	}
+	pattern, expr := s[:colon], s[colon+1:]
+	var op string
+	var max bool
+	switch {
+	case strings.Contains(expr, "<="):
+		op, max = "<=", true
+	case strings.Contains(expr, ">="):
+		op, max = ">=", false
+	default:
+		return fmt.Errorf("gate %q: no <= or >= in %q", s, expr)
+	}
+	parts := strings.SplitN(expr, op, 2)
+	bound, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return fmt.Errorf("gate %q: bad bound: %v", s, err)
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("gate %q: bad pattern: %v", s, err)
+	}
+	*g = append(*g, gate{
+		pattern: re,
+		metric:  strings.TrimSpace(parts[0]),
+		max:     max,
+		bound:   bound,
+	})
+	return nil
+}
+
+func main() {
+	var gates gateList
+	in := flag.String("in", "", "read benchmark text from this file instead of stdin")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Var(&gates, "gate", "regression gate pattern:metric<=bound (repeatable)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	rep := Report{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+
+	if failures := checkGates(benches, gates); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+		}
+		os.Exit(1)
+	}
+	for _, g := range gates {
+		fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s %s %s %g\n",
+			g.pattern, g.metric, gateOp(g), g.bound)
+	}
+}
+
+func gateOp(g gate) string {
+	if g.max {
+		return "<="
+	}
+	return ">="
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. A line looks like:
+//
+//	BenchmarkName/sub-8  100  12345 ns/op  42 B/op  7 allocs/op  1.5 hitrate
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... --- SKIP" chatter
+		}
+		// Names are kept verbatim, including any -N GOMAXPROCS suffix:
+		// stripping it is ambiguous against numeric sub-benchmark path
+		// segments like paths-1000 (go omits the suffix entirely when
+		// GOMAXPROCS is 1). Gates match by substring, so the suffix is
+		// harmless.
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		// The rest is value-unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", line, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[strings.TrimSuffix(fields[i+1], "/op")] = v
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+func (b *Benchmark) metric(name string) (float64, bool) {
+	switch name {
+	case "ns_per_op":
+		return b.NsPerOp, true
+	case "bytes_per_op":
+		return b.BytesPerOp, true
+	case "allocs_per_op":
+		return b.AllocsPerOp, true
+	}
+	v, ok := b.Metrics[name]
+	return v, ok
+}
+
+func checkGates(benches []Benchmark, gates []gate) []string {
+	var failures []string
+	for _, g := range gates {
+		matched := false
+		for i := range benches {
+			b := &benches[i]
+			if !g.pattern.MatchString(b.Name) {
+				continue
+			}
+			v, ok := b.metric(g.metric)
+			if !ok {
+				continue
+			}
+			matched = true
+			if g.max && v > g.bound {
+				failures = append(failures, fmt.Sprintf("%s: %s = %g, want <= %g",
+					b.Name, g.metric, v, g.bound))
+			}
+			if !g.max && v < g.bound {
+				failures = append(failures, fmt.Sprintf("%s: %s = %g, want >= %g",
+					b.Name, g.metric, v, g.bound))
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf(
+				"gate %s:%s matched no benchmark (renamed or not run?)", g.pattern, g.metric))
+		}
+	}
+	return failures
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: floodguard
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMicroflowHit-8         	27690786	        43.21 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeriveRules/paths-1000/workers-1-8   	     100	  10658591 ns/op	11454926 B/op	   42039 allocs/op
+BenchmarkDeriveRulesMemo/warm/paths-1000      	     100	    535523 ns/op	  582560 B/op	    2353 allocs/op
+BenchmarkMicroflowHitRetentionUnderChurn/churn-every-4-8 	  100000	     61960 ns/op	         1.000 hitrate	    6959 B/op	     403 allocs/op
+--- SKIP: BenchmarkDeriveRulesSpeedup
+PASS
+ok  	floodguard	5.818s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	// Names are verbatim: the -8 procs suffix stays, and a numeric
+	// sub-benchmark segment like paths-1000 is never mistaken for one.
+	if benches[0].Name != "BenchmarkMicroflowHit-8" {
+		t.Errorf("name not verbatim: %q", benches[0].Name)
+	}
+	if benches[0].NsPerOp != 43.21 || benches[0].AllocsPerOp != 0 {
+		t.Errorf("MicroflowHit parsed as %+v", benches[0])
+	}
+	if benches[1].Name != "BenchmarkDeriveRules/paths-1000/workers-1-8" {
+		t.Errorf("sub-benchmark name: %q", benches[1].Name)
+	}
+	if benches[2].Name != "BenchmarkDeriveRulesMemo/warm/paths-1000" {
+		t.Errorf("suffix-free name mangled: %q", benches[2].Name)
+	}
+	if got := benches[3].Metrics["hitrate"]; got != 1.0 {
+		t.Errorf("hitrate = %v, want 1.0", got)
+	}
+}
+
+func TestGates(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gates gateList
+	for _, s := range []string{
+		"BenchmarkMicroflowHit(-|$):allocs_per_op<=0",
+		"BenchmarkDeriveRules/paths-1000/workers-1:ns_per_op<=60000000",
+		"churn-every-4:hitrate>=0.9",
+	} {
+		if err := gates.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failures := checkGates(benches, gates); len(failures) != 0 {
+		t.Errorf("unexpected failures: %v", failures)
+	}
+
+	var bad gateList
+	if err := bad.Set("BenchmarkDeriveRules/paths-1000/workers-1:ns_per_op<=1000"); err != nil {
+		t.Fatal(err)
+	}
+	if failures := checkGates(benches, bad); len(failures) != 1 {
+		t.Errorf("tight gate produced %d failures, want 1", len(failures))
+	}
+
+	var unmatched gateList
+	if err := unmatched.Set("BenchmarkRenamedAway:ns_per_op<=1"); err != nil {
+		t.Fatal(err)
+	}
+	if failures := checkGates(benches, unmatched); len(failures) != 1 {
+		t.Errorf("unmatched gate produced %d failures, want 1 (must not silently pass)", len(failures))
+	}
+}
+
+func TestGateSyntaxErrors(t *testing.T) {
+	var g gateList
+	for _, s := range []string{"nocolon", "a:b", "a:b<=x", "a(:ns_per_op<=1"} {
+		if err := g.Set(s); err == nil {
+			t.Errorf("gate %q accepted", s)
+		}
+	}
+}
+
+// The anchored MicroflowHit gate must not bleed onto the churn
+// benchmark, whose allocs come from the Apply churn itself.
+func TestGateAnchoring(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g gateList
+	if err := g.Set("BenchmarkMicroflowHit:allocs_per_op<=0"); err != nil {
+		t.Fatal(err)
+	}
+	if failures := checkGates(benches, g); len(failures) != 1 {
+		t.Fatalf("unanchored gate failures = %v, want the churn bench to trip it", failures)
+	}
+	var anchored gateList
+	if err := anchored.Set("BenchmarkMicroflowHit(-|$):allocs_per_op<=0"); err != nil {
+		t.Fatal(err)
+	}
+	if failures := checkGates(benches, anchored); len(failures) != 0 {
+		t.Errorf("anchored gate failures = %v, want none", failures)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 	iters := flag.Int("iters", 50, "derivation repetitions for fig13")
 	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
+	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant)")
 	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
 	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
@@ -86,7 +87,7 @@ func main() {
 		}()
 	}
 
-	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps); err != nil {
+	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsim:", err)
 		os.Exit(1)
 	}
@@ -111,13 +112,14 @@ experiments:
   tab4            average first-packet delay (OpenFlow vs FloodGuard)
   compare         FloodGuard vs AvantGuard vs no defense, per flood protocol
   chaos           seeded sideband flaps mid-Defense: degraded drops and recovery
+  sweep           multi-seed bandwidth sweep sharded across -shards workers
   all             run everything in paper order
 
 flags:`)
 	flag.PrintDefaults()
 }
 
-func run(name string, trials, iters int, seed int64, flaps int) error {
+func run(name string, trials, iters int, seed int64, flaps, shards int) error {
 	switch name {
 	case "sec2-baseline":
 		return sec2()
@@ -137,6 +139,8 @@ func run(name string, trials, iters int, seed int64, flaps int) error {
 		return compare()
 	case "chaos":
 		return chaos(seed, flaps)
+	case "sweep":
+		return sweep(shards)
 	case "all":
 		for _, fn := range []func() error{
 			sec2, fig10, fig11, fig12,
@@ -242,6 +246,20 @@ func tab4(trials int) error {
 	r, err := experiments.RunTab4(trials)
 	if err != nil {
 		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func sweep(shards int) error {
+	cfg := experiments.DefaultSweep()
+	cfg.Shards = shards
+	r, err := experiments.RunSweep(cfg)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
 	}
 	r.Print(os.Stdout)
 	return nil

@@ -26,6 +26,11 @@ type State struct {
 	prefixes map[string][]PrefixEntry
 	scalars  map[string]Value
 	version  uint64
+	// gvers holds one monotonic epoch per global name, bumped in lock
+	// step with version by whichever mutation touched that global.
+	// Derivation caches key on these: a path whose referenced globals
+	// all carry unchanged epochs must concretize identically.
+	gvers map[string]uint64
 }
 
 // NewState returns an empty store.
@@ -34,6 +39,7 @@ func NewState() *State {
 		tables:   make(map[string]map[Value]Value),
 		prefixes: make(map[string][]PrefixEntry),
 		scalars:  make(map[string]Value),
+		gvers:    make(map[string]uint64),
 	}
 }
 
@@ -42,6 +48,33 @@ func (s *State) Version() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.version
+}
+
+// bump must be called with mu held for writing.
+func (s *State) bump(name string) {
+	s.version++
+	s.gvers[name] = s.version
+}
+
+// GlobalVersion returns the epoch of one named global: the value of the
+// store-wide mutation counter at the time of that global's last real
+// (non-no-op) mutation, or 0 if it was never written.
+func (s *State) GlobalVersion(name string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gvers[name]
+}
+
+// GlobalVersions appends the epochs of the named globals to buf (in the
+// given order) under a single read lock — the fetch step of epoch-keyed
+// derivation memoization.
+func (s *State) GlobalVersions(names []string, buf []uint64) []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, n := range names {
+		buf = append(buf, s.gvers[n])
+	}
+	return buf
 }
 
 // Learn sets table[key] = val.
@@ -57,7 +90,7 @@ func (s *State) Learn(table string, key, val Value) {
 		return // no-op writes do not invalidate derived rules
 	}
 	t[key] = val
-	s.version++
+	s.bump(table)
 }
 
 // Unlearn removes table[key].
@@ -72,7 +105,7 @@ func (s *State) Unlearn(table string, key Value) {
 		return
 	}
 	delete(t, key)
-	s.version++
+	s.bump(table)
 }
 
 // Contains tests exact-table membership.
@@ -128,7 +161,7 @@ func (s *State) AddPrefix(table string, prefix Value, length int, val Value) {
 				return
 			}
 			rows[i].Val = val
-			s.version++
+			s.bump(table)
 			return
 		}
 	}
@@ -141,7 +174,7 @@ func (s *State) AddPrefix(table string, prefix Value, length int, val Value) {
 		}
 		return a.Prefix.Bits < b.Prefix.Bits
 	})
-	s.version++
+	s.bump(table)
 }
 
 // RemovePrefix deletes a prefix route.
@@ -152,7 +185,7 @@ func (s *State) RemovePrefix(table string, prefix Value, length int) {
 	for i, r := range rows {
 		if r.Prefix == prefix && r.Len == length {
 			s.prefixes[table] = append(rows[:i:i], rows[i+1:]...)
-			s.version++
+			s.bump(table)
 			return
 		}
 	}
@@ -193,7 +226,7 @@ func (s *State) SetScalar(name string, v Value) {
 		return
 	}
 	s.scalars[name] = v
-	s.version++
+	s.bump(name)
 }
 
 // Scalar reads a named scalar.
@@ -223,6 +256,9 @@ func (s *State) Clone() *State {
 	}
 	for name, v := range s.scalars {
 		out.scalars[name] = v
+	}
+	for name, v := range s.gvers {
+		out.gvers[name] = v
 	}
 	out.version = s.version
 	return out

@@ -1,0 +1,96 @@
+package appir
+
+import (
+	"testing"
+
+	"floodguard/internal/netpkt"
+)
+
+// Per-global epochs must move only when the named global really changes,
+// and must track the store-wide version: that is the contract the
+// derivation memo relies on.
+func TestGlobalVersionTracksMutations(t *testing.T) {
+	st := NewState()
+	if v := st.GlobalVersion("mac_table"); v != 0 {
+		t.Fatalf("unwritten global version = %d, want 0", v)
+	}
+
+	st.Learn("mac_table", MACValue(netpkt.MustMAC("00:00:00:00:00:01")), U16Value(1))
+	v1 := st.GlobalVersion("mac_table")
+	if v1 == 0 {
+		t.Fatal("Learn did not bump the global epoch")
+	}
+	if v1 != st.Version() {
+		t.Fatalf("global epoch %d != store version %d", v1, st.Version())
+	}
+
+	// A mutation of a different global must not move mac_table's epoch.
+	st.SetScalar("threshold", U16Value(10))
+	if got := st.GlobalVersion("mac_table"); got != v1 {
+		t.Fatalf("unrelated mutation moved mac_table epoch %d -> %d", v1, got)
+	}
+	if got := st.GlobalVersion("threshold"); got != st.Version() {
+		t.Fatalf("threshold epoch %d != store version %d", got, st.Version())
+	}
+
+	// No-op writes must not move any epoch.
+	before := st.Version()
+	st.Learn("mac_table", MACValue(netpkt.MustMAC("00:00:00:00:00:01")), U16Value(1))
+	st.SetScalar("threshold", U16Value(10))
+	if st.Version() != before {
+		t.Fatal("no-op writes bumped the store version")
+	}
+	if got := st.GlobalVersion("mac_table"); got != v1 {
+		t.Fatalf("no-op Learn moved mac_table epoch %d -> %d", v1, got)
+	}
+
+	// Unlearn, prefix add/remove, and scalar change each move only their
+	// own global.
+	st.Unlearn("mac_table", MACValue(netpkt.MustMAC("00:00:00:00:00:01")))
+	v2 := st.GlobalVersion("mac_table")
+	if v2 <= v1 {
+		t.Fatalf("Unlearn did not advance mac_table epoch (%d -> %d)", v1, v2)
+	}
+	st.AddPrefix("routes", IPValue(netpkt.MustIPv4("10.0.0.0")), 8, U16Value(3))
+	if got := st.GlobalVersion("routes"); got != st.Version() {
+		t.Fatalf("AddPrefix epoch %d != store version %d", got, st.Version())
+	}
+	if got := st.GlobalVersion("mac_table"); got != v2 {
+		t.Fatal("AddPrefix moved mac_table epoch")
+	}
+	st.RemovePrefix("routes", IPValue(netpkt.MustIPv4("10.0.0.0")), 8)
+	if got := st.GlobalVersion("routes"); got != st.Version() {
+		t.Fatalf("RemovePrefix epoch %d != store version %d", got, st.Version())
+	}
+}
+
+func TestGlobalVersionsBatchAndClone(t *testing.T) {
+	st := NewState()
+	st.Learn("t1", U16Value(1), U16Value(2))
+	st.SetScalar("s1", U16Value(3))
+
+	got := st.GlobalVersions([]string{"t1", "s1", "absent"}, nil)
+	want := []uint64{st.GlobalVersion("t1"), st.GlobalVersion("s1"), 0}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("GlobalVersions = %v, want %v", got, want)
+	}
+
+	// Appends to the supplied buffer.
+	buf := make([]uint64, 0, 4)
+	buf = append(buf, 99)
+	buf = st.GlobalVersions([]string{"t1"}, buf)
+	if len(buf) != 2 || buf[0] != 99 || buf[1] != want[0] {
+		t.Fatalf("GlobalVersions append = %v", buf)
+	}
+
+	cl := st.Clone()
+	if cl.GlobalVersion("t1") != st.GlobalVersion("t1") ||
+		cl.GlobalVersion("s1") != st.GlobalVersion("s1") {
+		t.Fatal("Clone dropped per-global epochs")
+	}
+	// Diverging the clone must not leak back.
+	cl.SetScalar("s1", U16Value(4))
+	if cl.GlobalVersion("s1") == st.GlobalVersion("s1") {
+		t.Fatal("clone epoch map aliases the original")
+	}
+}

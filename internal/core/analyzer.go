@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"floodguard/internal/appir"
@@ -9,6 +10,7 @@ import (
 	"floodguard/internal/flowtable"
 	"floodguard/internal/openflow"
 	"floodguard/internal/symexec"
+	"floodguard/internal/telemetry"
 )
 
 // RuleTarget abstracts where proactive flow rules land: switch flow
@@ -47,6 +49,9 @@ type appAnalysis struct {
 	// pendingChanges counts version bumps since the last sync (for
 	// UpdateEveryN), per scope.
 	pendingChanges map[uint64]uint64
+	// memos holds the per-scope epoch-keyed derivation caches when
+	// cfg.Memoize is on (guarded by Analyzer.memoMu).
+	memos map[uint64]*symexec.Memo
 }
 
 // sharedScope keys bookkeeping for apps whose state is shared across
@@ -71,11 +76,25 @@ type Analyzer struct {
 	// match identity, for differential updates (Figure 8).
 	installed map[string]openflow.FlowMod
 
+	// deriveMu serializes derivation runs (computeDesired / DeriveAll):
+	// the epoch memos are single-deriver structures, and with AsyncDerive
+	// a background derivation may still be in flight when an engine-side
+	// caller asks for a synchronous one.
+	deriveMu sync.Mutex
+	// memoMu guards the per-app memo maps: the compute phase may run on a
+	// background goroutine while a telemetry scrape sums memo stats.
+	memoMu sync.Mutex
+
+	// deriveSeconds, when armed by Register, observes every derivation's
+	// wall-clock cost.
+	deriveSeconds *telemetry.Histogram
+
 	// Derivations counts Algorithm 2 executions (overhead accounting).
-	Derivations uint64
+	// Atomic: the compute phase may increment it off the engine goroutine.
+	Derivations telemetry.Counter
 	// RulesInstalled and RulesRemoved count dispatcher actions.
-	RulesInstalled uint64
-	RulesRemoved   uint64
+	RulesInstalled telemetry.Counter
+	RulesRemoved   telemetry.Counter
 	// LastDeriveDuration is the wall-clock cost of the most recent
 	// derivation (the Figure 13 quantity).
 	LastDeriveDuration time.Duration
@@ -89,9 +108,68 @@ func NewAnalyzer(cfg AnalyzerConfig, apps []*controller.App) (*Analyzer, error) 
 			app:            app,
 			lastVersion:    make(map[uint64]uint64),
 			pendingChanges: make(map[uint64]uint64),
+			memos:          make(map[uint64]*symexec.Memo),
 		})
 	}
 	return a, nil
+}
+
+// Register attaches the analyzer's metrics to a telemetry registry:
+// derivation latency histogram, run/dispatch counters, and the epoch
+// memo's hit/miss totals. Call once, before derivations begin.
+func (a *Analyzer) Register(reg *telemetry.Registry) {
+	a.deriveSeconds = reg.Histogram("fg_derive_seconds",
+		"Wall-clock cost of Algorithm 2 proactive rule derivation runs.", nil)
+	reg.RegisterCounter("fg_analyzer_derivations_total",
+		"Algorithm 2 executions (one per app per scope per sync).", &a.Derivations)
+	reg.RegisterCounter("fg_analyzer_rules_installed_total",
+		"Proactive rules dispatched to targets.", &a.RulesInstalled)
+	reg.RegisterCounter("fg_analyzer_rules_removed_total",
+		"Stale proactive rules withdrawn from targets.", &a.RulesRemoved)
+	reg.CounterFunc("fg_analyzer_memo_hits_total",
+		"Per-path derivations served from the epoch memo.", func() uint64 {
+			h, _ := a.MemoStats()
+			return h
+		})
+	reg.CounterFunc("fg_analyzer_memo_misses_total",
+		"Per-path derivations the epoch memo had to re-solve.", func() uint64 {
+			_, m := a.MemoStats()
+			return m
+		})
+}
+
+// MemoStats sums per-path cache hits and misses across every app's epoch
+// memos. Zeroes when memoization is off. Safe from any goroutine.
+func (a *Analyzer) MemoStats() (hits, misses uint64) {
+	a.memoMu.Lock()
+	defer a.memoMu.Unlock()
+	for _, aa := range a.apps {
+		for _, m := range aa.memos {
+			h, mi := m.Stats()
+			hits += h
+			misses += mi
+		}
+	}
+	return hits, misses
+}
+
+// deriveFor runs Algorithm 2 for one app scope, through the epoch memo
+// when enabled. The memo guarantees the same rules in the same order as
+// a direct derivation; it just re-solves only the paths whose globals
+// moved since the last run.
+func (a *Analyzer) deriveFor(aa *appAnalysis, scope uint64, st *appir.State) ([]symexec.ProactiveRule, error) {
+	opts := symexec.DeriveOptions{Workers: a.cfg.DeriveWorkers}
+	if !a.cfg.Memoize {
+		return symexec.DeriveRulesOpts(aa.paths, st, opts)
+	}
+	a.memoMu.Lock()
+	m := aa.memos[scope]
+	if m == nil {
+		m = symexec.NewMemo(aa.paths)
+		aa.memos[scope] = m
+	}
+	a.memoMu.Unlock()
+	return m.Derive(st, opts)
 }
 
 // Prepare runs Algorithm 1 for every application — the offline
@@ -135,8 +213,15 @@ func (a *Analyzer) StateSensitiveReport() map[string][]string {
 // DeriveAll runs Algorithm 2 for every app against its live state and
 // returns the merged rule set (deduplicated by match+priority).
 func (a *Analyzer) DeriveAll() ([]appir.ConcreteRule, error) {
+	a.deriveMu.Lock()
+	defer a.deriveMu.Unlock()
 	start := time.Now()
-	defer func() { a.LastDeriveDuration = time.Since(start) }()
+	defer func() {
+		a.LastDeriveDuration = time.Since(start)
+		if a.deriveSeconds != nil {
+			a.deriveSeconds.ObserveDuration(a.LastDeriveDuration)
+		}
+	}()
 
 	var merged []appir.ConcreteRule
 	seen := make(map[string]bool)
@@ -144,11 +229,11 @@ func (a *Analyzer) DeriveAll() ([]appir.ConcreteRule, error) {
 		if aa.paths == nil {
 			return nil, fmt.Errorf("analyzer: %s not prepared", aa.app.Name())
 		}
-		rules, err := symexec.DeriveRules(aa.paths, aa.app.State)
+		rules, err := a.deriveFor(aa, sharedScope, aa.app.State)
 		if err != nil {
 			return nil, fmt.Errorf("derive %s: %w", aa.app.Name(), err)
 		}
-		a.Derivations++
+		a.Derivations.Inc()
 		aa.lastVersion[sharedScope] = aa.app.State.Version()
 		aa.pendingChanges[sharedScope] = 0
 		for _, r := range rules {
@@ -189,38 +274,80 @@ func (a *Analyzer) Sync(targets []RuleTarget) (int, int, error) {
 // datapath's target (plus the shared targets, e.g. a cache table);
 // rules from shared-state apps go everywhere.
 func (a *Analyzer) SyncScoped(scoped map[uint64]RuleTarget, shared []RuleTarget) (int, int, error) {
-	start := time.Now()
-	defer func() { a.LastDeriveDuration = time.Since(start) }()
+	return a.applyOutcome(a.computeDesired(), scoped, shared)
+}
 
-	type desired struct {
-		fm    openflow.FlowMod
-		scope uint64 // sharedScope or a dpid
-	}
-	next := make(map[string]desired)
+// desiredRule is one rule the analyzer wants live, with its dispatch
+// scope (sharedScope or a dpid).
+type desiredRule struct {
+	fm    openflow.FlowMod
+	scope uint64
+}
+
+// scopeVersion snapshots an app scope's state version at derivation
+// time, to be committed into the tracker bookkeeping at apply time.
+type scopeVersion struct {
+	aa    *appAnalysis
+	scope uint64
+	ver   uint64
+}
+
+// deriveOutcome is the result of the compute phase of a sync: the
+// desired rule set plus the bookkeeping to commit when it is applied.
+type deriveOutcome struct {
+	next     map[string]desiredRule
+	versions []scopeVersion
+	err      error
+	duration time.Duration
+}
+
+// computeDesired is the derivation half of a sync: it runs Algorithm 2
+// for every app scope and assembles the desired rule map. It touches
+// only immutable path sets, thread-safe app states, and atomics, so it
+// is safe to run off the engine goroutine while the FSM stays live —
+// the engine-side bookkeeping is deferred to applyOutcome. deriveMu
+// serializes it against a concurrent DeriveAll or a second sync: the
+// epoch memos admit one deriver at a time.
+func (a *Analyzer) computeDesired() *deriveOutcome {
+	a.deriveMu.Lock()
+	defer a.deriveMu.Unlock()
+	start := time.Now()
+	o := &deriveOutcome{next: make(map[string]desiredRule)}
+	defer func() {
+		o.duration = time.Since(start)
+		if a.deriveSeconds != nil {
+			a.deriveSeconds.ObserveDuration(o.duration)
+		}
+	}()
+
 	seen := make(map[string]bool)
 	for _, aa := range a.apps {
 		if aa.paths == nil {
-			return 0, 0, fmt.Errorf("analyzer: %s not prepared", aa.app.Name())
+			o.err = fmt.Errorf("analyzer: %s not prepared", aa.app.Name())
+			return o
 		}
 		for scope, st := range aa.scopes() {
-			rules, err := symexec.DeriveRules(aa.paths, st)
+			// Version captured before deriving: a mutation racing the
+			// derivation re-derives next round instead of being missed.
+			ver := st.Version()
+			rules, err := a.deriveFor(aa, scope, st)
 			if err != nil {
-				return 0, 0, fmt.Errorf("derive %s: %w", aa.app.Name(), err)
+				o.err = fmt.Errorf("derive %s: %w", aa.app.Name(), err)
+				return o
 			}
-			a.Derivations++
-			aa.lastVersion[scope] = st.Version()
-			aa.pendingChanges[scope] = 0
+			a.Derivations.Inc()
+			o.versions = append(o.versions, scopeVersion{aa: aa, scope: scope, ver: ver})
 			for _, r := range rules {
 				rule := r.Rule
-				if o := a.cfg.RuleIdleTimeoutOverride; o > 0 {
-					rule.IdleTimeout = o
+				if ov := a.cfg.RuleIdleTimeoutOverride; ov > 0 {
+					rule.IdleTimeout = ov
 				}
 				key := fmt.Sprintf("%d|%s", scope, ruleKey(rule.Match, rule.Priority))
 				if seen[key] {
 					continue
 				}
 				seen[key] = true
-				next[key] = desired{scope: scope, fm: openflow.FlowMod{
+				o.next[key] = desiredRule{scope: scope, fm: openflow.FlowMod{
 					Match:       rule.Match,
 					Command:     openflow.FlowAdd,
 					IdleTimeout: rule.IdleTimeout,
@@ -232,6 +359,22 @@ func (a *Analyzer) SyncScoped(scoped map[uint64]RuleTarget, shared []RuleTarget)
 				}}
 			}
 		}
+	}
+	return o
+}
+
+// applyOutcome is the dispatch half of a sync: it commits the tracker
+// bookkeeping and reconciles the targets with the desired rule set.
+// It mutates analyzer state and sends to targets, so it must run on the
+// engine goroutine.
+func (a *Analyzer) applyOutcome(o *deriveOutcome, scoped map[uint64]RuleTarget, shared []RuleTarget) (int, int, error) {
+	a.LastDeriveDuration = o.duration
+	if o.err != nil {
+		return 0, 0, o.err
+	}
+	for _, sv := range o.versions {
+		sv.aa.lastVersion[sv.scope] = sv.ver
+		sv.aa.pendingChanges[sv.scope] = 0
 	}
 
 	dispatch := func(scope uint64, fm openflow.FlowMod) {
@@ -249,7 +392,7 @@ func (a *Analyzer) SyncScoped(scoped map[uint64]RuleTarget, shared []RuleTarget)
 
 	installed, removed := 0, 0
 	for key, fm := range a.installed {
-		if _, keep := next[key]; keep {
+		if _, keep := o.next[key]; keep {
 			continue
 		}
 		del := fm
@@ -257,18 +400,29 @@ func (a *Analyzer) SyncScoped(scoped map[uint64]RuleTarget, shared []RuleTarget)
 		dispatch(scopeOfKey(key), del)
 		delete(a.installed, key)
 		removed++
-		a.RulesRemoved++
+		a.RulesRemoved.Inc()
 	}
-	for key, d := range next {
+	for key, d := range o.next {
 		if old, ok := a.installed[key]; ok && openflow.ActionsString(old.Actions) == openflow.ActionsString(d.fm.Actions) {
 			continue
 		}
 		dispatch(d.scope, d.fm)
 		a.installed[key] = d.fm
 		installed++
-		a.RulesInstalled++
+		a.RulesInstalled.Inc()
 	}
 	return installed, removed, nil
+}
+
+// StartAsync launches the compute phase on its own goroutine and
+// returns a buffered channel that will deliver the outcome. The caller
+// (the guard's completion poller) applies it engine-side with
+// applyOutcome. At most one derivation may be in flight at a time: the
+// epoch memos are not safe for concurrent Derive calls.
+func (a *Analyzer) StartAsync() <-chan *deriveOutcome {
+	ch := make(chan *deriveOutcome, 1)
+	go func() { ch <- a.computeDesired() }()
+	return ch
 }
 
 func scopeOfKey(key string) uint64 {

@@ -39,16 +39,27 @@ func MeasureBandwidth(profile switchsim.Profile, withFG bool, attackPPS float64)
 	return bw, err
 }
 
+// MeasureBandwidthSeeded is MeasureBandwidth with an explicit flood
+// seed, for sweeps that average over attack realizations.
+func MeasureBandwidthSeeded(profile switchsim.Profile, withFG bool, attackPPS float64, seed int64) (float64, error) {
+	bw, _, err := measureBandwidth(profile, withFG, attackPPS, seed)
+	return bw, err
+}
+
 // MeasureBandwidthWindows is MeasureBandwidth plus the per-window
 // telemetry timeline sampled over the whole run (attack warm-in and
 // measurement) at 100ms resolution.
 func MeasureBandwidthWindows(profile switchsim.Profile, withFG bool, attackPPS float64) (float64, []TelemetryWindow, error) {
+	return measureBandwidth(profile, withFG, attackPPS, 7)
+}
+
+func measureBandwidth(profile switchsim.Profile, withFG bool, attackPPS float64, seed int64) (float64, []TelemetryWindow, error) {
 	cfg := TestbedConfig{
 		Profile:            profile,
 		WithFloodGuard:     withFG,
 		GuardConfig:        DefaultGuardConfig(),
 		ControllerBaseCost: 200 * time.Microsecond,
-		FloodSeed:          7,
+		FloodSeed:          seed,
 	}
 	tb, err := NewTestbed(cfg)
 	if err != nil {

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"floodguard/internal/switchsim"
+)
+
+func sweepTestConfig(shards int) SweepConfig {
+	return SweepConfig{
+		Profiles: []switchsim.Profile{switchsim.HardwareProfile()},
+		Rates:    []float64{0, 150},
+		Seeds:    []int64{7, 21},
+		Shards:   shards,
+	}
+}
+
+func TestSweepJobsDeterministic(t *testing.T) {
+	cfg := sweepTestConfig(1)
+	jobs := cfg.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("len(jobs) = %d, want 4", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Errorf("jobs[%d].Index = %d", i, j.Index)
+		}
+	}
+	// Canonical order: seeds outermost over rates.
+	if jobs[0].Seed != 7 || jobs[1].Seed != 7 || jobs[2].Seed != 21 {
+		t.Errorf("seed order %d,%d,%d, want 7,7,21", jobs[0].Seed, jobs[1].Seed, jobs[2].Seed)
+	}
+	if jobs[0].AttackPPS != 0 || jobs[1].AttackPPS != 150 {
+		t.Errorf("rate order %.0f,%.0f, want 0,150", jobs[0].AttackPPS, jobs[1].AttackPPS)
+	}
+}
+
+// The merged CSV must be byte-identical no matter how many shards the
+// sweep ran on: every job owns a self-contained seeded testbed and its
+// result lands at its canonical index.
+func TestSweepShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs full bandwidth testbeds")
+	}
+	var want bytes.Buffer
+	r1, err := RunSweep(sweepTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{3, 16} {
+		r, err := RunSweep(sweepTestConfig(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := r.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("shards=%d CSV differs from shards=1:\n--- want\n%s--- got\n%s",
+				shards, want.String(), got.String())
+		}
+	}
+	// Sanity: the guarded series should beat the baseline under attack.
+	last := r1.Points[1] // seed 7 @ 150 pps
+	if last.FloodGuardBits <= last.BaselineBits {
+		t.Errorf("guarded %.0f <= baseline %.0f at 150 pps", last.FloodGuardBits, last.BaselineBits)
+	}
+}

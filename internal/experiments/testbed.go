@@ -70,6 +70,12 @@ func DefaultGuardConfig() core.Config {
 	// and becomes a proactive rule, and on the hardware profile's
 	// software flow table each rule costs lookup time.
 	cfg.RateLimit.MaxPPS = 25
+	// Charge a fixed derivation latency to virtual time so experiment
+	// timelines don't depend on the host's wall clock (cold caches on
+	// the first derivation would otherwise shift Init→Defense and break
+	// sweep reproducibility). 1ms is the Figure 13 ballpark for the
+	// bundled apps.
+	cfg.Analyzer.ModeledDeriveLatency = time.Millisecond
 	return cfg
 }
 

@@ -65,20 +65,41 @@ type Table struct {
 
 	// micro is the OVS-style microflow exact-match cache: the winning
 	// entry (nil for a cached miss) per exact header tuple + ingress
-	// port, consulted before the priority scan and invalidated wholesale
-	// on any table mutation. Lookup results are deterministic for a
-	// fixed rule set, so whole-cache invalidation on Apply/Expire/Clear
-	// keeps it exact.
-	micro        map[microKey]*Entry
+	// port, consulted before the priority scan. Each cached result is
+	// stamped with the table generation it was computed under; rule-set
+	// mutations advance the generation and log their match scope, and a
+	// stale cached result is revalidated lazily by replaying the logged
+	// mutations against its packet — only lookups whose packets fall
+	// inside a mutation's scope pay a rescan, so churn in one corner of
+	// the rule set no longer empties the whole cache.
+	micro        map[microKey]microEntry
 	microMaxSize int
+
+	// gen counts rule-set mutations; mutLog retains the match scope of
+	// the last mutLogSize of them (ring indexed by gen). A cached result
+	// older than the ring's window cannot be replayed and rescans.
+	gen    uint64
+	mutLog [mutLogSize]openflow.Match
 
 	microHitsPos telemetry.Counter // micro hit on a cached rule
 	microHitsNeg telemetry.Counter // micro hit on a cached miss
 	scanMatched  telemetry.Counter // micro miss, priority scan found a rule
 	scanMissed   telemetry.Counter // micro miss, table miss
-	microInvals  telemetry.Counter
+	microInvals  telemetry.Counter // whole-cache resets (capacity, Clear)
+	microRevals  telemetry.Counter // stale entries proven valid by replay
 	microEntries telemetry.Gauge
 	ruleCount    telemetry.Gauge // mirrors len(entries) for scrape goroutines
+}
+
+// mutLogSize bounds the mutation-replay ring. Beyond this many
+// mutations, untouched cache entries rescan instead of replaying —
+// a bounded-memory compromise, not a correctness edge.
+const mutLogSize = 64
+
+// microEntry is one cached lookup outcome with its generation stamp.
+type microEntry struct {
+	e   *Entry // nil caches a miss
+	gen uint64
 }
 
 // DefaultMicroflowSize bounds the microflow cache; when full it is reset
@@ -120,6 +141,10 @@ type Stats struct {
 	MicroflowMisses  uint64
 	MicroflowEntries int
 	Invalidations    uint64
+	// Revalidations counts stale cached results proven still valid by
+	// mutation-log replay — cache entries that whole-cache invalidation
+	// would have thrown away.
+	Revalidations uint64
 }
 
 // New returns a table bounded to capacity rules (0 = unbounded).
@@ -147,6 +172,7 @@ func (t *Table) Stats() Stats {
 		MicroflowMisses:  sm + sx,
 		MicroflowEntries: int(t.microEntries.Value()),
 		Invalidations:    t.microInvals.Value(),
+		Revalidations:    t.microRevals.Value(),
 	}
 }
 
@@ -171,6 +197,8 @@ func (t *Table) Register(reg *telemetry.Registry, prefix string) {
 	})
 	reg.RegisterCounter(prefix+"_microflow_invalidations_total",
 		"Whole-cache microflow invalidations.", &t.microInvals)
+	reg.RegisterCounter(prefix+"_microflow_revalidations_total",
+		"Stale microflow entries retained after mutation-log replay.", &t.microRevals)
 	reg.RegisterGauge(prefix+"_microflow_entries",
 		"Current microflow cache occupancy.", &t.microEntries)
 	reg.GaugeFunc(prefix+"_rules",
@@ -179,11 +207,13 @@ func (t *Table) Register(reg *telemetry.Registry, prefix string) {
 		})
 }
 
-// invalidateMicro drops every cached lookup result. It must be called on
-// any mutation of the rule set: cached pointers may name removed entries
-// and cached misses may be shadowed by new rules.
+// invalidateMicro drops every cached lookup result: the fallback for
+// wholesale changes (Clear, cache resize) that no per-match record can
+// scope.
 func (t *Table) invalidateMicro() {
 	t.ruleCount.Set(int64(len(t.entries)))
+	t.gen++
+	t.mutLog[t.gen%mutLogSize] = openflow.MatchAll() // scope: everything
 	if len(t.micro) == 0 {
 		return
 	}
@@ -192,18 +222,44 @@ func (t *Table) invalidateMicro() {
 	t.microEntries.Set(0)
 }
 
+// noteMutation records a rule-set mutation scoped by its match. Cached
+// lookups stay put: a stale one is checked against the logged matches on
+// its next hit, and only packets inside a mutation's scope rescan. By
+// Covers transitivity the match is a sound scope: a packet whose cached
+// result a deletion could change must match the deleted rule, hence the
+// delete's match; a packet an add could change must match the new rule.
+func (t *Table) noteMutation(m *openflow.Match) {
+	t.ruleCount.Set(int64(len(t.entries)))
+	t.gen++
+	t.mutLog[t.gen%mutLogSize] = *m
+}
+
+// microFresh replays the mutation log over a stale cached result:
+// true when no mutation since its stamp could affect this packet.
+func (t *Table) microFresh(me microEntry, p *netpkt.Packet, inPort uint16) bool {
+	if t.gen-me.gen > mutLogSize {
+		return false // older than the ring's window: cannot prove freshness
+	}
+	for g := me.gen + 1; g <= t.gen; g++ {
+		if t.mutLog[g%mutLogSize].Matches(p, inPort) {
+			return false
+		}
+	}
+	return true
+}
+
 // cacheLookup stores a lookup outcome (e == nil caches the miss).
 func (t *Table) cacheLookup(k microKey, e *Entry) {
 	if t.microMaxSize <= 0 {
 		return
 	}
 	if t.micro == nil {
-		t.micro = make(map[microKey]*Entry, 64)
+		t.micro = make(map[microKey]microEntry, 64)
 	} else if len(t.micro) >= t.microMaxSize {
 		t.microInvals.Inc()
 		clear(t.micro)
 	}
-	t.micro[k] = e
+	t.micro[k] = microEntry{e: e, gen: t.gen}
 	t.microEntries.Set(int64(len(t.micro)))
 }
 
@@ -274,7 +330,7 @@ func (t *Table) add(m openflow.FlowMod, now time.Time) error {
 		if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
 			e.seq = old.seq
 			t.entries[i] = e
-			t.invalidateMicro()
+			t.noteMutation(&e.Match)
 			return nil
 		}
 	}
@@ -284,7 +340,7 @@ func (t *Table) add(m openflow.FlowMod, now time.Time) error {
 	t.nextSeq++
 	t.entries = append(t.entries, e)
 	t.sortEntries()
-	t.invalidateMicro()
+	t.noteMutation(&e.Match)
 	return nil
 }
 
@@ -303,9 +359,10 @@ func (t *Table) modify(m openflow.FlowMod, strict bool) {
 			changed = true
 		}
 	}
-	if changed {
-		t.invalidateMicro()
-	}
+	// Actions are swapped in place on the live *Entry, so cached winner
+	// pointers keep serving the updated actions; which entry wins a
+	// lookup is untouched, so the microflow cache needs no invalidation.
+	_ = changed
 }
 
 func (t *Table) delete(m openflow.FlowMod, strict bool) []Removed {
@@ -329,7 +386,10 @@ func (t *Table) delete(m openflow.FlowMod, strict bool) []Removed {
 	}
 	t.entries = keep
 	if len(removed) > 0 {
-		t.invalidateMicro()
+		// One record covers every removed rule: each removed match is
+		// covered by m.Match (or equals it, strict), so any packet whose
+		// cached result a removal could change matches m.Match too.
+		t.noteMutation(&m.Match)
 	}
 	return removed
 }
@@ -350,13 +410,26 @@ func outputsTo(actions []openflow.Action, port uint16) bool {
 // set changes.
 func (t *Table) Lookup(p *netpkt.Packet, inPort uint16, now time.Time, frameLen int) *Entry {
 	k := microKeyFor(p, inPort)
-	if e, ok := t.micro[k]; ok {
-		if e == nil {
-			t.microHitsNeg.Inc()
-			return nil
+	if me, ok := t.micro[k]; ok {
+		fresh := me.gen == t.gen
+		if !fresh && t.microFresh(me, p, inPort) {
+			// No mutation since the stamp touches this packet: the
+			// result stands. Restamp so the replay isn't repeated.
+			me.gen = t.gen
+			t.micro[k] = me
+			t.microRevals.Inc()
+			fresh = true
 		}
-		t.microHitsPos.Inc()
-		return t.hit(e, now, frameLen)
+		if fresh {
+			if me.e == nil {
+				t.microHitsNeg.Inc()
+				return nil
+			}
+			t.microHitsPos.Inc()
+			return t.hit(me.e, now, frameLen)
+		}
+		// Stale and possibly affected: fall through to the scan, which
+		// re-caches the authoritative result.
 	}
 	for _, e := range t.entries {
 		if e.Match.Matches(p, inPort) {
@@ -403,8 +476,10 @@ func (t *Table) Expire(now time.Time) []Removed {
 		}
 	}
 	t.entries = keep
-	if len(removed) > 0 {
-		t.invalidateMicro()
+	// Each expired rule's own match scopes its record: only packets the
+	// dead rule could have served pay a rescan.
+	for _, r := range removed {
+		t.noteMutation(&r.Entry.Match)
 	}
 	return removed
 }

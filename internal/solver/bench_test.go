@@ -1,0 +1,121 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+// benchState builds a state with n learned hosts and n/4 prefix routes —
+// the fan-out sources that dominate attack-time concretization.
+func benchState(n int) *appir.State {
+	st := appir.NewState()
+	for i := 0; i < n; i++ {
+		st.Learn("hosts",
+			appir.MACValue(netpkt.MAC{0, 0, byte(i >> 16), byte(i >> 8), byte(i), 1}),
+			appir.U16Value(uint16(i%48+1)))
+	}
+	for i := 0; i < n/4+1; i++ {
+		st.AddPrefix("nets",
+			appir.IPValue(netpkt.IPv4(uint32(10<<24|(i%250)<<16))), 16,
+			appir.U16Value(uint16(i%48+1)))
+	}
+	st.SetScalar("vip", appir.IPValue(netpkt.MustIPv4("10.0.0.9")))
+	return st
+}
+
+// benchConds is an L2-learning-style path condition: one table fan-out,
+// one exact bind, one negative filter.
+func benchConds() []appir.Cond {
+	return []appir.Cond{
+		{Expr: appir.FieldEq(appir.FEthType, appir.U16Value(netpkt.EtherTypeIPv4)), Want: true},
+		{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true},
+		{Expr: appir.FieldEqScalar(appir.FNwSrc, "vip"), Want: false},
+	}
+}
+
+// BenchmarkConcretize measures the pooled entry point (what DeriveRules
+// calls with no worker arena) at increasing table sizes.
+func BenchmarkConcretize(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			st := benchState(n)
+			conds := benchConds()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if asgs := Concretize(conds, st); len(asgs) != n {
+					b.Fatalf("assignments = %d, want %d", len(asgs), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcretizeArena measures a dedicated per-worker arena — the
+// derivation-pool configuration, where the working set is reused across
+// every path the worker handles.
+func BenchmarkConcretizeArena(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			st := benchState(n)
+			conds := benchConds()
+			ar := NewArena()
+			ConcretizeArena(conds, st, ar) // warm the free list
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if asgs := ConcretizeArena(conds, st, ar); len(asgs) != n {
+					b.Fatalf("assignments = %d, want %d", len(asgs), n)
+				}
+			}
+		})
+	}
+}
+
+// mapAssignment reproduces the pre-arena representation (bindings in a
+// heap map, fresh clone per fan-out item, no recycling) so the
+// before/after alloc comparison stays runnable after the switch to the
+// array-backed Assignment.
+type mapAssignment struct {
+	fields map[appir.Field]Binding
+}
+
+func (a *mapAssignment) clone() *mapAssignment {
+	out := &mapAssignment{fields: make(map[appir.Field]Binding, len(a.fields))}
+	for k, v := range a.fields {
+		out.fields[k] = v
+	}
+	return out
+}
+
+// BenchmarkConcretizeNoArena re-creates the old allocation profile of
+// the table fan-out — the baseline for the alloc-reduction target.
+func BenchmarkConcretizeNoArena(b *testing.B) {
+	for _, n := range []int{16, 256, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", n), func(b *testing.B) {
+			st := benchState(n)
+			entries := st.TableEntries("hosts")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work := []*mapAssignment{{fields: map[appir.Field]Binding{
+					appir.FEthType: {Exact: appir.U16Value(netpkt.EtherTypeIPv4)},
+				}}}
+				var next []*mapAssignment
+				for _, a := range work {
+					for _, ent := range entries {
+						c := a.clone()
+						c.fields[appir.FEthSrc] = Binding{Exact: ent.Key}
+						next = append(next, c)
+					}
+				}
+				if len(next) != n {
+					b.Fatalf("fan-out = %d, want %d", len(next), n)
+				}
+			}
+		})
+	}
+}

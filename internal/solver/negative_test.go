@@ -1,0 +1,241 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+// The negative pass of Concretize is where representability limits bite:
+// a ≠ on a bound field filters, on an unbound or prefix-bound field it
+// penalises, and stacked negations can contradict each other outright.
+func TestConcretizeNegativeEdgeCases(t *testing.T) {
+	ipA := appir.IPValue(netpkt.MustIPv4("10.0.0.1"))
+	ipB := appir.IPValue(netpkt.MustIPv4("10.0.0.2"))
+	macA := appir.MACValue(netpkt.MustMAC("00:00:00:00:00:0a"))
+	macB := appir.MACValue(netpkt.MustMAC("00:00:00:00:00:0b"))
+
+	newSt := func() *appir.State {
+		st := appir.NewState()
+		st.Learn("hosts", macA, appir.U16Value(1))
+		st.Learn("hosts", macB, appir.U16Value(2))
+		st.AddPrefix("nets", appir.IPValue(netpkt.MustIPv4("10.0.0.0")), 8, appir.U16Value(1))
+		st.SetScalar("vip", ipA)
+		return st
+	}
+
+	tests := []struct {
+		name string
+		give []appir.Cond
+		// wantCount < 0 means "expect nil (unreachable)".
+		wantCount   int
+		wantPenalty int // penalty of every surviving assignment
+		check       func(t *testing.T, asgs []Assignment)
+	}{
+		{
+			name: "neq filters the excluded table entry",
+			give: []appir.Cond{
+				{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true},
+				{Expr: appir.FieldEq(appir.FEthSrc, macA), Want: false},
+			},
+			wantCount: 1,
+			check: func(t *testing.T, asgs []Assignment) {
+				if asgs[0].Field(appir.FEthSrc).Exact != macB {
+					t.Errorf("survivor = %v, want %v", asgs[0].Field(appir.FEthSrc), macB)
+				}
+			},
+		},
+		{
+			name: "contradictory negations exclude every entry",
+			give: []appir.Cond{
+				{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true},
+				{Expr: appir.FieldEq(appir.FEthSrc, macA), Want: false},
+				{Expr: appir.FieldEq(appir.FEthSrc, macB), Want: false},
+			},
+			wantCount: -1,
+		},
+		{
+			name: "eq then neq of the same value is unreachable",
+			give: []appir.Cond{
+				{Expr: appir.FieldEq(appir.FNwSrc, ipA), Want: true},
+				{Expr: appir.FieldEqScalar(appir.FNwSrc, "vip"), Want: false},
+			},
+			wantCount: -1,
+		},
+		{
+			name: "neq on unbound field penalises and wildcards",
+			give: []appir.Cond{
+				{Expr: appir.FieldEq(appir.FNwSrc, ipA), Want: true},
+				{Expr: appir.FieldEq(appir.FNwDst, ipB), Want: false},
+			},
+			wantCount:   1,
+			wantPenalty: 1,
+			check: func(t *testing.T, asgs []Assignment) {
+				if bound := asgs[0].Bound(appir.FNwDst); bound {
+					t.Error("nw_dst should stay wildcarded under an unrepresentable neq")
+				}
+			},
+		},
+		{
+			name: "neq against a prefix binding penalises, not drops",
+			give: []appir.Cond{
+				{Expr: appir.FieldInPrefixes(appir.FNwSrc, "nets"), Want: true},
+				{Expr: appir.FieldEq(appir.FNwSrc, ipA), Want: false},
+			},
+			wantCount:   1,
+			wantPenalty: 1,
+			check: func(t *testing.T, asgs []Assignment) {
+				b := asgs[0].Field(appir.FNwSrc)
+				if !b.IsPrefix || b.PrefixLen != 8 {
+					t.Errorf("prefix binding lost: %v", b)
+				}
+			},
+		},
+		{
+			name: "prefix-vs-exact conflict: not-in-prefixes drops covered exact",
+			give: []appir.Cond{
+				{Expr: appir.FieldEq(appir.FNwSrc, ipA), Want: true},
+				{Expr: appir.FieldInPrefixes(appir.FNwSrc, "nets"), Want: false},
+			},
+			wantCount: -1, // 10.0.0.1 ∈ 10.0.0.0/8, so the path is unreachable
+		},
+		{
+			name: "prefix-vs-exact conflict: exact outside the prefixes survives",
+			give: []appir.Cond{
+				{Expr: appir.FieldEq(appir.FNwSrc, appir.IPValue(netpkt.MustIPv4("192.168.0.1"))), Want: true},
+				{Expr: appir.FieldInPrefixes(appir.FNwSrc, "nets"), Want: false},
+			},
+			wantCount:   1,
+			wantPenalty: 0,
+		},
+		{
+			name: "not-in-table on bound field drops members only",
+			give: []appir.Cond{
+				{Expr: appir.FieldEq(appir.FEthSrc, macA), Want: true},
+				{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: false},
+			},
+			wantCount: -1,
+		},
+		{
+			name: "not-highbit binds the low half as a prefix",
+			give: []appir.Cond{
+				{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: false},
+			},
+			wantCount: 1,
+			check: func(t *testing.T, asgs []Assignment) {
+				b := asgs[0].Field(appir.FNwSrc)
+				if !b.IsPrefix || b.PrefixLen != 1 || b.Prefix != 0 {
+					t.Errorf("not-highbit binding = %v, want 0.0.0.0/1", b)
+				}
+			},
+		},
+		{
+			name: "highbit then not-highbit is unreachable",
+			give: []appir.Cond{
+				{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: true},
+				{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwSrc}}, Want: false},
+			},
+			wantCount: -1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			asgs := Concretize(tt.give, newSt())
+			if tt.wantCount < 0 {
+				if asgs != nil {
+					t.Fatalf("Concretize = %v, want nil", asgs)
+				}
+				return
+			}
+			if len(asgs) != tt.wantCount {
+				t.Fatalf("assignments = %d, want %d (%v)", len(asgs), tt.wantCount, asgs)
+			}
+			for _, a := range asgs {
+				if a.Penalty != tt.wantPenalty {
+					t.Errorf("penalty = %d, want %d", a.Penalty, tt.wantPenalty)
+				}
+			}
+			if tt.check != nil {
+				tt.check(t, asgs)
+			}
+		})
+	}
+}
+
+// Results handed out by ConcretizeArena must stay intact after the arena
+// is reused — the aliasing hazard the fresh-map copy-out exists to
+// prevent.
+func TestConcretizeArenaResultsDoNotAlias(t *testing.T) {
+	st := appir.NewState()
+	for i := 0; i < 8; i++ {
+		st.Learn("hosts",
+			appir.MACValue(netpkt.MAC{0, 0, 0, 0, 0, byte(i + 1)}),
+			appir.U16Value(uint16(i+1)))
+	}
+	conds := []appir.Cond{{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true}}
+
+	ar := NewArena()
+	first := ConcretizeArena(conds, st, ar)
+	if len(first) != 8 {
+		t.Fatalf("assignments = %d, want 8", len(first))
+	}
+	snapshot := make([]appir.Value, len(first))
+	for i, a := range first {
+		snapshot[i] = a.Field(appir.FEthSrc).Exact
+	}
+
+	// Hammer the arena with different conditions; first must not move.
+	for i := 0; i < 16; i++ {
+		other := []appir.Cond{
+			{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true},
+			{Expr: appir.FieldEq(appir.FEthType, appir.U16Value(netpkt.EtherTypeIPv4)), Want: true},
+		}
+		ConcretizeArena(other, st, ar)
+	}
+	for i, a := range first {
+		if got := a.Field(appir.FEthSrc).Exact; got != snapshot[i] {
+			t.Fatalf("assignment %d mutated by arena reuse: %v != %v", i, got, snapshot[i])
+		}
+		if a.Len() != 1 {
+			t.Fatalf("assignment %d gained fields: %v", i, a)
+		}
+	}
+}
+
+// Arena-backed concretization must agree exactly with the pooled entry
+// point across a spread of conditions (same assignments, same order).
+func TestConcretizeArenaMatchesDefault(t *testing.T) {
+	st := appir.NewState()
+	for i := 0; i < 16; i++ {
+		st.Learn("hosts",
+			appir.MACValue(netpkt.MAC{0, 0, 0, 0, 0, byte(i + 1)}),
+			appir.U16Value(uint16(i%4+1)))
+		st.AddPrefix("nets",
+			appir.IPValue(netpkt.IPv4(uint32(10<<24|i<<16))), 16,
+			appir.U16Value(uint16(i+1)))
+	}
+	st.SetScalar("vip", appir.IPValue(netpkt.MustIPv4("10.0.0.9")))
+
+	cases := [][]appir.Cond{
+		{{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true}},
+		{
+			{Expr: appir.FieldIn(appir.FEthSrc, "hosts"), Want: true},
+			{Expr: appir.FieldInPrefixes(appir.FNwDst, "nets"), Want: true},
+			{Expr: appir.FieldEqScalar(appir.FNwSrc, "vip"), Want: false},
+		},
+		{
+			{Expr: appir.FieldInPrefixes(appir.FNwSrc, "nets"), Want: true},
+			{Expr: appir.HighBit{A: appir.FieldRef{F: appir.FNwDst}}, Want: false},
+		},
+	}
+	ar := NewArena()
+	for i, conds := range cases {
+		want := Concretize(conds, st)
+		got := ConcretizeArena(conds, st, ar)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("case %d: arena result diverges:\n got %v\nwant %v", i, got, want)
+		}
+	}
+}

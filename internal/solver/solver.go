@@ -17,6 +17,9 @@ package solver
 
 import (
 	"fmt"
+	"math/bits"
+	"strings"
+	"sync"
 
 	"floodguard/internal/appir"
 	"floodguard/internal/netpkt"
@@ -40,13 +43,24 @@ func (b Binding) String() string {
 	return b.Exact.String()
 }
 
+// numFields sizes the per-assignment binding array; appir numbers its
+// fields densely from 1, so index f holds field f's binding directly.
+const numFields = int(appir.FTpDst) + 1
+
 // Assignment is one satisfying combination of field constraints for a
 // path condition, plus a priority penalty: each unrepresentable negative
 // constraint (a ≠ or ∉ on an otherwise unconstrained field) leaves the
 // field wildcarded and relies on the sibling branch's more specific,
 // higher-priority rules to carve out the excluded cases.
+//
+// Bindings live in a fixed-size array indexed by field with a presence
+// bitmask, not a map: cloning an assignment during table fan-out is then
+// a plain struct copy, and enumeration order is the canonical
+// match-structure field order rather than map order. Assignment values
+// are comparable and copies are fully independent.
 type Assignment struct {
-	Fields  map[appir.Field]Binding
+	fields  [numFields]Binding
+	bound   uint16 // bit f set ⇔ fields[f] holds a binding
 	Penalty int
 	// PrefixBits is the total prefix specificity, used to order
 	// overlapping prefix rules so that OpenFlow priority reproduces
@@ -54,27 +68,113 @@ type Assignment struct {
 	PrefixBits int
 }
 
-func newAssignment() *Assignment {
-	return &Assignment{Fields: make(map[appir.Field]Binding)}
+// Get returns the binding for f and whether f is constrained.
+func (a *Assignment) Get(f appir.Field) (Binding, bool) {
+	if int(f) >= numFields || a.bound&(1<<f) == 0 {
+		return Binding{}, false
+	}
+	return a.fields[f], true
 }
 
-func (a *Assignment) clone() *Assignment {
-	out := &Assignment{
-		Fields:     make(map[appir.Field]Binding, len(a.Fields)),
-		Penalty:    a.Penalty,
-		PrefixBits: a.PrefixBits,
+// Field returns the binding for f (the zero Binding when unconstrained).
+func (a *Assignment) Field(f appir.Field) Binding {
+	b, _ := a.Get(f)
+	return b
+}
+
+// Bound reports whether f is constrained.
+func (a *Assignment) Bound(f appir.Field) bool {
+	return int(f) < numFields && a.bound&(1<<f) != 0
+}
+
+// Len returns the number of bound fields.
+func (a *Assignment) Len() int { return bits.OnesCount16(a.bound) }
+
+func (a *Assignment) set(f appir.Field, b Binding) {
+	a.fields[f] = b
+	a.bound |= 1 << f
+}
+
+// String renders the bound fields in canonical order.
+func (a Assignment) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	for _, f := range appir.Fields {
+		b, ok := a.Get(f)
+		if !ok {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s=%s", f, b)
 	}
-	for k, v := range a.Fields {
-		out.Fields[k] = v
+	if a.Penalty != 0 {
+		fmt.Fprintf(&sb, " penalty=%d", a.Penalty)
 	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Arena recycles Assignment structs across the fan-out/filter passes of
+// Concretize, and its work lists across calls. Table-membership
+// constraints clone one work item per table entry; without reuse that is
+// one heap allocation per entry per call, which at attack time —
+// thousands of paths against thousand-entry tables — is the dominant
+// cost of Algorithm 2. Every work item is returned to the arena before
+// ConcretizeArena returns; the survivors are copied into the result
+// slice by value, so nothing handed to the caller aliases arena memory.
+//
+// An Arena is not safe for concurrent use. Each derivation worker owns
+// one; callers without one get a pooled arena via Concretize.
+type Arena struct {
+	free []*Assignment
+	// work and next are the two scratch lists the fan-out passes
+	// ping-pong between; reused across calls.
+	work []*Assignment
+	next []*Assignment
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+func (ar *Arena) get() *Assignment {
+	if n := len(ar.free); n > 0 {
+		a := ar.free[n-1]
+		ar.free[n-1] = nil
+		ar.free = ar.free[:n-1]
+		return a
+	}
+	return &Assignment{}
+}
+
+func (ar *Arena) put(a *Assignment) {
+	*a = Assignment{}
+	ar.free = append(ar.free, a)
+}
+
+func (ar *Arena) putAll(work []*Assignment) {
+	for _, a := range work {
+		ar.put(a)
+	}
+}
+
+// cloneFrom produces a recycled copy of a.
+func (ar *Arena) cloneFrom(a *Assignment) *Assignment {
+	out := ar.get()
+	*out = *a
 	return out
 }
 
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
 // bindExact narrows a field to one value; reports false on contradiction.
 func (a *Assignment) bindExact(f appir.Field, v appir.Value) bool {
-	cur, ok := a.Fields[f]
+	cur, ok := a.Get(f)
 	if !ok {
-		a.Fields[f] = Binding{Exact: v}
+		a.set(f, Binding{Exact: v})
 		return true
 	}
 	if cur.IsPrefix {
@@ -82,7 +182,7 @@ func (a *Assignment) bindExact(f appir.Field, v appir.Value) bool {
 			return false
 		}
 		a.PrefixBits -= cur.PrefixLen
-		a.Fields[f] = Binding{Exact: v}
+		a.set(f, Binding{Exact: v})
 		return true
 	}
 	return cur.Exact == v
@@ -91,9 +191,9 @@ func (a *Assignment) bindExact(f appir.Field, v appir.Value) bool {
 // bindPrefix narrows an IP field to a prefix; reports false on
 // contradiction.
 func (a *Assignment) bindPrefix(f appir.Field, prefix netpkt.IPv4, length int) bool {
-	cur, ok := a.Fields[f]
+	cur, ok := a.Get(f)
 	if !ok {
-		a.Fields[f] = Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length}
+		a.set(f, Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length})
 		a.PrefixBits += length
 		return true
 	}
@@ -108,7 +208,7 @@ func (a *Assignment) bindPrefix(f appir.Field, prefix netpkt.IPv4, length int) b
 		return false
 	}
 	a.PrefixBits += length - cur.PrefixLen
-	a.Fields[f] = Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length}
+	a.set(f, Binding{IsPrefix: true, Prefix: prefix, PrefixLen: length})
 	return true
 }
 
@@ -227,7 +327,19 @@ func valOK(v appir.Value, ok bool) (appir.Value, bool) {
 // OpenFlow match (e.g. a ≠ on an unbound field) cost a priority penalty
 // and leave the field wildcarded.
 func Concretize(conds []appir.Cond, st *appir.State) []Assignment {
-	work := []*Assignment{newAssignment()}
+	ar := arenaPool.Get().(*Arena)
+	out := ConcretizeArena(conds, st, ar)
+	arenaPool.Put(ar)
+	return out
+}
+
+// ConcretizeArena is Concretize with a caller-owned allocation arena —
+// the form the parallel derivation workers use, one arena per worker, so
+// repeated calls reuse the same working set instead of re-allocating it.
+// The result never aliases arena memory.
+func ConcretizeArena(conds []appir.Cond, st *appir.State, ar *Arena) []Assignment {
+	work := append(ar.work[:0], ar.get())
+	ar.work = work
 
 	// Pass 1: positive binding constraints narrow or fan out.
 	for _, c := range conds {
@@ -235,8 +347,9 @@ func Concretize(conds []appir.Cond, st *appir.State) []Assignment {
 			continue
 		}
 		var err error
-		work, err = applyPositive(work, c.Expr, st)
+		work, err = applyPositive(work, c.Expr, st, ar)
 		if err != nil || len(work) == 0 {
+			ar.putAll(work)
 			return nil
 		}
 	}
@@ -245,30 +358,33 @@ func Concretize(conds []appir.Cond, st *appir.State) []Assignment {
 		if c.Want {
 			continue
 		}
-		work = applyNegative(work, c.Expr, st)
+		work = applyNegative(work, c.Expr, st, ar)
 		if len(work) == 0 {
 			return nil
 		}
 	}
 	out := make([]Assignment, len(work))
 	for i, a := range work {
-		out[i] = *a
+		out[i] = *a // value copy: the result never aliases arena memory
+		ar.put(a)
 	}
 	return out
 }
 
 // applyPositive narrows every assignment by one positive constraint.
-func applyPositive(work []*Assignment, e appir.Expr, st *appir.State) ([]*Assignment, error) {
+// Dropped and fanned-out work items are returned to the arena; on error
+// the input list is recycled too (the caller abandons the derivation).
+func applyPositive(work []*Assignment, e appir.Expr, st *appir.State, ar *Arena) ([]*Assignment, error) {
 	switch x := e.(type) {
 	case appir.Eq:
 		if fr, ok := x.A.(appir.FieldRef); ok {
 			if v, ok := groundValue(x.B, st); ok {
-				return filterMap(work, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
+				return filterMap(work, ar, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
 			}
 		}
 		if fr, ok := x.B.(appir.FieldRef); ok {
 			if v, ok := groundValue(x.A, st); ok {
-				return filterMap(work, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
+				return filterMap(work, ar, func(a *Assignment) bool { return a.bindExact(fr.F, v) }), nil
 			}
 		}
 		// Ground == ground: a runtime truth test.
@@ -278,47 +394,62 @@ func applyPositive(work []*Assignment, e appir.Expr, st *appir.State) ([]*Assign
 			if va == vb {
 				return work, nil
 			}
+			ar.putAll(work)
 			return nil, nil
 		}
+		ar.putAll(work)
 		return nil, fmt.Errorf("solver: unsupported equality %s", x)
 	case appir.InTable:
 		fr, ok := x.Key.(appir.FieldRef)
 		if !ok {
+			ar.putAll(work)
 			return nil, fmt.Errorf("solver: membership key %s is not a field", x.Key)
 		}
 		entries := st.TableEntries(x.Table)
-		var next []*Assignment
+		next := ar.next[:0]
 		for _, a := range work {
 			for _, ent := range entries {
-				c := a.clone()
+				c := ar.cloneFrom(a)
 				if c.bindExact(fr.F, ent.Key) {
 					next = append(next, c)
+				} else {
+					ar.put(c)
 				}
 			}
+			ar.put(a)
 		}
+		ar.next = next
+		ar.work, ar.next = ar.next, ar.work
 		return next, nil
 	case appir.InPrefixTable:
 		fr, ok := x.Key.(appir.FieldRef)
 		if !ok {
+			ar.putAll(work)
 			return nil, fmt.Errorf("solver: prefix-membership key %s is not a field", x.Key)
 		}
 		entries := st.PrefixEntries(x.Table)
-		var next []*Assignment
+		next := ar.next[:0]
 		for _, a := range work {
 			for _, ent := range entries {
-				c := a.clone()
+				c := ar.cloneFrom(a)
 				if c.bindPrefix(fr.F, ent.Prefix.IP(), ent.Len) {
 					next = append(next, c)
+				} else {
+					ar.put(c)
 				}
 			}
+			ar.put(a)
 		}
+		ar.next = next
+		ar.work, ar.next = ar.next, ar.work
 		return next, nil
 	case appir.HighBit:
 		fr, ok := x.A.(appir.FieldRef)
 		if !ok {
+			ar.putAll(work)
 			return nil, fmt.Errorf("solver: highbit of %s is not a field", x.A)
 		}
-		return filterMap(work, func(a *Assignment) bool {
+		return filterMap(work, ar, func(a *Assignment) bool {
 			return a.bindPrefix(fr.F, netpkt.MustIPv4("128.0.0.0"), 1)
 		}), nil
 	default:
@@ -327,15 +458,17 @@ func applyPositive(work []*Assignment, e appir.Expr, st *appir.State) ([]*Assign
 			if v.Bool() {
 				return work, nil
 			}
+			ar.putAll(work)
 			return nil, nil
 		}
+		ar.putAll(work)
 		return nil, fmt.Errorf("solver: unsupported positive constraint %s", e)
 	}
 }
 
 // applyNegative filters assignments by one negated constraint; unbound
-// fields take a penalty instead of a binding.
-func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignment {
+// fields take a penalty instead of a binding. Dropped items are recycled.
+func applyNegative(work []*Assignment, e appir.Expr, st *appir.State, ar *Arena) []*Assignment {
 	switch x := e.(type) {
 	case appir.Eq:
 		fr, fok := x.A.(appir.FieldRef)
@@ -349,8 +482,8 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 			if !ok {
 				return penalise(work)
 			}
-			return filterMapKeep(work, func(a *Assignment) bool {
-				b, bound := a.Fields[fr.F]
+			return filterMap(work, ar, func(a *Assignment) bool {
+				b, bound := a.Get(fr.F)
 				if !bound || b.IsPrefix {
 					// Prefix bindings cannot express ≠ either; for a
 					// bound prefix the excluded point is a measure-zero
@@ -367,6 +500,7 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 			if va != vb {
 				return work
 			}
+			ar.putAll(work)
 			return nil
 		}
 		return penalise(work)
@@ -375,8 +509,8 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 		if !ok {
 			return penalise(work)
 		}
-		return filterMapKeep(work, func(a *Assignment) bool {
-			b, bound := a.Fields[fr.F]
+		return filterMap(work, ar, func(a *Assignment) bool {
+			b, bound := a.Get(fr.F)
 			if !bound || b.IsPrefix {
 				a.Penalty++
 				return true
@@ -388,8 +522,8 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 		if !ok {
 			return penalise(work)
 		}
-		return filterMapKeep(work, func(a *Assignment) bool {
-			b, bound := a.Fields[fr.F]
+		return filterMap(work, ar, func(a *Assignment) bool {
+			b, bound := a.Get(fr.F)
 			if !bound {
 				a.Penalty++
 				return true
@@ -406,7 +540,7 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 			return penalise(work)
 		}
 		// not highbit == prefix 0.0.0.0/1.
-		return filterMap(work, func(a *Assignment) bool {
+		return filterMap(work, ar, func(a *Assignment) bool {
 			return a.bindPrefix(fr.F, 0, 1)
 		})
 	default:
@@ -414,24 +548,26 @@ func applyNegative(work []*Assignment, e appir.Expr, st *appir.State) []*Assignm
 			if !v.Bool() {
 				return work
 			}
+			ar.putAll(work)
 			return nil
 		}
 		return penalise(work)
 	}
 }
 
-func filterMap(work []*Assignment, keep func(*Assignment) bool) []*Assignment {
+// filterMap keeps the assignments passing keep (which may narrow them
+// in place) and recycles the rest, reusing the input slice's backing
+// array.
+func filterMap(work []*Assignment, ar *Arena, keep func(*Assignment) bool) []*Assignment {
 	out := work[:0]
 	for _, a := range work {
 		if keep(a) {
 			out = append(out, a)
+		} else {
+			ar.put(a)
 		}
 	}
 	return out
-}
-
-func filterMapKeep(work []*Assignment, keep func(*Assignment) bool) []*Assignment {
-	return filterMap(work, keep)
 }
 
 func penalise(work []*Assignment) []*Assignment {
@@ -445,7 +581,11 @@ func penalise(work []*Assignment) []*Assignment {
 // binding of the assignment — used by property tests to validate
 // soundness of concretization.
 func (a *Assignment) Satisfies(p *netpkt.Packet, inPort uint16) bool {
-	for f, b := range a.Fields {
+	for _, f := range appir.Fields {
+		b, bound := a.Get(f)
+		if !bound {
+			continue
+		}
 		v := appir.FieldOf(p, inPort, f)
 		if b.IsPrefix {
 			if v.Kind != appir.KindIP || !v.IP().InPrefix(b.Prefix, b.PrefixLen) {

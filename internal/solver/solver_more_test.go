@@ -56,7 +56,7 @@ func TestConcretizeSoundnessProperty(t *testing.T) {
 				}
 				if !v.Bool() {
 					t.Fatalf("trial %d: positive conjunct %s false on materialised packet %v (assignment %v)",
-						trial, c.Expr, &pkt, a.Fields)
+						trial, c.Expr, &pkt, a)
 				}
 			}
 		}
@@ -77,7 +77,11 @@ func materialise(a *Assignment, r *rand.Rand) (netpkt.Packet, uint16) {
 		TpDst:   uint16(r.Intn(1 << 16)),
 	}
 	inPort := uint16(r.Intn(8) + 1)
-	for f, b := range a.Fields {
+	for _, f := range appir.Fields {
+		b, bound := a.Get(f)
+		if !bound {
+			continue
+		}
 		var v appir.Value
 		if b.IsPrefix {
 			// Random address inside the prefix.

@@ -71,8 +71,8 @@ func TestConcretizeEquality(t *testing.T) {
 		t.Fatalf("assignments = %d, want 1", len(asgs))
 	}
 	a := asgs[0]
-	if a.Fields[appir.FNwDst].Exact.IP() != netpkt.MustIPv4("10.10.10.10") {
-		t.Errorf("nw_dst binding = %v", a.Fields[appir.FNwDst])
+	if a.Field(appir.FNwDst).Exact.IP() != netpkt.MustIPv4("10.10.10.10") {
+		t.Errorf("nw_dst binding = %v", a.Field(appir.FNwDst))
 	}
 	if a.Penalty != 0 {
 		t.Errorf("penalty = %d", a.Penalty)
@@ -91,7 +91,7 @@ func TestConcretizeMembershipFansOut(t *testing.T) {
 	}
 	seen := make(map[uint64]bool)
 	for _, a := range asgs {
-		seen[a.Fields[appir.FEthDst].Exact.Bits] = true
+		seen[a.Field(appir.FEthDst).Exact.Bits] = true
 	}
 	if len(seen) != 4 {
 		t.Errorf("bindings not distinct: %v", seen)
@@ -120,8 +120,8 @@ func TestConcretizeNegativeMembershipFiltersBoundValues(t *testing.T) {
 	if len(asgs) != 1 {
 		t.Fatalf("assignments = %d, want 1 (blocked entry filtered)", len(asgs))
 	}
-	if asgs[0].Fields[appir.FEthSrc].Exact.MAC() != netpkt.MACFromUint64(1) {
-		t.Errorf("surviving binding = %v", asgs[0].Fields[appir.FEthSrc])
+	if asgs[0].Field(appir.FEthSrc).Exact.MAC() != netpkt.MACFromUint64(1) {
+		t.Errorf("surviving binding = %v", asgs[0].Field(appir.FEthSrc))
 	}
 	if asgs[0].Penalty != 0 {
 		t.Errorf("penalty = %d, want 0 (bound field, real filter)", asgs[0].Penalty)
@@ -140,7 +140,7 @@ func TestConcretizeNegativeOnUnboundFieldPenalises(t *testing.T) {
 	if asgs[0].Penalty != 1 {
 		t.Errorf("penalty = %d, want 1", asgs[0].Penalty)
 	}
-	if _, bound := asgs[0].Fields[appir.FEthDst]; bound {
+	if bound := asgs[0].Bound(appir.FEthDst); bound {
 		t.Error("unrepresentable negation bound the field")
 	}
 }
@@ -152,14 +152,14 @@ func TestConcretizeHighBit(t *testing.T) {
 	if len(asgs) != 1 {
 		t.Fatalf("assignments = %d", len(asgs))
 	}
-	b := asgs[0].Fields[appir.FNwSrc]
+	b := asgs[0].Field(appir.FNwSrc)
 	if !b.IsPrefix || b.PrefixLen != 1 || b.Prefix != netpkt.MustIPv4("128.0.0.0") {
 		t.Errorf("binding = %v, want 128.0.0.0/1", b)
 	}
 	// Negated: 0.0.0.0/1.
 	hb.Want = false
 	asgs = Concretize([]appir.Cond{hb}, st)
-	b = asgs[0].Fields[appir.FNwSrc]
+	b = asgs[0].Field(appir.FNwSrc)
 	if !b.IsPrefix || b.Prefix != 0 || b.PrefixLen != 1 {
 		t.Errorf("negated binding = %v, want 0.0.0.0/1", b)
 	}
@@ -193,7 +193,7 @@ func TestConcretizePrefixThenExactIntersection(t *testing.T) {
 		condEq(appir.FNwDst, appir.IPValue(netpkt.MustIPv4("10.2.3.4")), true),
 	}
 	asgs := Concretize(inside, st)
-	if len(asgs) != 1 || asgs[0].Fields[appir.FNwDst].IsPrefix {
+	if len(asgs) != 1 || asgs[0].Field(appir.FNwDst).IsPrefix {
 		t.Fatalf("intersection = %+v, want exact binding inside prefix", asgs)
 	}
 	outside := []appir.Cond{
@@ -217,7 +217,7 @@ func TestConcretizeNestedPrefixes(t *testing.T) {
 	if len(asgs) != 1 {
 		t.Fatalf("assignments = %d, want 1", len(asgs))
 	}
-	b := asgs[0].Fields[appir.FNwSrc]
+	b := asgs[0].Field(appir.FNwSrc)
 	if b.PrefixLen != 16 {
 		t.Errorf("intersected prefix len = %d, want 16 (narrower wins)", b.PrefixLen)
 	}

@@ -1,0 +1,221 @@
+package symexec
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/netpkt"
+)
+
+// Memo caches per-path derivation results keyed by the epochs of the
+// globals each path reads. appir.State stamps every global with the
+// store version of its last real mutation, so a path whose referenced
+// globals all carry the epochs recorded at its last derivation must
+// concretize to the same rules — Derive reuses them and re-solves only
+// the stale paths. A repeat Init→Defense transition with unchanged
+// state then costs one version fetch and a slice concatenation instead
+// of a full Algorithm 2 run.
+//
+// Derive is not safe for concurrent calls (the analyzer runs one
+// derivation at a time); Stats is safe from any goroutine.
+type Memo struct {
+	paths []Path
+	// union is the deduplicated list of globals any path reads; vers is
+	// their epoch snapshot buffer, refreshed per Derive under one lock.
+	union []string
+	vers  []uint64
+	// deps[i] indexes union for the globals path i reads.
+	deps  [][]int
+	slots []memoSlot
+	stale []int // scratch: indices needing re-derivation
+	// last is the previous Derive's assembled result, reusable verbatim
+	// when every slot is fresh (lastOK): the fully-warm path then costs
+	// one epoch sweep and no allocation at all.
+	last   []ProactiveRule
+	lastOK bool
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	// match caches MatchPath results for concrete packets under the
+	// same epoch regime: any global mutation empties it.
+	match     map[matchKey]*Path
+	matchVers []uint64
+}
+
+type memoSlot struct {
+	valid bool
+	vers  []uint64 // dep epochs at derivation time, aligned with deps[i]
+	rules []ProactiveRule
+}
+
+type matchKey struct {
+	pkt    netpkt.Packet
+	inPort uint16
+}
+
+// NewMemo prepares a memo over the given paths, extracting each path's
+// global-variable dependencies once.
+func NewMemo(paths []Path) *Memo {
+	m := &Memo{
+		paths: paths,
+		deps:  make([][]int, len(paths)),
+		slots: make([]memoSlot, len(paths)),
+		match: make(map[matchKey]*Path),
+	}
+	idx := make(map[string]int)
+	for i := range paths {
+		names := pathGlobals(&paths[i])
+		di := make([]int, 0, len(names))
+		for _, n := range names {
+			j, ok := idx[n]
+			if !ok {
+				j = len(m.union)
+				idx[n] = j
+				m.union = append(m.union, n)
+			}
+			di = append(di, j)
+		}
+		m.deps[i] = di
+		m.slots[i].vers = make([]uint64, len(di))
+	}
+	return m
+}
+
+// pathGlobals returns the sorted, deduplicated global names a path's
+// derivation reads: its condition plus its install templates (match
+// values and actions all resolve against the live state).
+func pathGlobals(p *Path) []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(names []string) {
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	for _, c := range p.Conds {
+		add(appir.UsedGlobals(c.Expr))
+	}
+	for _, r := range p.Installs {
+		for _, mf := range r.Match {
+			add(appir.UsedGlobals(mf.Val))
+		}
+		for _, a := range r.Actions {
+			add(actionGlobals(a))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Paths returns the memoized path set.
+func (m *Memo) Paths() []Path { return m.paths }
+
+// Derive returns the rules DeriveRulesOpts would produce for the live
+// state, re-solving only paths whose referenced globals mutated since
+// their last derivation. The returned slice is freshly assembled but
+// shares per-rule storage with the cache: callers must not modify it.
+func (m *Memo) Derive(st *appir.State, opts DeriveOptions) ([]ProactiveRule, error) {
+	m.vers = st.GlobalVersions(m.union, m.vers[:0])
+	m.stale = m.stale[:0]
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.valid && depsFresh(s.vers, m.deps[i], m.vers) {
+			m.hits.Add(1)
+			continue
+		}
+		m.misses.Add(1)
+		m.stale = append(m.stale, i)
+	}
+	if len(m.stale) == 0 && m.lastOK {
+		return m.last, nil
+	}
+	if len(m.stale) > 0 {
+		results, err := deriveSubset(m.paths, m.stale, st, opts.Workers)
+		if err != nil {
+			m.lastOK = false
+			return nil, err
+		}
+		for k, i := range m.stale {
+			s := &m.slots[i]
+			s.rules = results[k]
+			for d, j := range m.deps[i] {
+				s.vers[d] = m.vers[j]
+			}
+			s.valid = true
+		}
+	}
+	out := make([][]ProactiveRule, len(m.slots))
+	for i := range m.slots {
+		out[i] = m.slots[i].rules
+	}
+	m.last = concatRules(out)
+	m.lastOK = true
+	return m.last, nil
+}
+
+func depsFresh(have []uint64, deps []int, cur []uint64) bool {
+	for d, j := range deps {
+		if have[d] != cur[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate drops every cached result (and the MatchPath cache); the
+// next Derive re-solves all paths.
+func (m *Memo) Invalidate() {
+	for i := range m.slots {
+		m.slots[i].valid = false
+	}
+	m.lastOK = false
+	clear(m.match)
+	m.matchVers = m.matchVers[:0]
+}
+
+// Stats returns the cumulative per-path cache hits and misses across
+// Derive calls. Safe from any goroutine.
+func (m *Memo) Stats() (hits, misses uint64) {
+	return m.hits.Load(), m.misses.Load()
+}
+
+// MatchPath is the memoized form of the package-level MatchPath: repeat
+// queries for the same packet under unchanged globals return the cached
+// path. Like Derive, it is not safe for concurrent calls.
+func (m *Memo) MatchPath(st *appir.State, pkt *netpkt.Packet, inPort uint16) (*Path, error) {
+	cur := st.GlobalVersions(m.union, m.vers[:0])
+	m.vers = cur
+	if !versEqual(m.matchVers, cur) {
+		clear(m.match)
+		m.matchVers = append(m.matchVers[:0], cur...)
+	}
+	key := matchKey{pkt: *pkt, inPort: inPort}
+	if p, ok := m.match[key]; ok {
+		m.hits.Add(1)
+		return p, nil
+	}
+	m.misses.Add(1)
+	p, err := MatchPath(m.paths, st, pkt, inPort)
+	if err != nil {
+		return nil, err
+	}
+	m.match[key] = p
+	return p, nil
+}
+
+func versEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package symexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"floodguard/internal/appir"
+	"floodguard/internal/solver"
+)
+
+// minParallelPaths is the path count below which the pool overhead is
+// not worth paying and derivation runs inline.
+const minParallelPaths = 8
+
+// DeriveOptions tunes rule derivation.
+type DeriveOptions struct {
+	// Workers caps the concurrent path workers. 0 means GOMAXPROCS; 1
+	// forces sequential derivation.
+	Workers int
+}
+
+// DeriveRulesOpts is DeriveRules with explicit tuning. Each path's
+// concretization is independent, so paths are fanned out over a bounded
+// worker pool (each worker with its own solver arena) and the per-path
+// results are concatenated in path order — the output is bit-identical
+// to a sequential run, whatever the worker count or scheduling.
+func DeriveRulesOpts(paths []Path, st *appir.State, opts DeriveOptions) ([]ProactiveRule, error) {
+	results, err := deriveSubset(paths, nil, st, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return concatRules(results), nil
+}
+
+// concatRules flattens per-path results in path order, preserving the
+// sequential convention that no rules means a nil slice.
+func concatRules(results [][]ProactiveRule) []ProactiveRule {
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ProactiveRule, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// deriveSubset derives the paths selected by idxs (nil selects all),
+// returning one result slice per selection, aligned with idxs (or with
+// paths when idxs is nil). Every selection is attempted even after a
+// failure, so the reported error is deterministic — the first failing
+// selection in order, regardless of which worker hit it first.
+func deriveSubset(paths []Path, idxs []int, st *appir.State, workers int) ([][]ProactiveRule, error) {
+	n := len(paths)
+	if idxs != nil {
+		n = len(idxs)
+	}
+	pathAt := func(i int) *Path {
+		if idxs != nil {
+			return &paths[idxs[i]]
+		}
+		return &paths[i]
+	}
+
+	results := make([][]ProactiveRule, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelPaths {
+		ar := solver.NewArena()
+		for i := 0; i < n; i++ {
+			rules, err := derivePath(pathAt(i), st, ar)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = rules
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := solver.NewArena()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				rules, err := derivePath(pathAt(i), st, ar)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = rules
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}

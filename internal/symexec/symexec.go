@@ -277,24 +277,29 @@ type ProactiveRule struct {
 // longest-prefix match; penalties from unrepresentable negations push a
 // rule below its more specific siblings.
 func DeriveRules(paths []Path, st *appir.State) ([]ProactiveRule, error) {
+	return DeriveRulesOpts(paths, st, DeriveOptions{})
+}
+
+// derivePath runs Algorithm 2 for one path: concretize its condition
+// against the live state and instantiate every install template under
+// every satisfying assignment. Safe to call concurrently for different
+// paths as long as each caller owns its arena.
+func derivePath(p *Path, st *appir.State, ar *solver.Arena) ([]ProactiveRule, error) {
+	if len(p.Installs) == 0 {
+		return nil, nil // only Modify State Message paths (Algorithm 2, line 4)
+	}
+	assignments := solver.ConcretizeArena(p.Conds, st, ar)
 	var out []ProactiveRule
-	for i := range paths {
-		p := &paths[i]
-		if len(p.Installs) == 0 {
-			continue // only Modify State Message paths (Algorithm 2, line 4)
-		}
-		assignments := solver.Concretize(p.Conds, st)
-		for _, asg := range assignments {
-			for _, tmpl := range p.Installs {
-				rule, ok, err := evalTemplate(tmpl, &asg, st)
-				if err != nil {
-					return nil, fmt.Errorf("path %d: %w", p.ID, err)
-				}
-				if !ok {
-					continue // residual: depends on an unbound field
-				}
-				out = append(out, ProactiveRule{Rule: rule, PathID: p.ID})
+	for i := range assignments {
+		for _, tmpl := range p.Installs {
+			rule, ok, err := evalTemplate(tmpl, &assignments[i], st)
+			if err != nil {
+				return nil, fmt.Errorf("path %d: %w", p.ID, err)
 			}
+			if !ok {
+				continue // residual: depends on an unbound field
+			}
+			out = append(out, ProactiveRule{Rule: rule, PathID: p.ID})
 		}
 	}
 	return out, nil
@@ -305,8 +310,13 @@ func DeriveRules(paths []Path, st *appir.State) ([]ProactiveRule, error) {
 func evalTemplate(t appir.RuleTemplate, asg *solver.Assignment, st *appir.State) (appir.ConcreteRule, bool, error) {
 	m := openflow.MatchAll()
 	// First apply the assignment's own constraints: the path condition is
-	// part of the rule's match (e.g. nw_dst == vip).
-	for f, b := range asg.Fields {
+	// part of the rule's match (e.g. nw_dst == vip). Canonical field
+	// order keeps the emitted rule independent of solver internals.
+	for _, f := range appir.Fields {
+		b, bound := asg.Get(f)
+		if !bound {
+			continue
+		}
 		if b.IsPrefix {
 			if err := appir.BindMatchField(&m, f, appir.IPValue(b.Prefix), b.PrefixLen); err != nil {
 				return appir.ConcreteRule{}, false, err
@@ -320,7 +330,7 @@ func evalTemplate(t appir.RuleTemplate, asg *solver.Assignment, st *appir.State)
 	// Then the template's explicit match terms.
 	for _, mf := range t.Match {
 		if fr, ok := mf.Val.(appir.FieldRef); ok && fr.F == mf.F {
-			if b, bound := asg.Fields[mf.F]; bound && b.IsPrefix {
+			if b, bound := asg.Get(mf.F); bound && b.IsPrefix {
 				// Reflexive match on a prefix-bound field: already
 				// represented by the assignment's prefix constraint.
 				continue
@@ -369,7 +379,7 @@ func evalTemplate(t appir.RuleTemplate, asg *solver.Assignment, st *appir.State)
 func evalBound(e appir.Expr, asg *solver.Assignment, st *appir.State) (appir.Value, bool, error) {
 	switch x := e.(type) {
 	case appir.FieldRef:
-		b, bound := asg.Fields[x.F]
+		b, bound := asg.Get(x.F)
 		if !bound {
 			return appir.Value{}, false, nil
 		}
