@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json cover check fuzz ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 cover check fuzz ci
 
 all: build test
 
@@ -60,6 +60,21 @@ bench-json:
 		-gate 'BenchmarkConcretize/entries=1024(-|$$):allocs_per_op<=16' \
 		-gate 'BenchmarkMicroflowHitRetentionUnderChurn/churn-every-16(-|$$):hitrate>=0.9'
 
+# The PR-5 attribution hot paths rendered as BENCH_5.json: the per-packet
+# sketch Update/Estimate and the heavy-hitter Observe run on the sampled
+# packet_in path, so all carry a 0 allocs/op budget; the extended replay
+# framing must stay allocation-free too.
+bench-json5:
+	@rm -f bench5.txt
+	$(GO) test -bench=. -benchtime=10000x -benchmem -run=^$$ ./internal/sketch/ | tee -a bench5.txt
+	$(GO) test -bench=WriteReplay -benchtime=100x -benchmem -run=^$$ ./internal/dpcproto/ | tee -a bench5.txt
+	$(GO) run ./cmd/benchjson -in bench5.txt -out BENCH_5.json \
+		-gate 'BenchmarkCountMinUpdate(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkCountMinEstimate(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkSpaceSavingObserveTracked(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkSpaceSavingObserveChurn(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkWriteReplay/write-replay(-|$$):allocs_per_op<=0'
+
 # Coverage over the whole tree; cover.out is the artifact CI uploads.
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
@@ -75,6 +90,7 @@ fuzz:
 	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzReplayHintRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/symexec/ -run '^$$' -fuzz FuzzExplore -fuzztime $(FUZZTIME)
 
 # Everything CI runs, in CI's order.

@@ -8,7 +8,7 @@
 //	fgsim <experiment> [flags]
 //
 // Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4,
-// compare, chaos, all
+// compare, chaos, attrib, sweep, all
 package main
 
 import (
@@ -34,7 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
 	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant)")
-	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos)")
+	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos/attrib/sweep)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
 	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
 	flag.StringVar(&windowsCSV, "windows-csv", "", "write the chaos run's per-window telemetry rows to this file")
@@ -112,6 +112,7 @@ experiments:
   tab4            average first-packet delay (OpenFlow vs FloodGuard)
   compare         FloodGuard vs AvantGuard vs no defense, per flood protocol
   chaos           seeded sideband flaps mid-Defense: degraded drops and recovery
+  attrib          collateral damage to benign traffic: blanket vs selective migration
   sweep           multi-seed bandwidth sweep sharded across -shards workers
   all             run everything in paper order
 
@@ -139,6 +140,8 @@ func run(name string, trials, iters int, seed int64, flaps, shards int) error {
 		return compare()
 	case "chaos":
 		return chaos(seed, flaps)
+	case "attrib":
+		return attribExp(seed)
 	case "sweep":
 		return sweep(shards)
 	case "all":
@@ -246,6 +249,18 @@ func tab4(trials int) error {
 	r, err := experiments.RunTab4(trials)
 	if err != nil {
 		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func attribExp(seed int64) error {
+	r, err := experiments.RunAttrib(seed, nil)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
 	}
 	r.Print(os.Stdout)
 	return nil

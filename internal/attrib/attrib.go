@@ -1,0 +1,388 @@
+// Package attrib implements attack attribution for FloodGuard: given the
+// sampled stream of table-miss packet_in headers (both the direct path
+// through the Guard's hook and the migrated path through the data plane
+// cache), it maintains per-ingress-port rate baselines and per-source
+// frequency sketches, and emits a blame verdict per port each detection
+// window.
+//
+// Port blame uses an EWMA baseline with a one-sided CUSUM detector: a
+// port is blamed when its cumulative rate excursion above baseline
+// crosses a threshold while its absolute rate is above a floor, and it
+// heals after a run of calm windows once the excursion subsides. Source
+// blame uses a count-min sketch plus a space-saving heavy-hitter summary:
+// a source is suspect when it owns more than a configured fraction of the
+// recently sampled stream while an attack is in progress.
+//
+// The Guard consumes port verdicts for selective migration (only blamed
+// ports get diversion rules); the data plane cache consumes the combined
+// verdict through the Hinter interface to split its replay queues so
+// benign collateral reaches the controller ahead of attack traffic.
+package attrib
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"floodguard/internal/dpcache"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/sketch"
+	"floodguard/internal/telemetry"
+)
+
+// Config parameterises the attribution engine. Zero values pick the
+// defaults noted per field.
+type Config struct {
+	// EWMAAlpha is the per-port baseline smoothing factor (default 0.3).
+	EWMAAlpha float64
+	// CUSUMThreshold is the cumulative rate excursion (packets/second
+	// summed over windows) above baseline+drift at which a port is blamed
+	// (default 30).
+	CUSUMThreshold float64
+	// CUSUMDrift is the slack rate subtracted each window before the
+	// excursion accumulates, absorbing benign jitter (default 2 pps).
+	CUSUMDrift float64
+	// SuspectRatePPS is the absolute rate floor: a port is never blamed
+	// while its window rate is below it, no matter the excursion. Set it
+	// between the expected benign per-port packet_in rate and the attack
+	// rate — a natural choice is the Guard's RateThresholdPPS (default 10).
+	SuspectRatePPS float64
+	// HealWindows is how many consecutive calm windows (rate back within
+	// baseline+drift) un-blame a port (default 3).
+	HealWindows int
+	// SketchRows and SketchCols size the per-source count-min sketch
+	// (defaults 4 x 1024).
+	SketchRows, SketchCols int
+	// Seed keys the sketch hashing; experiments pin it for reproducibility.
+	Seed uint64
+	// TopK bounds the space-saving heavy-hitter summary (default 64).
+	TopK int
+	// HeavyHitterFrac is the share of the sampled stream a single source
+	// must own to be hinted suspect (default 0.25).
+	HeavyHitterFrac float64
+	// MinSampleTotal delays source verdicts until the sketch has seen this
+	// many samples under the current decay horizon (default 64).
+	MinSampleTotal uint64
+	// DecayEveryWindows halves the sketches every N Roll calls, giving
+	// source estimates an exponential horizon (default 8).
+	DecayEveryWindows int
+}
+
+// DefaultConfig returns the documented defaults.
+func DefaultConfig() Config {
+	return Config{
+		EWMAAlpha:         0.3,
+		CUSUMThreshold:    30,
+		CUSUMDrift:        2,
+		SuspectRatePPS:    10,
+		HealWindows:       3,
+		SketchRows:        4,
+		SketchCols:        1024,
+		TopK:              64,
+		HeavyHitterFrac:   0.25,
+		MinSampleTotal:    64,
+		DecayEveryWindows: 8,
+	}
+}
+
+func (c *Config) normalize() {
+	d := DefaultConfig()
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 || math.IsNaN(c.EWMAAlpha) {
+		c.EWMAAlpha = d.EWMAAlpha
+	}
+	if c.CUSUMThreshold <= 0 || math.IsNaN(c.CUSUMThreshold) {
+		c.CUSUMThreshold = d.CUSUMThreshold
+	}
+	if c.CUSUMDrift < 0 || math.IsNaN(c.CUSUMDrift) {
+		c.CUSUMDrift = d.CUSUMDrift
+	}
+	if c.SuspectRatePPS <= 0 || math.IsNaN(c.SuspectRatePPS) {
+		c.SuspectRatePPS = d.SuspectRatePPS
+	}
+	if c.HealWindows <= 0 {
+		c.HealWindows = d.HealWindows
+	}
+	if c.SketchRows <= 0 {
+		c.SketchRows = d.SketchRows
+	}
+	if c.SketchCols <= 0 {
+		c.SketchCols = d.SketchCols
+	}
+	if c.TopK <= 0 {
+		c.TopK = d.TopK
+	}
+	if c.HeavyHitterFrac <= 0 || c.HeavyHitterFrac > 1 || math.IsNaN(c.HeavyHitterFrac) {
+		c.HeavyHitterFrac = d.HeavyHitterFrac
+	}
+	if c.MinSampleTotal == 0 {
+		c.MinSampleTotal = d.MinSampleTotal
+	}
+	if c.DecayEveryWindows <= 0 {
+		c.DecayEveryWindows = d.DecayEveryWindows
+	}
+}
+
+// portKey packs a datapath id and ingress port into one map key. The
+// datapath ids in play are small (OpenFlow dpids the testbeds assign),
+// so the shift cannot collide in practice; the key is only an index.
+func portKey(dpid uint64, port uint16) uint64 { return dpid<<16 | uint64(port) }
+
+// portState is one port's detector.
+type portState struct {
+	dpid uint64
+	port uint16
+
+	count  uint64  // samples in the open window
+	ewma   float64 // baseline packet_in rate (pps)
+	seen   bool    // baseline initialised
+	cusum  float64 // one-sided excursion accumulator
+	blamed bool
+	calm   int // consecutive calm windows while blamed
+
+	lastRate float64 // rate of the last closed window
+}
+
+// Verdict is one port's attribution output for a closed window.
+type Verdict struct {
+	DPID uint64
+	Port uint16
+	// Blame is the excursion normalised by the threshold: >= 1 while the
+	// detector holds the port responsible.
+	Blame    float64
+	RatePPS  float64
+	Baseline float64
+	Suspect  bool
+}
+
+// Attributor is the attribution engine. ObservePacket and Hint are safe
+// to call concurrently with Roll and with telemetry scrapes.
+type Attributor struct {
+	mu    sync.Mutex
+	cfg   Config
+	ports map[uint64]*portState
+
+	srcs *sketch.CountMin
+	hot  *sketch.SpaceSaving
+
+	windows    int
+	anyBlamed  bool // snapshot of "some port blamed" for the source gate
+	blamedN    telemetry.Gauge
+	blameEvts  telemetry.Counter
+	healEvts   telemetry.Counter
+	srcSuspect telemetry.Counter
+}
+
+// New builds an attribution engine.
+func New(cfg Config) *Attributor {
+	cfg.normalize()
+	return &Attributor{
+		cfg:   cfg,
+		ports: make(map[uint64]*portState),
+		srcs:  sketch.NewCountMin(cfg.SketchRows, cfg.SketchCols, cfg.Seed),
+		hot:   sketch.NewSpaceSaving(cfg.TopK),
+	}
+}
+
+// ObservePacket feeds one sampled packet_in header: the Guard calls it
+// from its packet_in hook for direct table-misses, and the data plane
+// cache calls it (as its Observer) for migrated ones, so attribution sees
+// the full stream regardless of which ports are currently diverted.
+func (a *Attributor) ObservePacket(origin uint64, inPort uint16, pkt *netpkt.Packet) {
+	a.mu.Lock()
+	k := portKey(origin, inPort)
+	ps := a.ports[k]
+	if ps == nil {
+		ps = &portState{dpid: origin, port: inPort}
+		a.ports[k] = ps
+	}
+	ps.count++
+	a.mu.Unlock()
+	if pkt != nil && pkt.IsIP() {
+		src := uint64(pkt.NwSrc)
+		a.srcs.Update(src, 1)
+		a.hot.Observe(src, 1)
+	}
+}
+
+// Roll closes the current detection window of the given length and
+// returns the per-port verdicts. The Guard calls it once per sample
+// interval; a non-positive window is ignored (nil verdicts).
+func (a *Attributor) Roll(window time.Duration) []Verdict {
+	secs := window.Seconds()
+	if secs <= 0 || math.IsNaN(secs) {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	verdicts := make([]Verdict, 0, len(a.ports))
+	blamed := 0
+	for _, ps := range a.ports {
+		rate := float64(ps.count) / secs
+		ps.count = 0
+		ps.lastRate = rate
+
+		if !ps.seen {
+			ps.seen = true
+			// First window: start the baseline at zero so a port that is
+			// born attacking cannot smuggle the attack rate into its own
+			// baseline; the CUSUM then sees the full excursion.
+		}
+
+		if ps.blamed {
+			// Baseline frozen at its pre-attack value; watch for calm.
+			if rate <= ps.ewma+a.cfg.CUSUMDrift {
+				ps.calm++
+				if ps.calm >= a.cfg.HealWindows {
+					ps.blamed = false
+					ps.cusum = 0
+					ps.calm = 0
+					a.healEvts.Inc()
+				}
+			} else {
+				ps.calm = 0
+			}
+		} else {
+			ps.cusum = math.Max(0, ps.cusum+rate-ps.ewma-a.cfg.CUSUMDrift)
+			if ps.cusum >= a.cfg.CUSUMThreshold && rate >= a.cfg.SuspectRatePPS {
+				ps.blamed = true
+				ps.calm = 0
+				a.blameEvts.Inc()
+			} else {
+				ps.ewma = a.cfg.EWMAAlpha*rate + (1-a.cfg.EWMAAlpha)*ps.ewma
+			}
+		}
+		if ps.blamed {
+			blamed++
+		}
+		verdicts = append(verdicts, Verdict{
+			DPID:     ps.dpid,
+			Port:     ps.port,
+			Blame:    ps.cusum / a.cfg.CUSUMThreshold,
+			RatePPS:  rate,
+			Baseline: ps.ewma,
+			Suspect:  ps.blamed,
+		})
+	}
+	a.blamedN.Set(int64(blamed))
+	a.anyBlamed = blamed > 0
+
+	a.windows++
+	if a.windows%a.cfg.DecayEveryWindows == 0 {
+		a.srcs.Decay()
+		a.hot.Decay()
+	}
+	return verdicts
+}
+
+// Hint implements dpcache.Hinter: a packet is suspect when its ingress
+// port is blamed, or — while any port is blamed — when its source owns
+// more than HeavyHitterFrac of the sampled stream. The attack-in-progress
+// gate keeps a lone benign talker (100% of a quiet stream) from being
+// branded a heavy hitter outside attacks.
+func (a *Attributor) Hint(origin uint64, inPort uint16, pkt *netpkt.Packet) uint8 {
+	a.mu.Lock()
+	ps := a.ports[portKey(origin, inPort)]
+	portBlamed := ps != nil && ps.blamed
+	anyBlamed := a.anyBlamed
+	a.mu.Unlock()
+	if portBlamed {
+		return dpcache.HintSuspect
+	}
+	if anyBlamed && pkt != nil && pkt.IsIP() {
+		total := a.srcs.Total()
+		if total >= a.cfg.MinSampleTotal {
+			est := a.srcs.Estimate(uint64(pkt.NwSrc))
+			if float64(est) >= a.cfg.HeavyHitterFrac*float64(total) {
+				a.srcSuspect.Inc()
+				return dpcache.HintSuspect
+			}
+		}
+	}
+	return dpcache.HintBenign
+}
+
+// Blamed reports whether a port is currently blamed.
+func (a *Attributor) Blamed(dpid uint64, port uint16) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.ports[portKey(dpid, port)]
+	return ps != nil && ps.blamed
+}
+
+// Suspects returns the blamed ports of one datapath.
+func (a *Attributor) Suspects(dpid uint64) []uint16 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []uint16
+	for _, ps := range a.ports {
+		if ps.dpid == dpid && ps.blamed {
+			out = append(out, ps.port)
+		}
+	}
+	return out
+}
+
+// MaxBlamePort returns the port of dpid with the largest excursion score
+// and that score, for the selective-migration fallback when an attack is
+// detected globally but no port has crossed the blame threshold yet.
+func (a *Attributor) MaxBlamePort(dpid uint64) (port uint16, blame float64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	best, bestRate := -1.0, -1.0
+	for _, ps := range a.ports {
+		if ps.dpid != dpid {
+			continue
+		}
+		score := ps.cusum / a.cfg.CUSUMThreshold
+		if ps.blamed && score < 1 {
+			score = 1
+		}
+		// Tie-break on last window rate so a flat start still ranks the
+		// loud port first, then on port number for determinism.
+		better := score > best ||
+			(score == best && ps.lastRate > bestRate) ||
+			(score == best && ps.lastRate == bestRate && ok && ps.port < port)
+		if better {
+			best, bestRate, port, ok = score, ps.lastRate, ps.port, true
+		}
+	}
+	return port, best, ok
+}
+
+// PortBlame returns a port's current normalised excursion score.
+func (a *Attributor) PortBlame(dpid uint64, port uint16) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ps := a.ports[portKey(dpid, port)]
+	if ps == nil {
+		return 0
+	}
+	if ps.blamed && ps.cusum < a.cfg.CUSUMThreshold {
+		return 1
+	}
+	return ps.cusum / a.cfg.CUSUMThreshold
+}
+
+// TopSources returns the current heavy-hitter candidates, highest count
+// first (reusing dst as scratch).
+func (a *Attributor) TopSources(dst []sketch.Entry) []sketch.Entry {
+	return a.hot.Top(dst)
+}
+
+// Register attaches attribution telemetry under the given prefix.
+func (a *Attributor) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterGauge(prefix+"_blamed_ports", "Ports currently blamed by attribution.", &a.blamedN)
+	reg.RegisterCounter(prefix+"_blame_transitions_total", "Port blame onsets.", &a.blameEvts)
+	reg.RegisterCounter(prefix+"_heal_transitions_total", "Port blame heals.", &a.healEvts)
+	reg.RegisterCounter(prefix+"_source_suspect_hints_total", "Packets hinted suspect by source heavy-hitter verdict.", &a.srcSuspect)
+	reg.GaugeFunc(prefix+"_tracked_sources", "Sources tracked by the heavy-hitter summary.", func() float64 {
+		return float64(a.hot.Len())
+	})
+	reg.GaugeFunc(prefix+"_sample_total", "Samples in the source sketch under the current decay horizon.", func() float64 {
+		return float64(a.srcs.Total())
+	})
+}

@@ -45,6 +45,10 @@ type Config struct {
 	IngestAddr string
 	// Cache dimensions the internal queues and initial rate.
 	Cache dpcache.Config
+	// Hinter, when set, classifies ingested frames benign/suspect: the
+	// cache splits its queues on the verdict and the replay records carry
+	// the hint byte to the agent.
+	Hinter dpcache.Hinter
 	// StatsInterval is the health-report period to the agent.
 	StatsInterval time.Duration
 }
@@ -99,6 +103,9 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 		runner: netsim.NewRealTimeRunner(eng),
 	}
 	b.cache = dpcache.New(eng, cfg.Cache, boxSink{b})
+	if cfg.Hinter != nil {
+		b.cache.SetHinter(cfg.Hinter)
+	}
 
 	dial := cfg.DialAgent
 	if dial == nil {
@@ -137,10 +144,16 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 	return b, ln.Addr(), nil
 }
 
-// boxSink forwards scheduled packets to the agent as Replay records.
+// boxSink forwards scheduled packets to the agent as Replay records,
+// stamping the cache's attribution hint into the replay header (the
+// hint-less path emits the legacy framing).
 type boxSink struct{ b *Box }
 
 func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
+	s.CacheEmitHint(origin, inPort, dpcache.HintNone, pkt, queued)
+}
+
+func (s boxSink) CacheEmitHint(origin uint64, inPort uint16, hint uint8, pkt netpkt.Packet, queued time.Duration) {
 	// The Writer copies the frame into its batch buffer before returning,
 	// so pooled scratch is safe here.
 	traced := s.b.trace.Sample()
@@ -150,7 +163,7 @@ func (s boxSink) CacheEmit(origin uint64, inPort uint16, pkt netpkt.Packet, queu
 	}
 	fb := netpkt.GetFrame()
 	fb.B = pkt.MarshalAppend(fb.B)
-	err := s.b.agent.WriteReplay(origin, inPort, fb.B)
+	err := s.b.agent.WriteReplayHint(origin, inPort, hint, fb.B)
 	fb.Release()
 	if traced {
 		// Replay stage: scheduler dequeue to sideband write, wall clock.
@@ -347,7 +360,7 @@ type AgentListener struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	onReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet)
+	onReplay func(dpid uint64, inPort uint16, hint uint8, pkt netpkt.Packet)
 	onStats  func(s dpcproto.Stats)
 	onHealth func(connected bool)
 
@@ -371,7 +384,8 @@ func (a *AgentListener) Instrument(reg *telemetry.Registry, prefix string) {
 // call while a box is connected.
 //
 //   - onReplay sees every replayed packet (from the connection-serving
-//     goroutine);
+//     goroutine), with the box's attribution hint byte — dpcache.HintNone
+//     for frames from a box that predates attribution;
 //   - onStats sees every cache health report;
 //   - onHealth observes box connectivity: true when a box connection is
 //     established, false when the live one is lost (a connection the
@@ -380,7 +394,7 @@ func (a *AgentListener) Instrument(reg *telemetry.Registry, prefix string) {
 //     Guard.SetCacheReachable so the FSM degrades and heals with the
 //     sideband.
 func (a *AgentListener) SetHooks(
-	onReplay func(dpid uint64, inPort uint16, pkt netpkt.Packet),
+	onReplay func(dpid uint64, inPort uint16, hint uint8, pkt netpkt.Packet),
 	onStats func(s dpcproto.Stats),
 	onHealth func(connected bool),
 ) {
@@ -390,7 +404,7 @@ func (a *AgentListener) SetHooks(
 }
 
 // hooks snapshots the callbacks under the lock.
-func (a *AgentListener) hooks() (func(uint64, uint16, netpkt.Packet), func(dpcproto.Stats), func(bool)) {
+func (a *AgentListener) hooks() (func(uint64, uint16, uint8, netpkt.Packet), func(dpcproto.Stats), func(bool)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.onReplay, a.onStats, a.onHealth
@@ -463,7 +477,7 @@ func (a *AgentListener) serve(conn net.Conn) {
 			if onReplay != nil {
 				pkt, err := netpkt.Parse(r.Frame)
 				if err == nil {
-					onReplay(r.DPID, r.InPort, pkt)
+					onReplay(r.DPID, r.InPort, r.Hint, pkt)
 				}
 			}
 		case dpcproto.Stats:

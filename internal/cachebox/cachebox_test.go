@@ -14,6 +14,7 @@ import (
 type replayRec struct {
 	dpid   uint64
 	inPort uint16
+	hint   uint8
 	pkt    netpkt.Packet
 }
 
@@ -23,10 +24,10 @@ type agentCollector struct {
 	stats   []dpcproto.Stats
 }
 
-func (c *agentCollector) onReplay(dpid uint64, inPort uint16, pkt netpkt.Packet) {
+func (c *agentCollector) onReplay(dpid uint64, inPort uint16, hint uint8, pkt netpkt.Packet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.replays = append(c.replays, replayRec{dpid, inPort, pkt})
+	c.replays = append(c.replays, replayRec{dpid, inPort, hint, pkt})
 }
 
 func (c *agentCollector) onStats(s dpcproto.Stats) {
@@ -130,6 +131,65 @@ func TestBoxEndToEndReplay(t *testing.T) {
 		if r.pkt.TpDst != 1000+uint16(i) {
 			t.Errorf("replay %d out of order: tp_dst=%d", i, r.pkt.TpDst)
 		}
+	}
+}
+
+// portHinter blames one ingress port, standing in for the attribution
+// engine on the box side.
+type portHinter struct{ suspect uint16 }
+
+func (h portHinter) Hint(origin uint64, inPort uint16, pkt *netpkt.Packet) uint8 {
+	if inPort == h.suspect {
+		return dpcache.HintSuspect
+	}
+	return dpcache.HintBenign
+}
+
+func TestBoxCarriesAttributionHint(t *testing.T) {
+	col := &agentCollector{}
+	agent, agentAddr, err := ListenAgent("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.SetHooks(col.onReplay, col.onStats, nil)
+	t.Cleanup(agent.Close)
+
+	box, ingestAddr, err := Start(Config{
+		AgentAddr:     agentAddr.String(),
+		IngestAddr:    "127.0.0.1:0",
+		Cache:         dpcache.Config{QueueCapacity: 128, InitialRatePPS: 500},
+		Hinter:        portHinter{suspect: 9},
+		StatsInterval: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(box.Close)
+
+	shim, err := net.Dial("tcp", ingestAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shim.Close()
+	// One benign (port 3) and one suspect (port 9) frame.
+	for _, p := range []uint16{3, 9} {
+		if err := dpcproto.Write(shim, dpcproto.Replay{DPID: 0x7, Frame: taggedFrame(p, 80)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return col.replayCount() == 2 }, "2 replays at the agent")
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	hints := map[uint16]uint8{}
+	for _, r := range col.replays {
+		hints[r.inPort] = r.hint
+	}
+	if hints[3] != dpcache.HintBenign {
+		t.Errorf("benign port hint = %d, want HintBenign", hints[3])
+	}
+	if hints[9] != dpcache.HintSuspect {
+		t.Errorf("suspect port hint = %d, want HintSuspect", hints[9])
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"floodguard/internal/attrib"
 	"floodguard/internal/dpcache"
 )
 
@@ -153,12 +154,31 @@ func DefaultRateLimit() RateLimitConfig {
 	}
 }
 
+// AttributionConfig arms the attack attribution subsystem.
+type AttributionConfig struct {
+	// Enabled runs the attribution engine: sampled packet_in headers feed
+	// per-port blame detectors and per-source sketches, the caches split
+	// their queues benign/suspect on its verdicts (benign-priority
+	// replay), and blame telemetry is exported.
+	Enabled bool
+	// Selective switches migration from blanket (every ingress port
+	// diverted on detection) to selective: only ports attribution blames
+	// get diversion rules, and each port's rules are withdrawn as its
+	// blame heals — benign ports keep their direct path to the
+	// controller. Requires Enabled; ignored under DisableINPORTTag,
+	// whose single untagged rule cannot discriminate ports.
+	Selective bool
+	// Params tunes the engine (zero values pick attrib defaults).
+	Params attrib.Config
+}
+
 // Config assembles a Guard.
 type Config struct {
-	Detection DetectionConfig
-	Analyzer  AnalyzerConfig
-	RateLimit RateLimitConfig
-	Cache     dpcache.Config
+	Detection   DetectionConfig
+	Analyzer    AnalyzerConfig
+	RateLimit   RateLimitConfig
+	Attribution AttributionConfig
+	Cache       dpcache.Config
 	// CachePort is the switch port number the data plane cache attaches
 	// to on every protected switch.
 	CachePort uint16

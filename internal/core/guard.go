@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"floodguard/internal/attrib"
 	"floodguard/internal/controller"
 	"floodguard/internal/dpcache"
 	"floodguard/internal/flowtable"
@@ -24,6 +26,13 @@ type protectedSwitch struct {
 	migrationRules []openflow.FlowMod
 	migrated       bool
 
+	// Selective-migration state: diversion rules per individually
+	// migrated port, plus the fallback port diverted when detection fires
+	// before any port has crossed the blame threshold.
+	portRules   map[uint16][]openflow.FlowMod
+	fallback    uint16
+	hasFallback bool
+
 	bufferFrac float64 // latest utilization from StatsReply
 }
 
@@ -37,6 +46,9 @@ type Guard struct {
 
 	fsm      *fsm
 	analyzer *Analyzer
+	// attrib, when armed by cfg.Attribution.Enabled, blames ports and
+	// sources; nil otherwise.
+	attrib *attrib.Attributor
 
 	switches map[uint64]*protectedSwitch
 	caches   []*dpcache.Cache
@@ -84,6 +96,9 @@ type Guard struct {
 	gRate      telemetry.FloatGauge
 	gMigRate   telemetry.FloatGauge
 	gScore     telemetry.FloatGauge
+	// gMigratedPorts mirrors the number of individually diverted ports
+	// across all switches (selective mode; blanket migration leaves it 0).
+	gMigratedPorts telemetry.Gauge
 
 	// events is the FSM transition log (always on; ring of eventLogSize).
 	events *telemetry.EventLog
@@ -141,9 +156,13 @@ func NewGuard(eng *netsim.Engine, ctrl *controller.Controller, cfg Config) (*Gua
 	}
 	g.stateGauge.Set(int64(StateIdle))
 	g.fsm.onEnter = g.onTransition
+	if cfg.Attribution.Enabled {
+		g.attrib = attrib.New(cfg.Attribution.Params)
+	}
 	// Shared default cache (paper §IV.E: "ideally, we only need to deploy
 	// one data plane cache to serve all switches").
 	g.caches = []*dpcache.Cache{dpcache.New(eng, cfg.Cache, g)}
+	g.armAttribution(g.caches[0])
 	if cfg.Analyzer.RulesInCache {
 		g.cacheTbl = flowtable.New(0)
 		for _, c := range g.caches {
@@ -162,9 +181,52 @@ func (g *Guard) AddCache() *dpcache.Cache {
 	if g.cacheTbl != nil {
 		c.UseRuleTable(g.cacheTbl)
 	}
+	g.armAttribution(c)
 	g.caches = append(g.caches, c)
 	return c
 }
+
+// armAttribution wires the attribution engine into a cache: verdicts
+// split the replay queues (benign-priority scheduling) and every
+// migrated packet feeds the blame detectors, which otherwise go blind on
+// diverted ports.
+func (g *Guard) armAttribution(c *dpcache.Cache) {
+	if g.attrib == nil {
+		return
+	}
+	c.SetHinter(g.attrib)
+	c.SetObserver(g.attrib.ObservePacket)
+}
+
+// Attribution exposes the attribution engine (nil unless
+// cfg.Attribution.Enabled).
+func (g *Guard) Attribution() *attrib.Attributor { return g.attrib }
+
+// selectiveActive reports whether per-port selective migration governs
+// rule installation. The DisableINPORTTag ablation forces blanket mode:
+// its single untagged rule cannot discriminate ports.
+func (g *Guard) selectiveActive() bool {
+	return g.attrib != nil && g.cfg.Attribution.Selective && !g.cfg.DisableINPORTTag
+}
+
+// PortMigrated reports whether an ingress port currently routes its
+// table-miss traffic to the cache: its own diversion rules in selective
+// mode, the switch-wide rule set in blanket mode. Engine goroutine only.
+func (g *Guard) PortMigrated(dpid uint64, port uint16) bool {
+	ps, ok := g.switches[dpid]
+	if !ok {
+		return false
+	}
+	if g.selectiveActive() {
+		_, ok := ps.portRules[port]
+		return ok
+	}
+	return ps.migrated
+}
+
+// MigratedPortCount returns how many ports are individually diverted
+// (selective mode; 0 under blanket migration). Safe from any goroutine.
+func (g *Guard) MigratedPortCount() int { return int(g.gMigratedPorts.Value()) }
 
 // Caches returns the guard's data plane caches.
 func (g *Guard) Caches() []*dpcache.Cache { return g.caches }
@@ -242,6 +304,11 @@ func (g *Guard) Instrument(reg *telemetry.Registry) *telemetry.Tracer {
 		"Rate of packets diverted into the caches.", &g.gMigRate)
 	reg.RegisterFloatGauge("fg_guard_score",
 		"Composite detection score (>=1 triggers).", &g.gScore)
+	reg.RegisterGauge("fg_guard_migrated_ports",
+		"Ports individually diverted to the cache (selective migration).", &g.gMigratedPorts)
+	if g.attrib != nil {
+		g.attrib.Register(reg, "fg_attrib")
+	}
 	reg.GaugeFunc("fg_guard_last_replay_delay_seconds",
 		"Cache residence time of the most recent replay.", func() float64 {
 			return time.Duration(g.lastReplayNanos.Value()).Seconds()
@@ -272,7 +339,7 @@ func (g *Guard) ProtectWithCache(sw *switchsim.Switch, cache *dpcache.Cache) err
 	if sw.DPID == 0 {
 		return fmt.Errorf("floodguard: datapath id 0 is reserved")
 	}
-	ps := &protectedSwitch{sw: sw, dp: dp, cache: cache}
+	ps := &protectedSwitch{sw: sw, dp: dp, cache: cache, portRules: make(map[uint16][]openflow.FlowMod)}
 	sw.AttachPort(g.cfg.CachePort, cache.Adapter(sw.DPID), 1e9, 100*time.Microsecond)
 	sw.SetNoFlood(g.cfg.CachePort, true)
 	for _, p := range sw.Ports() {
@@ -324,6 +391,11 @@ func (g *Guard) packetInHook(ev *controller.PacketInEvent) bool {
 	}
 	g.pktInsSample++
 	g.packetIns.Inc()
+	if g.attrib != nil {
+		// Direct (unmigrated) table-miss traffic; the migrated share is
+		// observed at cache ingest, so the two paths never double-count.
+		g.attrib.ObservePacket(ev.Datapath.DPID(), ev.Msg.InPort, &ev.Packet)
+	}
 	if g.fsm.State() == StateDegraded {
 		if float64(g.degradedAllowed) >= g.degradedWindowBudget() {
 			g.degradedDrops.Inc()
@@ -378,7 +450,9 @@ func (g *Guard) onPortStatus(dp controller.Datapath, m openflow.PortStatus) {
 			}
 		}
 		ps.ingressPorts = append(ps.ingressPorts, m.Port.PortNo)
-		if ps.migrated {
+		// Selective mode leaves a fresh port alone: it has no blame yet,
+		// and the per-window reconciliation diverts it if it earns some.
+		if ps.migrated && !g.selectiveActive() {
 			rules := dpcache.MigrationRules([]uint16{m.Port.PortNo}, g.cfg.CachePort)
 			for _, fm := range rules {
 				ps.dp.Send(openflow.Framed{Msg: fm})
@@ -391,6 +465,10 @@ func (g *Guard) onPortStatus(dp controller.Datapath, m openflow.PortStatus) {
 				ps.ingressPorts = append(ps.ingressPorts[:i:i], ps.ingressPorts[i+1:]...)
 				break
 			}
+		}
+		g.unmigratePort(ps, m.Port.PortNo)
+		if ps.hasFallback && ps.fallback == m.Port.PortNo {
+			ps.hasFallback = false
 		}
 		if ps.migrated {
 			keep := ps.migrationRules[:0]
@@ -420,14 +498,20 @@ func (g *Guard) pollStats() {
 // (§IV.C.1).
 func (g *Guard) score(ratePPS float64) float64 {
 	d := g.cfg.Detection
+	if math.IsNaN(ratePPS) || ratePPS < 0 {
+		// A poisoned rate sample (NaN EWMA seed, counter skew) must not
+		// wedge the comparison chain below: NaN compares false against
+		// everything, which would silently disable the rate component.
+		ratePPS = 0
+	}
 	rateNorm := 0.0
 	if d.RateThresholdPPS > 0 {
 		rateNorm = ratePPS / d.RateThresholdPPS
 	}
 	util := 0.0
 	for _, ps := range g.switches {
-		if ps.bufferFrac > util {
-			util = ps.bufferFrac
+		if f := ps.bufferFrac; !math.IsNaN(f) && f > util {
+			util = f
 		}
 	}
 	if d.BacklogReference > 0 {
@@ -469,6 +553,14 @@ func (g *Guard) detect() {
 	g.gRate.Set(rate)
 	g.gMigRate.Set(g.migrationRate)
 	g.gScore.Set(score)
+
+	// Close the attribution window first, so the transition handlers
+	// below (and the per-port reconciliation) act on this window's
+	// verdicts rather than last window's.
+	if g.attrib != nil {
+		g.attrib.Roll(d.SampleInterval)
+		g.updateSelective()
+	}
 
 	switch g.fsm.State() {
 	case StateIdle:
@@ -632,6 +724,10 @@ func (g *Guard) ruleTargets() (map[uint64]RuleTarget, []RuleTarget) {
 }
 
 func (g *Guard) installMigration(ps *protectedSwitch) {
+	if g.selectiveActive() {
+		g.installSelective(ps)
+		return
+	}
 	if ps.migrated {
 		return
 	}
@@ -659,6 +755,10 @@ func (g *Guard) installMigration(ps *protectedSwitch) {
 }
 
 func (g *Guard) removeMigration(ps *protectedSwitch) {
+	for p := range ps.portRules {
+		g.unmigratePort(ps, p)
+	}
+	ps.hasFallback = false
 	if !ps.migrated {
 		return
 	}
@@ -669,6 +769,87 @@ func (g *Guard) removeMigration(ps *protectedSwitch) {
 	}
 	ps.migrationRules = nil
 	ps.migrated = false
+}
+
+// installSelective arms diversion for the ports attribution currently
+// blames. When detection fired before any port crossed the blame
+// threshold, the loudest port is diverted as a fallback so Defense never
+// starts with zero coverage; the per-window reconciliation hands
+// coverage to real verdicts as they land.
+func (g *Guard) installSelective(ps *protectedSwitch) {
+	ports := g.attrib.Suspects(ps.sw.DPID)
+	if len(ports) == 0 {
+		if p, _, ok := g.attrib.MaxBlamePort(ps.sw.DPID); ok {
+			ports = []uint16{p}
+			ps.fallback, ps.hasFallback = p, true
+		}
+	}
+	for _, p := range ports {
+		g.migratePort(ps, p)
+	}
+}
+
+// updateSelective reconciles per-port diversion with this window's
+// verdicts while defending: newly blamed ports are migrated, healed
+// ports get their direct path back. Runs every detection window.
+func (g *Guard) updateSelective() {
+	if !g.selectiveActive() || !g.cacheReachable {
+		return
+	}
+	if st := g.fsm.State(); st != StateInit && st != StateDefense {
+		return
+	}
+	for _, ps := range g.switches {
+		dpid := ps.sw.DPID
+		anyBlamed := false
+		for _, p := range ps.ingressPorts {
+			if g.attrib.Blamed(dpid, p) {
+				anyBlamed = true
+				break
+			}
+		}
+		if ps.hasFallback && anyBlamed {
+			// A real verdict exists; the fallback designation expires and
+			// the loop below keeps the port only if it is itself blamed.
+			ps.hasFallback = false
+		}
+		for _, p := range ps.ingressPorts {
+			keep := g.attrib.Blamed(dpid, p) || (ps.hasFallback && ps.fallback == p)
+			if _, diverted := ps.portRules[p]; keep && !diverted {
+				g.migratePort(ps, p)
+			} else if !keep && diverted {
+				g.unmigratePort(ps, p)
+			}
+		}
+	}
+}
+
+// migratePort installs one port's diversion rules (selective mode).
+func (g *Guard) migratePort(ps *protectedSwitch, port uint16) {
+	if _, ok := ps.portRules[port]; ok || port == g.cfg.CachePort {
+		return
+	}
+	rules := dpcache.MigrationRules([]uint16{port}, g.cfg.CachePort)
+	for _, fm := range rules {
+		ps.dp.Send(openflow.Framed{Msg: fm})
+	}
+	ps.portRules[port] = rules
+	g.gMigratedPorts.Inc()
+}
+
+// unmigratePort withdraws one port's diversion rules.
+func (g *Guard) unmigratePort(ps *protectedSwitch, port uint16) {
+	rules, ok := ps.portRules[port]
+	if !ok {
+		return
+	}
+	for _, fm := range rules {
+		del := fm
+		del.Command = openflow.FlowDeleteStrict
+		ps.dp.Send(openflow.Framed{Msg: del})
+	}
+	delete(ps.portRules, port)
+	g.gMigratedPorts.Dec()
 }
 
 // track is the application tracker: it re-derives and re-installs

@@ -38,6 +38,35 @@ func DecodeInPortTOS(tos uint8) uint16 { return uint16(tos >> 2) }
 // MaxTaggablePort is the largest ingress port representable in the tag.
 const MaxTaggablePort = 63
 
+// Attribution hints. A Hinter classifies each migrated packet as likely
+// benign or likely attack traffic; the cache uses the verdict to split
+// its buffer queues so benign collateral reaches the controller first,
+// and the dpcproto replay header carries the byte so a remote agent sees
+// the same classification.
+const (
+	// HintNone marks traffic with no attribution verdict (no hinter
+	// installed, or a pre-attribution frame from an older peer). Treated
+	// as benign for scheduling.
+	HintNone uint8 = 0
+	// HintBenign marks traffic attribution considers collateral: a
+	// non-blamed ingress port and a source that is not a heavy hitter.
+	HintBenign uint8 = 1
+	// HintSuspect marks traffic attribution blames: a suspect ingress
+	// port or a heavy-hitter source.
+	HintSuspect uint8 = 2
+)
+
+// Hinter classifies a migrated packet. Implemented by
+// attrib.Attributor; called on the engine/runner goroutine from Ingest.
+type Hinter interface {
+	Hint(origin uint64, inPort uint16, pkt *netpkt.Packet) uint8
+}
+
+// Observer sees every migrated packet accepted by Ingest (attribution's
+// view of diverted traffic, which no longer reaches the controller's
+// packet_in hook). Called on the engine/runner goroutine.
+type Observer func(origin uint64, inPort uint16, pkt *netpkt.Packet)
+
 // QueueClass indexes the four protocol buffer queues.
 type QueueClass int
 
@@ -85,6 +114,7 @@ type entry struct {
 	origin  uint64 // datapath id the packet was migrated from
 	pkt     netpkt.Packet
 	inPort  uint16
+	hint    uint8 // attribution verdict at ingest time
 	arrived time.Time
 }
 
@@ -152,6 +182,14 @@ type Sink interface {
 	CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
 }
 
+// HintSink is an optional Sink extension: a sink that also wants the
+// attribution hint recorded at ingest (e.g. cachebox, which stamps it
+// into the dpcproto replay header). When the sink implements it, the
+// cache delivers through CacheEmitHint instead of CacheEmit.
+type HintSink interface {
+	CacheEmitHint(origin uint64, origInPort uint16, hint uint8, pkt netpkt.Packet, queued time.Duration)
+}
+
 // Config parameterises a cache instance.
 type Config struct {
 	// QueueCapacity bounds each protocol queue (packets).
@@ -167,7 +205,18 @@ type Config struct {
 	// attacker spreads across protocols; a single-protocol flood starves
 	// the others without the split).
 	SingleQueue bool
+	// BenignWeight is the weighted-round-robin share of likely-benign
+	// deliveries over likely-suspect ones when an attribution Hinter has
+	// split the queues: the scheduler serves up to BenignWeight benign
+	// packets per suspect packet while both sides have backlog (<= 0
+	// picks DefaultBenignWeight). Without a hinter everything lands in
+	// the benign queues and the schedule is the plain round-robin.
+	BenignWeight int
 }
+
+// DefaultBenignWeight is the benign:suspect replay service ratio when a
+// hinter is installed and Config.BenignWeight is unset.
+const DefaultBenignWeight = 4
 
 // DefaultConfig mirrors the prototype's dimensions.
 func DefaultConfig() Config {
@@ -184,6 +233,8 @@ type Stats struct {
 	Emitted  uint64
 	Dropped  uint64
 	Backlog  int
+	// PerQueue is the combined (benign + suspect) backlog per protocol
+	// class.
 	PerQueue [4]int
 	// PriorityServed counts packets served from the cache-resident rule
 	// fast path (§IV.E option).
@@ -193,6 +244,16 @@ type Stats struct {
 	// conservation equation Enqueued == Emitted + Dropped + Backlog
 	// survives delivery failures.
 	Requeued uint64
+	// SuspectBacklog is the portion of Backlog sitting in the suspect
+	// queues; SuspectDropped / BenignDropped split Dropped by the
+	// attribution verdict at ingest. BenignDropped is the collateral-
+	// damage counter: likely-benign packets the cache shed.
+	SuspectBacklog int
+	SuspectDropped uint64
+	BenignDropped  uint64
+	// BenignServed / SuspectServed split deliveries by verdict.
+	BenignServed  uint64
+	SuspectServed uint64
 }
 
 // Cache is one data plane cache instance. It attaches to a switch port
@@ -202,9 +263,21 @@ type Cache struct {
 	cfg  Config
 	sink Sink
 
+	// queues holds likely-benign traffic (and, without a hinter, all of
+	// it); suspects holds hint-classified attack traffic. The scheduler
+	// serves benign over suspect at cfg.BenignWeight : 1.
 	queues   [numQueues]*fifo
+	suspects [numQueues]*fifo
 	priority *fifo
-	next     QueueClass // round-robin cursor
+	next     QueueClass // benign round-robin cursor
+	susNext  QueueClass // suspect round-robin cursor
+	credit   int        // remaining benign services before a suspect one
+
+	// hinter, when set, classifies each ingested packet benign/suspect;
+	// observer, when set, sees every ingested packet (attribution's view
+	// of migrated traffic).
+	hinter   Hinter
+	observer Observer
 
 	// rules, when set, is the §IV.E cache-resident proactive rule table.
 	rules *flowtable.Table
@@ -222,6 +295,10 @@ type Cache struct {
 	requeued telemetry.Counter
 	ratePPS  telemetry.FloatGauge // mirrors rate for scrape goroutines
 
+	// Attribution-split accounting: served by verdict class.
+	benignSrvd  telemetry.Counter
+	suspectSrvd telemetry.Counter
+
 	// trace, when set, feeds cache residence time into the pipeline
 	// cache_wait histogram (nil-safe).
 	trace *telemetry.Tracer
@@ -230,13 +307,28 @@ type Cache struct {
 // New creates a cache on the engine; Start arms the scheduler.
 func New(eng *netsim.Engine, cfg Config, sink Sink) *Cache {
 	c := &Cache{eng: eng, cfg: cfg, sink: sink, rate: cfg.InitialRatePPS}
+	if c.cfg.BenignWeight <= 0 {
+		c.cfg.BenignWeight = DefaultBenignWeight
+	}
 	c.ratePPS.Set(cfg.InitialRatePPS)
 	for i := range c.queues {
 		c.queues[i] = newFIFO(cfg.QueueCapacity)
+		c.suspects[i] = newFIFO(cfg.QueueCapacity)
 	}
 	c.priority = newFIFO(cfg.QueueCapacity)
+	c.credit = c.cfg.BenignWeight
 	return c
 }
+
+// SetHinter installs the attribution classifier splitting ingest into
+// benign/suspect queues (nil disables the split; everything then lands
+// in the benign queues and scheduling is plain round-robin). Call on
+// the engine/runner goroutine.
+func (c *Cache) SetHinter(h Hinter) { c.hinter = h }
+
+// SetObserver installs the ingest observer (nil disables). Call on the
+// engine/runner goroutine.
+func (c *Cache) SetObserver(o Observer) { c.observer = o }
 
 // Start arms the round-robin scheduler at the current rate.
 func (c *Cache) Start() { c.arm() }
@@ -297,16 +389,32 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 	inPort := DecodeInPortTOS(pkt.NwTOS)
 	pkt.NwTOS = 0 // strip the tag
 	c.enqueued.Inc()
+	if c.observer != nil {
+		c.observer(origin, inPort, &pkt)
+	}
 	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now()}
+	if c.hinter != nil {
+		e.hint = c.hinter.Hint(origin, inPort, &pkt)
+	}
 	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
 		c.priority.push(e)
 		return
 	}
-	if c.cfg.SingleQueue {
-		c.queues[QueueDefault].push(e)
-		return
+	c.queueFor(&e).push(e)
+}
+
+// queueFor picks the buffer queue an entry belongs to: its protocol
+// class (or the single collapsed queue under the ablation), on the
+// suspect side when attribution blamed it.
+func (c *Cache) queueFor(e *entry) *fifo {
+	cls := QueueDefault
+	if !c.cfg.SingleQueue {
+		cls = Classify(&e.pkt)
 	}
-	c.queues[Classify(&pkt)].push(e)
+	if e.hint == HintSuspect {
+		return c.suspects[cls]
+	}
+	return c.queues[cls]
 }
 
 // Requeue returns a packet whose delivery failed (the sideband to the
@@ -319,15 +427,17 @@ func (c *Cache) Requeue(origin uint64, inPort uint16, pkt netpkt.Packet, queued 
 	c.emitted.Dec()
 	c.requeued.Inc()
 	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now().Add(-queued)}
+	if c.hinter != nil {
+		// Re-classify: the verdict is deterministic per window, so the
+		// packet lands back on the side it was served from (or migrates
+		// to the fresher verdict, which is strictly better).
+		e.hint = c.hinter.Hint(origin, inPort, &pkt)
+	}
 	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
 		c.priority.pushFront(e)
 		return
 	}
-	if c.cfg.SingleQueue {
-		c.queues[QueueDefault].pushFront(e)
-		return
-	}
-	c.queues[Classify(&pkt)].pushFront(e)
+	c.queueFor(&e).pushFront(e)
 }
 
 // Adapter returns a PortPeer view of the cache bound to one origin
@@ -343,29 +453,71 @@ type Adapter struct {
 // DeliverFromSwitch implements the switch PortPeer.
 func (a *Adapter) DeliverFromSwitch(pkt netpkt.Packet) { a.c.Ingest(a.origin, pkt) }
 
-// emitOne serves the priority queue first, then one packet round-robin
-// across the protocol queues.
+// emitOne serves the priority queue first, then one packet from the
+// benign/suspect pair under weighted round-robin: up to BenignWeight
+// benign deliveries per suspect one while both sides have backlog, with
+// a round-robin cursor across the protocol classes inside each side.
+// Whichever side is empty yields its slot to the other, so the link is
+// never idled by the split.
 func (c *Cache) emitOne() {
 	if e, ok := c.priority.pop(); ok {
 		c.prioSrvd.Inc()
 		c.deliver(e)
 		return
 	}
-	for i := 0; i < int(numQueues); i++ {
-		q := c.queues[c.next]
-		c.next = (c.next + 1) % numQueues
-		if e, ok := q.pop(); ok {
+	benignFirst := true
+	if c.credit <= 0 {
+		benignFirst = false
+	}
+	if benignFirst {
+		if e, ok := c.popRR(&c.queues, &c.next); ok {
+			c.credit--
 			c.deliver(e)
 			return
 		}
+		if e, ok := c.popRR(&c.suspects, &c.susNext); ok {
+			c.deliver(e)
+			return
+		}
+		return
 	}
+	c.credit = c.cfg.BenignWeight
+	if e, ok := c.popRR(&c.suspects, &c.susNext); ok {
+		c.deliver(e)
+		return
+	}
+	if e, ok := c.popRR(&c.queues, &c.next); ok {
+		c.deliver(e)
+	}
+}
+
+// popRR pops one entry round-robin from a queue set, advancing its
+// cursor.
+func (c *Cache) popRR(set *[numQueues]*fifo, cursor *QueueClass) (entry, bool) {
+	for i := 0; i < int(numQueues); i++ {
+		q := set[*cursor]
+		*cursor = (*cursor + 1) % numQueues
+		if e, ok := q.pop(); ok {
+			return e, true
+		}
+	}
+	return entry{}, false
 }
 
 func (c *Cache) deliver(e entry) {
 	c.emitted.Inc()
+	if e.hint == HintSuspect {
+		c.suspectSrvd.Inc()
+	} else {
+		c.benignSrvd.Inc()
+	}
 	queued := c.eng.Now().Sub(e.arrived)
 	c.trace.Observe(telemetry.StageCacheWait, queued)
 	c.eng.Schedule(c.cfg.ProcessingDelay, func() {
+		if hs, ok := c.sink.(HintSink); ok {
+			hs.CacheEmitHint(e.origin, e.inPort, e.hint, e.pkt, queued+c.cfg.ProcessingDelay)
+			return
+		}
 		c.sink.CacheEmit(e.origin, e.inPort, e.pkt, queued+c.cfg.ProcessingDelay)
 	})
 }
@@ -373,8 +525,8 @@ func (c *Cache) deliver(e entry) {
 // Backlog returns the total queued packet count.
 func (c *Cache) Backlog() int {
 	n := c.priority.len()
-	for _, q := range c.queues {
-		n += q.len()
+	for i := range c.queues {
+		n += c.queues[i].len() + c.suspects[i].len()
 	}
 	return n
 }
@@ -392,14 +544,23 @@ func (c *Cache) Stats() Stats {
 		Emitted:        uint64(c.emitted.Value()),
 		PriorityServed: c.prioSrvd.Value(),
 		Requeued:       c.requeued.Value(),
+		BenignServed:   c.benignSrvd.Value(),
+		SuspectServed:  c.suspectSrvd.Value(),
 	}
 	for i, q := range c.queues {
 		s.PerQueue[i] = int(q.depth.Value())
 		s.Backlog += int(q.depth.Value())
-		s.Dropped += q.dropped.Value()
+		s.BenignDropped += q.dropped.Value()
+	}
+	for i, q := range c.suspects {
+		s.PerQueue[i] += int(q.depth.Value())
+		s.SuspectBacklog += int(q.depth.Value())
+		s.Backlog += int(q.depth.Value())
+		s.SuspectDropped += q.dropped.Value()
 	}
 	s.Backlog += int(c.priority.depth.Value())
-	s.Dropped += c.priority.dropped.Value()
+	s.BenignDropped += c.priority.dropped.Value()
+	s.Dropped = s.BenignDropped + s.SuspectDropped
 	return s
 }
 
@@ -421,17 +582,31 @@ func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
 	})
 	reg.RegisterCounter(prefix+"_priority_served_total", "Packets served from the cache-resident rule fast path.", &c.prioSrvd)
 	reg.RegisterCounter(prefix+"_requeued_total", "Failed deliveries returned to their queue.", &c.requeued)
+	reg.RegisterCounter(prefix+"_benign_served_total", "Deliveries of likely-benign (or unclassified) packets.", &c.benignSrvd)
+	reg.RegisterCounter(prefix+"_suspect_served_total", "Deliveries of attribution-blamed packets.", &c.suspectSrvd)
 	for i, q := range c.queues {
 		cls := QueueClass(i).String()
 		reg.RegisterGauge(prefix+`_queue_depth{class="`+cls+`"}`, "Current protocol queue depth.", &q.depth)
 		reg.RegisterCounter(prefix+`_dropped_total{class="`+cls+`"}`, "Packets dropped by queue overflow.", &q.dropped)
 	}
+	for i, q := range c.suspects {
+		cls := QueueClass(i).String()
+		reg.RegisterGauge(prefix+`_queue_depth{class="`+cls+`",verdict="suspect"}`, "Current suspect-side protocol queue depth.", &q.depth)
+		reg.RegisterCounter(prefix+`_dropped_total{class="`+cls+`",verdict="suspect"}`, "Suspect packets dropped by queue overflow.", &q.dropped)
+	}
 	reg.RegisterGauge(prefix+`_queue_depth{class="priority"}`, "Current protocol queue depth.", &c.priority.depth)
 	reg.RegisterCounter(prefix+`_dropped_total{class="priority"}`, "Packets dropped by queue overflow.", &c.priority.dropped)
+	reg.GaugeFunc(prefix+"_collateral_dropped_total", "Likely-benign packets shed by queue overflow (collateral damage).", func() float64 {
+		var n uint64
+		for i := range c.queues {
+			n += c.queues[i].dropped.Value()
+		}
+		return float64(n + c.priority.dropped.Value())
+	})
 	reg.GaugeFunc(prefix+"_backlog", "Total queued packets across all queues.", func() float64 {
 		n := c.priority.depth.Value()
 		for i := range c.queues {
-			n += c.queues[i].depth.Value()
+			n += c.queues[i].depth.Value() + c.suspects[i].depth.Value()
 		}
 		return float64(n)
 	})

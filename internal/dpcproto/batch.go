@@ -103,17 +103,34 @@ func (w *Writer) Write(rec Record) error {
 // WriteReplay frames one replay record without boxing it into the
 // Record interface: the steady-state per-packet write is allocation-free.
 func (w *Writer) WriteReplay(dpid uint64, inPort uint16, frame []byte) error {
-	if len(frame)+10 > MaxPayload {
-		return fmt.Errorf("dpcproto: payload %d exceeds maximum", len(frame)+10)
+	return w.WriteReplayHint(dpid, inPort, 0, frame)
+}
+
+// WriteReplayHint frames one replay record carrying an attribution hint,
+// allocation-free like WriteReplay. A zero hint emits the legacy
+// KindReplay framing — byte-identical to a pre-attribution peer's — so
+// the extended kind only appears on the wire when a verdict exists.
+func (w *Writer) WriteReplayHint(dpid uint64, inPort uint16, hint uint8, frame []byte) error {
+	prefix := 10
+	kind := KindReplay
+	if hint != 0 {
+		prefix = 11
+		kind = KindReplayHint
+	}
+	if len(frame)+prefix > MaxPayload {
+		return fmt.Errorf("dpcproto: payload %d exceeds maximum", len(frame)+prefix)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	b := w.buf[:0]
 	b = binary.BigEndian.AppendUint16(b, magic)
-	b = append(b, version, byte(KindReplay))
-	b = binary.BigEndian.AppendUint32(b, uint32(10+len(frame)))
+	b = append(b, version, byte(kind))
+	b = binary.BigEndian.AppendUint32(b, uint32(prefix+len(frame)))
 	b = binary.BigEndian.AppendUint64(b, dpid)
 	b = binary.BigEndian.AppendUint16(b, inPort)
+	if hint != 0 {
+		b = append(b, hint)
+	}
 	b = append(b, frame...)
 	w.buf = b
 	return w.commitLocked(b)
@@ -229,7 +246,7 @@ func (r *Reader) Read() (Record, error) {
 		return nil, fmt.Errorf("dpcproto: payload %d exceeds maximum", length)
 	}
 	var payload []byte
-	if Kind(hdr[3]) == KindReplay {
+	if k := Kind(hdr[3]); k == KindReplay || k == KindReplayHint {
 		payload = make([]byte, length)
 	} else {
 		if cap(r.buf) < length {

@@ -18,9 +18,17 @@
 //
 // Record kinds:
 //
-//	KindReplay: dpid uint64 | inPort uint16 | frame bytes
-//	KindRate:   pps float64 bits (agent -> cache rate limit update)
-//	KindStats:  backlog uint32 | enqueued uint64 | emitted uint64 | dropped uint64
+//	KindReplay:     dpid uint64 | inPort uint16 | frame bytes
+//	KindRate:       pps float64 bits (agent -> cache rate limit update)
+//	KindStats:      backlog uint32 | enqueued uint64 | emitted uint64 | dropped uint64
+//	KindReplayHint: dpid uint64 | inPort uint16 | hint uint8 | frame bytes
+//
+// KindReplayHint extends replay with the cache's attribution verdict
+// (dpcache.HintBenign/HintSuspect) so the agent can account collateral
+// damage per class. Writers emit the legacy KindReplay framing whenever
+// the hint is zero, so a peer that predates the hint never sees the new
+// kind unless attribution actually classified the packet; readers accept
+// both kinds and surface hint-less frames with Hint 0.
 package dpcproto
 
 import (
@@ -44,15 +52,21 @@ type Kind uint8
 
 // Record kinds.
 const (
-	KindReplay Kind = 1
-	KindRate   Kind = 2
-	KindStats  Kind = 3
+	KindReplay     Kind = 1
+	KindRate       Kind = 2
+	KindStats      Kind = 3
+	KindReplayHint Kind = 4
 )
 
-// Replay carries one cached packet back toward the controller.
+// Replay carries one cached packet back toward the controller. Hint is
+// the cache's attribution verdict (0 when unclassified); a non-zero hint
+// selects the KindReplayHint wire framing, a zero hint the legacy
+// KindReplay framing, so hint-less records stay byte-identical to the
+// pre-attribution protocol.
 type Replay struct {
 	DPID   uint64
 	InPort uint16
+	Hint   uint8
 	Frame  []byte
 }
 
@@ -77,13 +91,26 @@ type Record interface {
 	payloadLen() int
 }
 
-func (Replay) kind() Kind        { return KindReplay }
-func (r Replay) payloadLen() int { return 10 + len(r.Frame) }
-func (Rate) payloadLen() int     { return 8 }
-func (Stats) payloadLen() int    { return 28 }
+func (r Replay) kind() Kind {
+	if r.Hint != 0 {
+		return KindReplayHint
+	}
+	return KindReplay
+}
+func (r Replay) payloadLen() int {
+	if r.Hint != 0 {
+		return 11 + len(r.Frame)
+	}
+	return 10 + len(r.Frame)
+}
+func (Rate) payloadLen() int  { return 8 }
+func (Stats) payloadLen() int { return 28 }
 func (r Replay) payload(b []byte) []byte {
 	b = binary.BigEndian.AppendUint64(b, r.DPID)
 	b = binary.BigEndian.AppendUint16(b, r.InPort)
+	if r.Hint != 0 {
+		b = append(b, r.Hint)
+	}
 	return append(b, r.Frame...)
 }
 
@@ -166,6 +193,16 @@ func decodeRecord(kind byte, payload []byte) (Record, error) {
 			DPID:   binary.BigEndian.Uint64(payload[0:8]),
 			InPort: binary.BigEndian.Uint16(payload[8:10]),
 			Frame:  payload[10:],
+		}, nil
+	case KindReplayHint:
+		if len(payload) < 11 {
+			return nil, fmt.Errorf("dpcproto: replay-hint record too short")
+		}
+		return Replay{
+			DPID:   binary.BigEndian.Uint64(payload[0:8]),
+			InPort: binary.BigEndian.Uint16(payload[8:10]),
+			Hint:   payload[10],
+			Frame:  payload[11:],
 		}, nil
 	case KindRate:
 		if len(payload) != 8 {

@@ -21,6 +21,7 @@ func FuzzRead(f *testing.F) {
 		return buf.Bytes()
 	}
 	f.Add(record(Replay{DPID: 0x42, InPort: 3, Frame: []byte("0123456789abcdef")}))
+	f.Add(record(Replay{DPID: 0x42, InPort: 3, Hint: 2, Frame: []byte("0123456789abcdef")}))
 	f.Add(record(Rate{PPS: 125.5}))
 	f.Add(record(Stats{Backlog: 7, Enqueued: 100, Emitted: 90, Dropped: 3}))
 	f.Add(record(
@@ -44,6 +45,57 @@ func FuzzRead(f *testing.F) {
 			if i > len(stream)/8+1 {
 				t.Fatalf("Read returned more records than the stream can hold (%d bytes)", len(stream))
 			}
+		}
+	})
+}
+
+// FuzzReplayHintRoundTrip drives the extended replay framing: any
+// (dpid, inPort, hint, frame) must round-trip bit-exactly through
+// WriteReplayHint and the Reader, a zero hint must stay byte-identical
+// to the legacy hint-less framing (backward compatibility with peers
+// that predate the hint), and a non-zero hint must survive the trip.
+func FuzzReplayHintRoundTrip(f *testing.F) {
+	f.Add(uint64(0x42), uint16(3), uint8(0), []byte("0123456789abcdef"))
+	f.Add(uint64(0x42), uint16(3), uint8(1), []byte("0123456789abcdef"))
+	f.Add(uint64(1), uint16(0), uint8(2), []byte{})
+	f.Add(uint64(0xffffffffffffffff), uint16(0xffff), uint8(0xff), []byte{0x00})
+
+	f.Fuzz(func(t *testing.T, dpid uint64, inPort uint16, hint uint8, frame []byte) {
+		if len(frame)+11 > MaxPayload {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteReplayHint(dpid, inPort, hint, frame); err != nil {
+			t.Fatal(err)
+		}
+
+		if hint == 0 {
+			// Compatibility: a zero hint emits the legacy framing, byte
+			// for byte.
+			var legacy bytes.Buffer
+			if err := Write(&legacy, Replay{DPID: dpid, InPort: inPort, Frame: frame}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), legacy.Bytes()) {
+				t.Fatal("zero-hint framing differs from legacy KindReplay bytes")
+			}
+		}
+
+		rec, err := NewReader(bytes.NewReader(buf.Bytes()), 0).Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, ok := rec.(Replay)
+		if !ok {
+			t.Fatalf("decoded %T, want Replay", rec)
+		}
+		if rp.DPID != dpid || rp.InPort != inPort || rp.Hint != hint {
+			t.Fatalf("round trip (%d, %d, %d) != (%d, %d, %d)",
+				rp.DPID, rp.InPort, rp.Hint, dpid, inPort, hint)
+		}
+		if !bytes.Equal(rp.Frame, frame) {
+			t.Fatal("frame bytes corrupted in round trip")
 		}
 	})
 }

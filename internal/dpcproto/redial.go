@@ -309,12 +309,18 @@ func (c *Redial) Write(rec Record) error {
 
 // WriteReplay is Write for the boxing-free replay fast path.
 func (c *Redial) WriteReplay(dpid uint64, inPort uint16, frame []byte) error {
+	return c.WriteReplayHint(dpid, inPort, 0, frame)
+}
+
+// WriteReplayHint is WriteReplay carrying an attribution hint byte (zero
+// emits the legacy hint-less framing).
+func (c *Redial) WriteReplayHint(dpid uint64, inPort uint16, hint uint8, frame []byte) error {
 	gen, w, _, err := c.session(false)
 	if err != nil {
 		return err
 	}
 	c.setWriteDeadline(gen)
-	if err := w.WriteReplay(dpid, inPort, frame); err != nil {
+	if err := w.WriteReplayHint(dpid, inPort, hint, frame); err != nil {
 		c.invalidate(gen)
 		return fmt.Errorf("dpcproto: redial write: %w", err)
 	}

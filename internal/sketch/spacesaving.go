@@ -1,0 +1,142 @@
+package sketch
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is one heavy-hitter candidate: its key, the (over)estimated
+// count, and the maximum overestimation error inherited from the slot it
+// evicted.
+type Entry struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// SpaceSaving is the Metwally et al. stream-summary: it tracks at most
+// capacity candidate keys, replacing the minimum-count slot when a new
+// key arrives, so every key whose true frequency exceeds N/capacity is
+// guaranteed to be present. Observe is O(1) amortised for tracked keys
+// and O(capacity) on eviction; the structure is guarded by a mutex so
+// Top can be called from a telemetry scrape while a packet path
+// Observes.
+type SpaceSaving struct {
+	mu    sync.Mutex
+	cap   int
+	slots []Entry
+	idx   map[uint64]int // key -> slot index
+}
+
+// NewSpaceSaving builds a summary over at most capacity keys.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SpaceSaving{
+		cap:   capacity,
+		slots: make([]Entry, 0, capacity),
+		idx:   make(map[uint64]int, capacity*2),
+	}
+}
+
+// Observe credits inc to key, evicting the current minimum slot if the
+// summary is full and key is untracked (the evicted slot's count becomes
+// the new key's error bound, per the algorithm).
+func (t *SpaceSaving) Observe(key uint64, inc uint64) {
+	t.mu.Lock()
+	if i, ok := t.idx[key]; ok {
+		t.slots[i].Count += inc
+		t.mu.Unlock()
+		return
+	}
+	if len(t.slots) < t.cap {
+		t.idx[key] = len(t.slots)
+		t.slots = append(t.slots, Entry{Key: key, Count: inc})
+		t.mu.Unlock()
+		return
+	}
+	// Evict the minimum-count slot.
+	min := 0
+	for i := 1; i < len(t.slots); i++ {
+		if t.slots[i].Count < t.slots[min].Count {
+			min = i
+		}
+	}
+	old := t.slots[min]
+	delete(t.idx, old.Key)
+	t.idx[key] = min
+	t.slots[min] = Entry{Key: key, Count: old.Count + inc, Err: old.Count}
+	t.mu.Unlock()
+}
+
+// Count returns the tracked (over)estimate for key, or 0 when untracked.
+func (t *SpaceSaving) Count(key uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.idx[key]; ok {
+		return t.slots[i].Count
+	}
+	return 0
+}
+
+// Len returns how many keys are currently tracked.
+func (t *SpaceSaving) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots)
+}
+
+// Top appends the tracked entries, highest count first, to dst and
+// returns it. Pass a reused slice to avoid allocation.
+func (t *SpaceSaving) Top(dst []Entry) []Entry {
+	t.mu.Lock()
+	dst = append(dst, t.slots...)
+	t.mu.Unlock()
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Count > dst[j].Count })
+	return dst
+}
+
+// Decay halves every slot's count and error, matching the count-min
+// sketch's exponential horizon so the two structures age together.
+// Slots decayed to zero are dropped.
+func (t *SpaceSaving) Decay() {
+	t.mu.Lock()
+	keep := t.slots[:0]
+	for _, e := range t.slots {
+		e.Count /= 2
+		e.Err /= 2
+		if e.Count > 0 {
+			keep = append(keep, e)
+		} else {
+			delete(t.idx, e.Key)
+		}
+	}
+	t.slots = keep
+	for i, e := range t.slots {
+		t.idx[e.Key] = i
+	}
+	t.mu.Unlock()
+}
+
+// Reset drops every tracked key.
+func (t *SpaceSaving) Reset() {
+	t.mu.Lock()
+	t.slots = t.slots[:0]
+	for k := range t.idx {
+		delete(t.idx, k)
+	}
+	t.mu.Unlock()
+}
+
+// Merge folds other's entries into t by Observing each one — the
+// standard space-saving merge bound: the result tracks every key heavy
+// in the union within the combined error.
+func (t *SpaceSaving) Merge(other *SpaceSaving) {
+	other.mu.Lock()
+	entries := append([]Entry(nil), other.slots...)
+	other.mu.Unlock()
+	for _, e := range entries {
+		t.Observe(e.Key, e.Count)
+	}
+}
