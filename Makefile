@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 cover check fuzz ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 cover check fuzz ci
 
 all: build test
 
@@ -74,6 +74,32 @@ bench-json5:
 		-gate 'BenchmarkSpaceSavingObserveTracked(-|$$):allocs_per_op<=0' \
 		-gate 'BenchmarkSpaceSavingObserveChurn(-|$$):allocs_per_op<=0' \
 		-gate 'BenchmarkWriteReplay/write-replay(-|$$):allocs_per_op<=0'
+
+# The PR-6 run-to-completion engine rendered as BENCH_6.json: the SPSC
+# ring, the per-packet shard body (0 allocs AND 0 mutex-profile waits —
+# the zero-lock witness), the cache replay hop, the shard-local flow
+# lookup, and the whole-pipeline sustained-pps macro benchmark. The pps
+# floor and p99 ceiling are deliberately generous so slow single-core CI
+# boxes pass; the architectural >=2x speedup self-asserts inside the
+# macro bench only on machines with >=4 CPUs.
+bench-json6:
+	@rm -f bench6.txt
+	$(GO) test -bench='RingPushPop|RingBatch64' -benchtime=10000x -benchmem -run=^$$ ./internal/spsc/ | tee -a bench6.txt
+	$(GO) test -bench='ShardPerPacket|RingHandoff' -benchtime=10000x -benchmem -run=^$$ ./internal/rtc/ | tee -a bench6.txt
+	$(GO) test -bench=CacheReplay -benchtime=10000x -benchmem -run=^$$ ./internal/dpcache/ | tee -a bench6.txt
+	$(GO) test -bench=ConcurrentShardHit -benchtime=10000x -benchmem -run=^$$ ./internal/flowtable/ | tee -a bench6.txt
+	$(GO) test -bench=SustainedPPS -benchtime=1x -run=^$$ ./internal/experiments/ | tee -a bench6.txt
+	$(GO) run ./cmd/benchjson -in bench6.txt -out BENCH_6.json \
+		-gate 'BenchmarkRingPushPop(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkRingBatch64(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkShardPerPacket(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkShardPerPacket(-|$$):mutexwaits<=0' \
+		-gate 'BenchmarkRingHandoff(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkCacheReplay/no-hinter(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkCacheReplay/hinter(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkConcurrentShardHit(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkSustainedPPS/mode=sharded(-|$$):pps>=50000' \
+		-gate 'BenchmarkSustainedPPS/mode=sharded(-|$$):p99ms<=250'
 
 # Coverage over the whole tree; cover.out is the artifact CI uploads.
 cover:

@@ -8,7 +8,7 @@
 //	fgsim <experiment> [flags]
 //
 // Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4,
-// compare, chaos, attrib, sweep, all
+// compare, chaos, attrib, sweep, pps, all
 package main
 
 import (
@@ -33,7 +33,7 @@ func main() {
 	iters := flag.Int("iters", 50, "derivation repetitions for fig13")
 	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
-	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant)")
+	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant) and pps")
 	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos/attrib/sweep)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
 	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
@@ -114,6 +114,7 @@ experiments:
   chaos           seeded sideband flaps mid-Defense: degraded drops and recovery
   attrib          collateral damage to benign traffic: blanket vs selective migration
   sweep           multi-seed bandwidth sweep sharded across -shards workers
+  pps             sustained-pps macro benchmark: sharded engine vs channel baseline
   all             run everything in paper order
 
 flags:`)
@@ -144,6 +145,8 @@ func run(name string, trials, iters int, seed int64, flaps, shards int) error {
 		return attribExp(seed)
 	case "sweep":
 		return sweep(shards)
+	case "pps":
+		return pps(seed, shards)
 	case "all":
 		for _, fn := range []func() error{
 			sec2, fig10, fig11, fig12,
@@ -277,6 +280,30 @@ func sweep(shards int) error {
 		return r.WriteCSV(os.Stdout)
 	}
 	r.Print(os.Stdout)
+	return nil
+}
+
+func pps(seed int64, shards int) error {
+	var results []*experiments.PPSResult
+	for _, mode := range []experiments.PPSMode{experiments.PPSChannels, experiments.PPSSharded} {
+		r, err := experiments.RunPPS(experiments.PPSConfig{
+			Mode:   mode,
+			Shards: shards,
+			Seed:   seed,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		if !asCSV {
+			r.Print(os.Stdout)
+		}
+	}
+	if asCSV {
+		return experiments.WritePPSCSV(os.Stdout, results)
+	}
+	ratio := results[1].SustainedPPS / results[0].SustainedPPS
+	fmt.Fprintf(os.Stdout, "sharded/channels speedup: %.2fx\n", ratio)
 	return nil
 }
 

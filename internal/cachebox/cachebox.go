@@ -25,7 +25,26 @@ import (
 	"floodguard/internal/dpcproto"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
+	"floodguard/internal/spsc"
 	"floodguard/internal/telemetry"
+)
+
+// ingestItem is one migrated frame staged between a shim session's
+// reader goroutine and the runner-side drain ticker.
+type ingestItem struct {
+	dpid uint64
+	pkt  netpkt.Packet
+}
+
+const (
+	// ingestRingCap bounds frames in flight per shim session; a full
+	// ring backpressures the session's TCP read loop.
+	ingestRingCap = 4096
+	// ingestDrainEvery is the engine-ticker period for moving staged
+	// frames into the cache on the runner goroutine. Batching here
+	// replaces a Do round-trip (closure alloc + two channel hops +
+	// wakeup) per ingested frame.
+	ingestDrainEvery = 500 * time.Microsecond
 )
 
 // Config parameterises a Box.
@@ -67,6 +86,13 @@ type Box struct {
 	wg        sync.WaitGroup
 	statsTick *time.Ticker
 	statsDone chan struct{}
+
+	// ingestMu guards the ring list; the rings themselves are SPSC
+	// (one shim session pushes, the runner-side drain ticker pops).
+	ingestMu    sync.Mutex
+	ingestRings []*spsc.Ring[ingestItem]
+	// ingestBatch is drain scratch, touched only on the runner goroutine.
+	ingestBatch [256]ingestItem
 
 	// trace is written on the runner goroutine (Instrument marshals the
 	// assignment) and read only by boxSink.CacheEmit, which also runs
@@ -130,7 +156,10 @@ func Start(cfg Config) (*Box, net.Addr, error) {
 	b.ingestLn = ln
 
 	b.runner.Start()
-	b.runner.Do(func() { b.cache.Start() })
+	b.runner.Do(func() {
+		b.cache.Start()
+		b.eng.NewTicker(ingestDrainEvery, b.drainIngest)
+	})
 
 	b.wg.Add(2)
 	go b.agentLoop()
@@ -205,10 +234,17 @@ func (b *Box) acceptLoop(ln net.Listener) {
 	}
 }
 
-// ingestLoop consumes migrated frames from one shim.
+// ingestLoop consumes migrated frames from one shim, staging them into
+// a session-local SPSC ring the drain ticker empties on the runner
+// goroutine — no per-frame Do round-trip.
 func (b *Box) ingestLoop(conn net.Conn) {
 	defer b.wg.Done()
 	defer conn.Close()
+	ring := spsc.New[ingestItem](ingestRingCap)
+	b.ingestMu.Lock()
+	b.ingestRings = append(b.ingestRings, ring)
+	b.ingestMu.Unlock()
+	defer ring.Close() // retired by the drain ticker once empty
 	r := dpcproto.NewReader(conn, 0)
 	for {
 		rec, err := r.Read()
@@ -226,8 +262,40 @@ func (b *Box) ingestLoop(conn net.Conn) {
 		if err != nil {
 			continue
 		}
-		b.runner.Do(func() { b.cache.Ingest(rp.DPID, pkt) })
+		for !ring.Push(ingestItem{dpid: rp.DPID, pkt: pkt}) {
+			// Drain is behind; stall this session's TCP read so the
+			// shim sees backpressure instead of silent loss.
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
+}
+
+// drainIngest runs on the runner goroutine: it sweeps every session
+// ring into the cache in batches and retires rings whose session has
+// closed and fully drained.
+func (b *Box) drainIngest() {
+	b.ingestMu.Lock()
+	defer b.ingestMu.Unlock()
+	kept := b.ingestRings[:0]
+	for _, ring := range b.ingestRings {
+		for {
+			n := ring.PopBatch(b.ingestBatch[:])
+			for i := 0; i < n; i++ {
+				b.cache.Ingest(b.ingestBatch[i].dpid, b.ingestBatch[i].pkt)
+			}
+			if n < len(b.ingestBatch) {
+				break
+			}
+		}
+		if ring.Closed() && ring.Len() == 0 {
+			continue // session over, nothing left to pop
+		}
+		kept = append(kept, ring)
+	}
+	for i := len(kept); i < len(b.ingestRings); i++ {
+		b.ingestRings[i] = nil
+	}
+	b.ingestRings = kept
 }
 
 func (b *Box) statsLoop() {
@@ -279,6 +347,9 @@ func (b *Box) Close() {
 	}
 	b.mu.Unlock()
 	b.wg.Wait()
+	// Every ingest loop has exited and closed its ring; one last sweep
+	// moves anything still staged into the cache before it stops.
+	b.runner.Do(b.drainIngest)
 	b.runner.Do(func() { b.cache.Stop() })
 	b.runner.Stop()
 }

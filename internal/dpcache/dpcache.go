@@ -302,6 +302,12 @@ type Cache struct {
 	// trace, when set, feeds cache residence time into the pipeline
 	// cache_wait histogram (nil-safe).
 	trace *telemetry.Tracer
+
+	// scratch stages the packet being ingested so pointers handed to the
+	// observer/hinter interfaces alias cache-owned memory instead of
+	// forcing the argument to escape — keeps Ingest allocation-free. Safe
+	// because the cache is single-goroutine (engine/runner contract).
+	scratch netpkt.Packet
 }
 
 // New creates a cache on the engine; Start arms the scheduler.
@@ -386,17 +392,19 @@ func (c *Cache) DeliverFromSwitch(pkt netpkt.Packet) { c.Ingest(0, pkt) }
 // Ingest accepts a migrated table-miss packet from the identified
 // datapath, tagged with its original INPORT in the TOS field.
 func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
-	inPort := DecodeInPortTOS(pkt.NwTOS)
-	pkt.NwTOS = 0 // strip the tag
+	c.scratch = pkt
+	p := &c.scratch
+	inPort := DecodeInPortTOS(p.NwTOS)
+	p.NwTOS = 0 // strip the tag
 	c.enqueued.Inc()
 	if c.observer != nil {
-		c.observer(origin, inPort, &pkt)
+		c.observer(origin, inPort, p)
 	}
-	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now()}
+	e := entry{origin: origin, pkt: *p, inPort: inPort, arrived: c.eng.Now()}
 	if c.hinter != nil {
-		e.hint = c.hinter.Hint(origin, inPort, &pkt)
+		e.hint = c.hinter.Hint(origin, inPort, p)
 	}
-	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
+	if c.rules != nil && c.rules.Peek(p, inPort) != nil {
 		c.priority.push(e)
 		return
 	}
@@ -426,14 +434,16 @@ func (c *Cache) queueFor(e *entry) *fifo {
 func (c *Cache) Requeue(origin uint64, inPort uint16, pkt netpkt.Packet, queued time.Duration) {
 	c.emitted.Dec()
 	c.requeued.Inc()
-	e := entry{origin: origin, pkt: pkt, inPort: inPort, arrived: c.eng.Now().Add(-queued)}
+	c.scratch = pkt
+	p := &c.scratch
+	e := entry{origin: origin, pkt: *p, inPort: inPort, arrived: c.eng.Now().Add(-queued)}
 	if c.hinter != nil {
 		// Re-classify: the verdict is deterministic per window, so the
 		// packet lands back on the side it was served from (or migrates
 		// to the fresher verdict, which is strictly better).
-		e.hint = c.hinter.Hint(origin, inPort, &pkt)
+		e.hint = c.hinter.Hint(origin, inPort, p)
 	}
-	if c.rules != nil && c.rules.Peek(&pkt, inPort) != nil {
+	if c.rules != nil && c.rules.Peek(p, inPort) != nil {
 		c.priority.pushFront(e)
 		return
 	}
@@ -463,6 +473,20 @@ func (c *Cache) emitOne() {
 	if e, ok := c.priority.pop(); ok {
 		c.prioSrvd.Inc()
 		c.deliver(e)
+		return
+	}
+	if c.hinter == nil {
+		// No attribution verdicts: every ingest lands on the benign side,
+		// so skip the credit bookkeeping and serve the legacy plain
+		// round-robin directly. The suspect fallback only drains leftovers
+		// queued while a hinter was still installed.
+		if e, ok := c.popRR(&c.queues, &c.next); ok {
+			c.deliver(e)
+			return
+		}
+		if e, ok := c.popRR(&c.suspects, &c.susNext); ok {
+			c.deliver(e)
+		}
 		return
 	}
 	benignFirst := true
@@ -513,13 +537,24 @@ func (c *Cache) deliver(e entry) {
 	}
 	queued := c.eng.Now().Sub(e.arrived)
 	c.trace.Observe(telemetry.StageCacheWait, queued)
+	if c.cfg.ProcessingDelay <= 0 {
+		// No modelled handling cost: hand the packet to the sink inline
+		// instead of scheduling a zero-delay event — the replay path then
+		// allocates nothing per packet.
+		c.emitTo(e, queued)
+		return
+	}
 	c.eng.Schedule(c.cfg.ProcessingDelay, func() {
-		if hs, ok := c.sink.(HintSink); ok {
-			hs.CacheEmitHint(e.origin, e.inPort, e.hint, e.pkt, queued+c.cfg.ProcessingDelay)
-			return
-		}
-		c.sink.CacheEmit(e.origin, e.inPort, e.pkt, queued+c.cfg.ProcessingDelay)
+		c.emitTo(e, queued+c.cfg.ProcessingDelay)
 	})
+}
+
+func (c *Cache) emitTo(e entry, queued time.Duration) {
+	if hs, ok := c.sink.(HintSink); ok {
+		hs.CacheEmitHint(e.origin, e.inPort, e.hint, e.pkt, queued)
+		return
+	}
+	c.sink.CacheEmit(e.origin, e.inPort, e.pkt, queued)
 }
 
 // Backlog returns the total queued packet count.

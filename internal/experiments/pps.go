@@ -1,0 +1,262 @@
+// Sustained-pps macro benchmark: the whole-pipeline throughput and
+// latency experiment behind the run-to-completion engine. It drives an
+// attack+benign mix through either the sharded engine or the
+// channel-hop baseline for a wall-clock duration, with one producer per
+// shard offering packets as fast as the pipeline accepts them, and
+// reports sustained pps, offered load, p50/p99 pipeline latency, and
+// the attack-time accounting (forwarded / migrated / drops / replayed).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+	"floodguard/internal/rtc"
+)
+
+// PPSMode selects the pipeline under test.
+type PPSMode string
+
+const (
+	// PPSSharded is the run-to-completion engine.
+	PPSSharded PPSMode = "sharded"
+	// PPSChannels is the channel-hop baseline.
+	PPSChannels PPSMode = "channels"
+)
+
+// PPSConfig parameterises a sustained-pps run.
+type PPSConfig struct {
+	Mode PPSMode
+	// Shards is the engine shard count / baseline worker count
+	// (<= 0 picks GOMAXPROCS).
+	Shards int
+	// Duration is the wall-clock measurement length (default 1s).
+	Duration time.Duration
+	// AttackEvery is the spoofed-miss mix divisor: one packet in
+	// AttackEvery is a table-miss attack packet (default 4; negative
+	// disables the attack entirely).
+	AttackEvery int
+	// BenignFlows is the number of installed benign flows per producer
+	// (default 32).
+	BenignFlows int
+	// Seed keys the generators.
+	Seed int64
+	// LatencySample stamps one packet in N for the latency quantiles
+	// (default rtc.DefaultLatencySample).
+	LatencySample int
+}
+
+func (c *PPSConfig) normalize() {
+	if c.Mode == "" {
+		c.Mode = PPSSharded
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	switch {
+	case c.AttackEvery == 0:
+		c.AttackEvery = 4
+	case c.AttackEvery < 0:
+		c.AttackEvery = 1 << 62 // effectively never: attack disabled
+	case c.AttackEvery == 1:
+		c.AttackEvery = 2 // keep some benign traffic to forward
+	}
+	if c.BenignFlows <= 0 {
+		c.BenignFlows = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.LatencySample <= 0 {
+		c.LatencySample = rtc.DefaultLatencySample
+	}
+}
+
+// PPSResult is one sustained-pps measurement.
+type PPSResult struct {
+	Mode     PPSMode
+	Shards   int
+	Duration time.Duration
+
+	Offered   uint64 // packets producers tried to inject
+	Accepted  uint64 // packets the pipeline took
+	Processed uint64
+	Forwarded uint64
+	Misses    uint64
+	RingDrops uint64 // shard→cache handoff drops
+	Replayed  uint64 // cache deliveries to the controller path
+	CacheDrop uint64 // dpcache queue overflow drops
+	Backlog   int    // cache backlog at stop
+
+	SustainedPPS float64 // processed / duration
+	OfferedPPS   float64
+	P50, P99     time.Duration
+}
+
+// pipeline is the common surface of rtc.Engine and rtc.Baseline the
+// harness drives.
+type pipeline interface {
+	Apply(m openflow.FlowMod) error
+	Start()
+	Stop()
+	Snapshot() rtc.Snapshot
+}
+
+// RunPPS executes one sustained-pps measurement.
+func RunPPS(cfg PPSConfig) (*PPSResult, error) {
+	cfg.normalize()
+	rcfg := rtc.Config{
+		Shards:        cfg.Shards,
+		ReplayPPS:     10000,
+		Window:        50 * time.Millisecond,
+		LatencySample: cfg.LatencySample,
+	}
+
+	var pipe pipeline
+	var eng *rtc.Engine
+	switch cfg.Mode {
+	case PPSSharded:
+		eng = rtc.New(rcfg)
+		pipe = eng
+	case PPSChannels:
+		pipe = rtc.NewBaseline(rcfg)
+	default:
+		return nil, fmt.Errorf("pps: unknown mode %q", cfg.Mode)
+	}
+
+	// Per-producer working sets: BenignFlows installed flows on the
+	// producer's own port, plus a spoof generator for the attack share.
+	// Ports are chosen so producer i owns exactly shard i in sharded
+	// mode (port ≡ i mod Shards), honouring the SPSC contract.
+	type producer struct {
+		port    uint16
+		benign  []netpkt.Packet
+		spoof   *netpkt.SpoofGen
+		offered uint64
+	}
+	producers := make([]*producer, cfg.Shards)
+	for i := range producers {
+		port := uint16(i)
+		if port == 0 {
+			port = uint16(cfg.Shards) // keep port 0 unused; still ≡ 0 mod Shards
+		}
+		p := &producer{
+			port:  port,
+			spoof: netpkt.NewSpoofGen(cfg.Seed+int64(1000+i), netpkt.FloodMixed, 0),
+		}
+		bg := netpkt.NewSpoofGen(cfg.Seed+int64(i), netpkt.FloodUDP, 0)
+		for f := 0; f < cfg.BenignFlows; f++ {
+			pkt := bg.Next()
+			if err := pipe.Apply(openflow.FlowMod{
+				Match:    openflow.ExactFrom(&pkt, p.port),
+				Command:  openflow.FlowAdd,
+				Priority: 100,
+				Actions:  []openflow.Action{openflow.Output(2)},
+			}); err != nil {
+				return nil, fmt.Errorf("pps: install flow: %w", err)
+			}
+			p.benign = append(p.benign, pkt)
+		}
+		producers[i] = p
+	}
+
+	pipe.Start()
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, p := range producers {
+		wg.Add(1)
+		go func(i int, p *producer) {
+			defer wg.Done()
+			inject := func(it rtc.Item) bool {
+				if eng != nil {
+					return eng.Shard(i).Ring().Push(it)
+				}
+				return pipe.(*rtc.Baseline).InjectItem(it)
+			}
+			n := 0
+			for time.Now().Before(deadline) {
+				// Offer a burst between clock checks.
+				for b := 0; b < 512; b++ {
+					var it rtc.Item
+					if n%cfg.AttackEvery == 0 {
+						it = rtc.Item{Pkt: p.spoof.Next(), InPort: p.port}
+					} else {
+						it = rtc.Item{Pkt: p.benign[n%len(p.benign)], InPort: p.port}
+					}
+					if n%cfg.LatencySample == 0 {
+						it.IngressNanos = time.Now().UnixNano()
+					}
+					p.offered++
+					if !inject(it) {
+						// Pipeline full: brief backoff, drop the offer.
+						runtime.Gosched()
+					}
+					n++
+				}
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	pipe.Stop()
+
+	snap := pipe.Snapshot()
+	res := &PPSResult{
+		Mode:      cfg.Mode,
+		Shards:    cfg.Shards,
+		Duration:  cfg.Duration,
+		Processed: snap.Processed,
+		Forwarded: snap.Forwarded,
+		Misses:    snap.Misses,
+		RingDrops: snap.CacheDrops,
+		Replayed:  snap.Replayed,
+		CacheDrop: snap.Cache.Dropped,
+		Backlog:   snap.Cache.Backlog,
+		P50:       snap.P50,
+		P99:       snap.P99,
+	}
+	for _, p := range producers {
+		res.Offered += p.offered
+	}
+	res.Accepted = snap.Processed
+	secs := cfg.Duration.Seconds()
+	res.SustainedPPS = float64(snap.Processed) / secs
+	res.OfferedPPS = float64(res.Offered) / secs
+	return res, nil
+}
+
+// Print renders the measurement human-readably.
+func (r *PPSResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "sustained-pps macro benchmark — mode=%s shards=%d duration=%s\n",
+		r.Mode, r.Shards, r.Duration)
+	fmt.Fprintf(w, "  offered    %12.0f pps\n", r.OfferedPPS)
+	fmt.Fprintf(w, "  sustained  %12.0f pps\n", r.SustainedPPS)
+	fmt.Fprintf(w, "  latency    p50=%v p99=%v\n", r.P50, r.P99)
+	fmt.Fprintf(w, "  forwarded  %d  migrated %d  ring-drops %d\n", r.Forwarded, r.Misses, r.RingDrops)
+	fmt.Fprintf(w, "  cache      replayed %d  dropped %d  backlog %d\n", r.Replayed, r.CacheDrop, r.Backlog)
+}
+
+// WriteCSV emits one row per result:
+// mode,shards,duration_s,offered_pps,sustained_pps,p50_us,p99_us,
+// forwarded,migrated,ring_drops,replayed,cache_dropped,backlog.
+func WritePPSCSV(w io.Writer, rs []*PPSResult) error {
+	if _, err := fmt.Fprintln(w, "mode,shards,duration_s,offered_pps,sustained_pps,p50_us,p99_us,forwarded,migrated,ring_drops,replayed,cache_dropped,backlog"); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.0f,%.0f,%.1f,%.1f,%d,%d,%d,%d,%d,%d\n",
+			r.Mode, r.Shards, r.Duration.Seconds(), r.OfferedPPS, r.SustainedPPS,
+			float64(r.P50.Nanoseconds())/1e3, float64(r.P99.Nanoseconds())/1e3,
+			r.Forwarded, r.Misses, r.RingDrops, r.Replayed, r.CacheDrop, r.Backlog); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package rtc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"floodguard/internal/netpkt"
+)
+
+// mutexWaits sums the contention event counts of the runtime mutex
+// profile — the witness that a code region took no contended lock.
+func mutexWaits() int64 {
+	n, _ := runtime.MutexProfile(nil)
+	recs := make([]runtime.BlockProfileRecord, n+64)
+	n, _ = runtime.MutexProfile(recs)
+	var total int64
+	for _, r := range recs[:n] {
+		total += r.Count
+	}
+	return total
+}
+
+// BenchmarkShardPerPacket measures the warm run-to-completion body: a
+// 3:1 benign/spoof mix where every benign flow has an installed rule
+// (positive microflow hits) and every spoof tuple is already
+// negative-cached (misses that observe attribution and ring-push to the
+// cache stage). A concurrent telemetry scraper runs throughout, and the
+// bench reports the runtime mutex-profile contention delta as
+// "mutexwaits" — gated to zero in BENCH_6.json alongside allocs/op,
+// pinning the claim that the per-packet shard path shares no lock with
+// the control plane's scrape path.
+func BenchmarkShardPerPacket(b *testing.B) {
+	e := New(Config{Shards: 1, CacheRingCapacity: 8192})
+	s := e.Shard(0)
+	const port = 1
+
+	// Working set: 48 installed benign flows, 16 spoofed tuples.
+	bg := netpkt.NewSpoofGen(1, netpkt.FloodUDP, 0)
+	sg := netpkt.NewSpoofGen(2, netpkt.FloodMixed, 0)
+	items := make([]Item, 64)
+	for i := range items {
+		if i%4 != 0 {
+			p := bg.Next()
+			if err := e.Apply(exactMod(&p, port, 2)); err != nil {
+				b.Fatal(err)
+			}
+			items[i] = Item{Pkt: p, InPort: port}
+		} else {
+			items[i] = Item{Pkt: sg.Next(), InPort: port}
+		}
+	}
+	now := time.Now()
+	drain := make([]CacheItem, 256)
+	for i := range items { // warm the microflow cache, positive and negative
+		s.processOne(&items[i], now, 1)
+	}
+	for s.toCache.PopBatch(drain) > 0 {
+	}
+
+	// Concurrent control plane: scrape engine-wide stats while the shard
+	// runs. If the per-packet path took any shared mutex, this would
+	// register contention.
+	var stop atomic.Bool
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for !stop.Load() {
+			_ = e.Snapshot()
+			_ = e.Table().Stats()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	prev := runtime.SetMutexProfileFraction(1)
+	before := mutexWaits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.processOne(&items[i&63], now, 1)
+		if i&1023 == 0 {
+			// Same-goroutine drain is legal: SPSC producer and consumer
+			// just have to be *one* goroutine each, and here both are us.
+			for s.toCache.PopBatch(drain) > 0 {
+			}
+		}
+	}
+	b.StopTimer()
+	waits := mutexWaits() - before
+	runtime.SetMutexProfileFraction(prev)
+	stop.Store(true)
+	<-scraped
+	b.ReportMetric(float64(waits), "mutexwaits")
+	if got := s.processed.Load(); got == 0 {
+		b.Fatal("no packets processed")
+	}
+}
+
+// BenchmarkRingHandoff measures the shard→cache handoff in isolation:
+// one CacheItem through the SPSC ring per iteration, batched 64-wide —
+// the inter-layer cost that replaced a channel send per packet.
+func BenchmarkRingHandoff(b *testing.B) {
+	e := New(Config{Shards: 1})
+	s := e.Shard(0)
+	g := netpkt.NewSpoofGen(3, netpkt.FloodMixed, 0)
+	in := make([]CacheItem, 64)
+	out := make([]CacheItem, 64)
+	for i := range in {
+		in[i] = CacheItem{Origin: 1, Pkt: g.Next()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		if s.toCache.PushBatch(in) != 64 {
+			b.Fatal("push short")
+		}
+		if s.toCache.PopBatch(out) != 64 {
+			b.Fatal("pop short")
+		}
+	}
+}

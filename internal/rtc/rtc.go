@@ -1,0 +1,453 @@
+// Package rtc is the run-to-completion packet engine: the million-pps
+// reshaping of the FloodGuard hot path. Instead of hopping every packet
+// across goroutine-per-layer channels (ingress → classifier → flow
+// table → attribution → data plane cache), the engine partitions ports
+// across N shards, and each shard carries its packets end-to-end in a
+// single goroutine: ingress classification, flow-table lookup through a
+// shard-local microflow cache, attribution observation into shard-local
+// sketches, and — for table misses — TOS tagging plus a lock-free
+// ring-buffer handoff to the data plane cache stage.
+//
+// The per-packet shard path takes zero locks and performs zero
+// allocations: the only shared-memory traffic is one atomic generation
+// load on a warm microflow hit and the shard's own statistic counters.
+// Shared state is reconciled at window boundaries only — the shard
+// folds its attribution deltas (count-min cells, heavy-hitter
+// candidates, per-port sample counts) into the shared Attributor via
+// the sketch merge path, exactly like the sweep shard-invariance
+// contract in internal/experiments.
+//
+// The cache stage is its own goroutine: it owns a dpcache.Cache on a
+// discrete-event netsim.Engine and pumps that engine against the wall
+// clock, so the paper's rate-limited replay ticker fires in real time
+// while ingest arrives over the per-shard SPSC rings.
+package rtc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"floodguard/internal/attrib"
+	"floodguard/internal/dpcache"
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/openflow"
+	"floodguard/internal/spsc"
+	"floodguard/internal/telemetry"
+)
+
+// Item is one packet entering the engine. IngressNanos, when nonzero,
+// is the producer's wall-clock stamp (UnixNano) for latency sampling;
+// producers stamp one packet in Config.LatencySample.
+type Item struct {
+	Pkt          netpkt.Packet
+	InPort       uint16
+	IngressNanos int64
+}
+
+// CacheItem is one table-miss packet handed from a shard to the cache
+// stage, already TOS-tagged with its ingress port.
+type CacheItem struct {
+	Origin uint64
+	Pkt    netpkt.Packet
+}
+
+// Config parameterises the engine. Zero values pick the defaults noted
+// per field.
+type Config struct {
+	// Shards is the run-to-completion shard count (<= 0 picks
+	// GOMAXPROCS). Port p belongs to shard p % Shards.
+	Shards int
+	// DPID identifies the datapath in attribution and cache accounting
+	// (default 1).
+	DPID uint64
+	// TableCapacity bounds the shared flow table (0 = unbounded).
+	TableCapacity int
+	// MicroSize bounds each shard's microflow cache (<= 0 picks the
+	// flowtable default).
+	MicroSize int
+	// RingCapacity sizes each shard's ingress ring (default 2048).
+	RingCapacity int
+	// CacheRingCapacity sizes each shard→cache handoff ring (default
+	// 4096).
+	CacheRingCapacity int
+	// QueueCapacity bounds each dpcache protocol queue (default 4096).
+	QueueCapacity int
+	// ReplayPPS is the data plane cache's packet_in generation rate
+	// (default 10000).
+	ReplayPPS float64
+	// Window is the attribution window and the shard merge period
+	// (default 50ms).
+	Window time.Duration
+	// LatencySample is the producer-side sampling divisor recorded for
+	// documentation (the engine accepts whatever stamps producers set);
+	// DefaultLatencySample is the convention.
+	LatencySample int
+	// Attrib parameterises the shared attribution engine.
+	Attrib attrib.Config
+	// Batch is the shard pop-batch size (default 256).
+	Batch int
+}
+
+// DefaultLatencySample is the conventional 1-in-N latency stamp rate.
+const DefaultLatencySample = 8
+
+func (c *Config) normalize() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.DPID == 0 {
+		c.DPID = 1
+	}
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = 2048
+	}
+	if c.CacheRingCapacity <= 0 {
+		c.CacheRingCapacity = 4096
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 4096
+	}
+	if c.ReplayPPS == 0 {
+		c.ReplayPPS = 10000
+	}
+	if c.Window <= 0 {
+		c.Window = 50 * time.Millisecond
+	}
+	if c.LatencySample <= 0 {
+		c.LatencySample = DefaultLatencySample
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+}
+
+// Shard is one run-to-completion worker: it owns its ingress ring, its
+// microflow cache, its attribution observer, and its statistics. All
+// per-packet state is goroutine-local; the counters are atomics only so
+// snapshots can read them live.
+type Shard struct {
+	id  int
+	eng *Engine
+
+	in      *spsc.Ring[Item]
+	toCache *spsc.Ring[CacheItem]
+
+	mc  *flowtable.MicroCache
+	obs *attrib.ShardObserver
+
+	processed  atomic.Uint64
+	forwarded  atomic.Uint64
+	misses     atomic.Uint64
+	cacheDrops atomic.Uint64
+	flushes    atomic.Uint64
+
+	lat latHist
+}
+
+// Ring returns the shard's ingress ring. Exactly one producer goroutine
+// may push to it (the SPSC contract).
+func (s *Shard) Ring() *spsc.Ring[Item] { return s.in }
+
+// ShardStats is one shard's counter snapshot.
+type ShardStats struct {
+	Processed  uint64
+	Forwarded  uint64
+	Misses     uint64
+	CacheDrops uint64
+	Flushes    uint64
+	Micro      flowtable.MicroCacheStats
+}
+
+// Snapshot is an engine-wide state snapshot: per-shard counters, their
+// sums, merged latency quantiles, and the cache stage's view.
+type Snapshot struct {
+	Shards []ShardStats
+
+	Processed  uint64
+	Forwarded  uint64
+	Misses     uint64
+	CacheDrops uint64
+
+	P50, P99 time.Duration
+
+	Cache    dpcache.Stats
+	Replayed uint64
+}
+
+// Engine is the sharded run-to-completion pipeline.
+type Engine struct {
+	cfg    Config
+	table  *flowtable.Concurrent
+	attr   *attrib.Attributor
+	shards []*Shard
+
+	sim      *netsim.Engine
+	cache    *dpcache.Cache
+	replayed atomic.Uint64
+
+	wgShards sync.WaitGroup
+	wgCache  sync.WaitGroup
+	started  bool
+}
+
+// replaySink counts cache deliveries — the packets FloodGuard would
+// re-raise to the controller as packet_ins.
+type replaySink struct{ n *atomic.Uint64 }
+
+func (s replaySink) CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration) {
+	s.n.Add(1)
+}
+
+// New builds an engine; Start spins up the shard and cache goroutines.
+func New(cfg Config) *Engine {
+	cfg.normalize()
+	e := &Engine{
+		cfg:   cfg,
+		table: flowtable.NewConcurrent(cfg.TableCapacity),
+		attr:  attrib.New(cfg.Attrib),
+		sim:   netsim.NewEngine(),
+	}
+	e.cache = dpcache.New(e.sim, dpcache.Config{
+		QueueCapacity:  cfg.QueueCapacity,
+		InitialRatePPS: cfg.ReplayPPS,
+		// Zero processing delay: replay cost is real compute here, not a
+		// modelled constant, and the zero-delay path is allocation-free.
+		ProcessingDelay: 0,
+	}, replaySink{n: &e.replayed})
+	e.cache.SetHinter(e.attr)
+	e.shards = make([]*Shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &Shard{
+			id:      i,
+			eng:     e,
+			in:      spsc.New[Item](cfg.RingCapacity),
+			toCache: spsc.New[CacheItem](cfg.CacheRingCapacity),
+			mc:      flowtable.NewMicroCache(cfg.MicroSize),
+			obs:     e.attr.NewShardObserver(),
+		}
+	}
+	return e
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardFor maps an ingress port to its owning shard.
+func (e *Engine) ShardFor(port uint16) int { return int(port) % len(e.shards) }
+
+// Shard returns shard i.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Table exposes the shared flow table for rule management; mutations
+// are safe from any goroutine (they take the table's write lock, which
+// the shard hot path never holds).
+func (e *Engine) Table() *flowtable.Concurrent { return e.table }
+
+// Attributor exposes the shared attribution engine (verdict reads).
+func (e *Engine) Attributor() *attrib.Attributor { return e.attr }
+
+// Apply installs a flow_mod into the shared table.
+func (e *Engine) Apply(m openflow.FlowMod) error {
+	_, err := e.table.Apply(m, time.Now())
+	return err
+}
+
+// Inject pushes one packet to its owning shard's ring, returning false
+// when the ring is full. Single external producer only — concurrent
+// injectors must partition ports so no two push to the same shard.
+func (e *Engine) Inject(pkt netpkt.Packet, inPort uint16) bool {
+	return e.shards[e.ShardFor(inPort)].in.Push(Item{Pkt: pkt, InPort: inPort})
+}
+
+// InjectItem pushes a pre-stamped item (latency sampling) to its owning
+// shard's ring. Same single-producer contract as Inject.
+func (e *Engine) InjectItem(it Item) bool {
+	return e.shards[e.ShardFor(it.InPort)].in.Push(it)
+}
+
+// Start launches the shard and cache-stage goroutines.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.cache.Start()
+	for _, s := range e.shards {
+		e.wgShards.Add(1)
+		go s.run()
+	}
+	e.wgCache.Add(1)
+	go e.cacheLoop()
+}
+
+// Stop closes the ingress rings, waits for the shards to drain and
+// flush their final attribution deltas, then waits for the cache stage
+// to drain the handoff rings. The engine cannot be restarted.
+func (e *Engine) Stop() {
+	if !e.started {
+		return
+	}
+	for _, s := range e.shards {
+		s.in.Close()
+	}
+	e.wgShards.Wait()
+	e.wgCache.Wait()
+	e.attr.Roll(e.cfg.Window) // close the last detection window
+}
+
+// run is the shard loop: batched pop from the ingress ring, then each
+// packet end-to-end. One time.Now per batch serves lookup stamps and
+// the window-boundary check.
+func (s *Shard) run() {
+	defer s.eng.wgShards.Done()
+	defer s.toCache.Close()
+	batch := make([]Item, s.eng.cfg.Batch)
+	window := s.eng.cfg.Window
+	nextFlush := time.Now().Add(window)
+	dpid := s.eng.cfg.DPID
+	for {
+		n := s.in.PopBatchWait(batch)
+		if n == 0 {
+			s.obs.Flush() // final merge before the ring goes away
+			s.flushes.Add(1)
+			return
+		}
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			s.processOne(&batch[i], now, dpid)
+		}
+		if now.After(nextFlush) {
+			s.obs.Flush()
+			s.flushes.Add(1)
+			nextFlush = now.Add(window)
+		}
+	}
+}
+
+// processOne carries one packet end-to-end on the caller's goroutine —
+// the run-to-completion body. The warm path (microflow hit, positive or
+// negative) takes zero locks and allocates nothing: one atomic
+// generation load plus shard-local state.
+func (s *Shard) processOne(it *Item, now time.Time, dpid uint64) {
+	p := &it.Pkt
+	// Ingress classification runs here even though only the cache uses
+	// the class downstream — the run-to-completion contract is that every
+	// layer's per-packet work happens on this goroutine.
+	_ = dpcache.Classify(p)
+	entry := s.eng.table.Lookup(s.mc, p, it.InPort, now, p.WireLen())
+	s.processed.Add(1)
+	if entry != nil {
+		// Forwarded: in a hardware datapath the actions would be executed
+		// here; the engine accounts them and moves on.
+		_ = entry.SharedActions()
+		s.forwarded.Add(1)
+	} else {
+		s.misses.Add(1)
+		s.obs.Observe(dpid, it.InPort, p)
+		tagged := *p
+		tagged.NwTOS = dpcache.EncodeInPortTOS(it.InPort)
+		if !s.toCache.Push(CacheItem{Origin: dpid, Pkt: tagged}) {
+			s.cacheDrops.Add(1)
+		}
+	}
+	if it.IngressNanos != 0 {
+		s.lat.observe(now.Sub(time.Unix(0, it.IngressNanos)))
+	}
+}
+
+// cacheLoop is the cache-stage goroutine: it drains every shard's
+// handoff ring into the dpcache and pumps the discrete-event engine
+// against the wall clock so the replay ticker fires in real time. It
+// also rolls the attribution window — verdict computation belongs to
+// the control plane, not the packet path.
+func (e *Engine) cacheLoop() {
+	defer e.wgCache.Done()
+	start := time.Now()
+	lastRoll := start
+	batch := make([]CacheItem, 256)
+	for {
+		drained := 0
+		alive := false
+		for _, s := range e.shards {
+			n := s.toCache.PopBatch(batch)
+			for i := 0; i < n; i++ {
+				e.cache.Ingest(batch[i].Origin, batch[i].Pkt)
+			}
+			drained += n
+			if n > 0 || !s.toCache.Closed() || s.toCache.Len() > 0 {
+				alive = true
+			}
+		}
+		now := time.Now()
+		e.sim.RunUntil(netsim.Epoch.Add(now.Sub(start)))
+		if now.Sub(lastRoll) >= e.cfg.Window {
+			e.attr.Roll(now.Sub(lastRoll))
+			lastRoll = now
+		}
+		if !alive {
+			e.cache.Stop()
+			return
+		}
+		if drained == 0 {
+			// Idle: let the replay ticker interval pass without spinning.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Snapshot merges the per-shard counters and latency histograms with
+// the cache stage's stats. Safe to call live; exact once Stop returned.
+func (e *Engine) Snapshot() Snapshot {
+	var snap Snapshot
+	var merged [latBuckets]uint64
+	snap.Shards = make([]ShardStats, len(e.shards))
+	for i, s := range e.shards {
+		st := ShardStats{
+			Processed:  s.processed.Load(),
+			Forwarded:  s.forwarded.Load(),
+			Misses:     s.misses.Load(),
+			CacheDrops: s.cacheDrops.Load(),
+			Flushes:    s.flushes.Load(),
+			Micro:      s.mc.Stats(),
+		}
+		snap.Shards[i] = st
+		snap.Processed += st.Processed
+		snap.Forwarded += st.Forwarded
+		snap.Misses += st.Misses
+		snap.CacheDrops += st.CacheDrops
+		s.lat.addInto(&merged)
+	}
+	snap.P50 = latQuantile(&merged, 0.50)
+	snap.P99 = latQuantile(&merged, 0.99)
+	snap.Cache = e.cache.Stats()
+	snap.Replayed = e.replayed.Load()
+	return snap
+}
+
+// Register attaches engine-wide counters to reg under the given prefix.
+func (e *Engine) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	sum := func(f func(s *Shard) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, s := range e.shards {
+				n += f(s)
+			}
+			return n
+		}
+	}
+	reg.CounterFunc(prefix+"_processed_total", "Packets carried end-to-end by the shards.", sum(func(s *Shard) uint64 { return s.processed.Load() }))
+	reg.CounterFunc(prefix+"_forwarded_total", "Packets matched and forwarded on the shard path.", sum(func(s *Shard) uint64 { return s.forwarded.Load() }))
+	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets handed to the cache stage.", sum(func(s *Shard) uint64 { return s.misses.Load() }))
+	reg.CounterFunc(prefix+"_cache_ring_drops_total", "Misses dropped because the shard→cache ring was full.", sum(func(s *Shard) uint64 { return s.cacheDrops.Load() }))
+	reg.CounterFunc(prefix+"_replayed_total", "Packets replayed to the controller by the cache stage.", e.replayed.Load)
+	e.table.Register(reg, prefix+"_table")
+	e.cache.Register(reg, prefix+"_cache")
+	e.attr.Register(reg, prefix+"_attrib")
+}

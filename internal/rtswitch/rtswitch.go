@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"floodguard/internal/flowtable"
@@ -21,12 +22,21 @@ import (
 type PortFunc func(pkt netpkt.Packet)
 
 // Switch is a real-time OpenFlow switch connected to a controller over
-// TCP.
+// TCP. The datapath (Inject) and the control plane (the controller
+// message loop) synchronise only through the concurrent flow table:
+// lookups run under a dedicated lookup mutex with a shard-style
+// microflow cache, so a controller stats scrape or buffer operation
+// never stalls packet forwarding.
 type Switch struct {
-	dpid uint64
+	dpid  uint64
+	table *flowtable.Concurrent
 
-	mu      sync.Mutex
-	table   *flowtable.Table
+	// lmu serialises datapath lookups over the single microflow cache
+	// (Inject is safe from any goroutine; the cache is not).
+	lmu sync.Mutex
+	mc  *flowtable.MicroCache
+
+	mu      sync.Mutex // control plane: ports, buffer, conn, xid
 	ports   map[uint16]PortFunc
 	noFlood map[uint16]bool
 	buffer  map[uint32]bufEntry
@@ -40,9 +50,9 @@ type Switch struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	packetIns uint64
-	misses    uint64
-	forwarded uint64
+	packetIns atomic.Uint64
+	misses    atomic.Uint64
+	forwarded atomic.Uint64
 }
 
 type bufEntry struct {
@@ -68,7 +78,8 @@ func New(cfg Config) *Switch {
 	}
 	return &Switch{
 		dpid:        cfg.DPID,
-		table:       flowtable.New(cfg.TableSize),
+		table:       flowtable.NewConcurrent(cfg.TableSize),
+		mc:          flowtable.NewMicroCache(0),
 		ports:       make(map[uint16]PortFunc),
 		noFlood:     make(map[uint16]bool),
 		buffer:      make(map[uint32]bufEntry),
@@ -153,16 +164,16 @@ func (s *Switch) handle(f openflow.Framed) {
 			Ports:      ports,
 		})
 	case openflow.FlowMod:
-		s.mu.Lock()
 		_, err := s.table.Apply(m, time.Now())
 		var release *bufEntry
 		if err == nil && m.Command == openflow.FlowAdd && m.BufferID != openflow.NoBuffer {
+			s.mu.Lock()
 			if be, ok := s.buffer[m.BufferID]; ok {
 				delete(s.buffer, m.BufferID)
 				release = &be
 			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
 		if err != nil {
 			s.send(openflow.Error{ErrType: 3, Code: 0})
 			return
@@ -192,16 +203,16 @@ func (s *Switch) handle(f openflow.Framed) {
 		s.send(openflow.BarrierReply{})
 	case openflow.StatsRequest:
 		s.mu.Lock()
-		reply := openflow.StatsReply{Table: openflow.TableStats{
+		bufUsed := uint32(len(s.buffer))
+		s.mu.Unlock()
+		s.send(openflow.StatsReply{Table: openflow.TableStats{
 			ActiveRules:  uint32(s.table.Len()),
 			MaxRules:     uint32(s.table.Capacity()),
-			BufferUsed:   uint32(len(s.buffer)),
+			BufferUsed:   bufUsed,
 			BufferSize:   uint32(s.bufferSlots),
 			LookupCount:  s.table.Lookups(),
 			MatchedCount: s.table.Matched(),
-		}}
-		s.mu.Unlock()
-		s.send(reply)
+		}})
 	}
 }
 
@@ -209,15 +220,17 @@ func (s *Switch) handle(f openflow.Framed) {
 // goroutine.
 func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 	// The hit path never materialises the frame: byte accounting only
-	// needs the computed wire length.
+	// needs the computed wire length. The lookup runs under the dedicated
+	// lookup mutex — a bounded critical section that never overlaps with
+	// control-plane work on s.mu — and a warm microflow hit inside it
+	// touches no table lock at all.
 	frameLen := pkt.WireLen()
-	s.mu.Lock()
-	entry := s.table.Lookup(&pkt, inPort, time.Now(), frameLen)
+	s.lmu.Lock()
+	entry := s.table.Lookup(s.mc, &pkt, inPort, time.Now(), frameLen)
+	s.lmu.Unlock()
 	if entry != nil {
-		actions := entry.Actions
-		s.forwarded++
-		s.mu.Unlock()
-		s.apply(pkt, inPort, actions)
+		s.forwarded.Add(1)
+		s.apply(pkt, inPort, entry.SharedActions())
 		return
 	}
 	// Miss: only now marshal, into pooled scratch. WriteMessage copies
@@ -226,12 +239,13 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 	fb := netpkt.GetFrame()
 	fb.B = pkt.MarshalAppend(fb.B)
 	frame := fb.B
-	s.misses++
+	s.misses.Add(1)
 	pi := openflow.PacketIn{
 		TotalLen: uint16(frameLen),
 		InPort:   inPort,
 		Reason:   openflow.ReasonNoMatch,
 	}
+	s.mu.Lock()
 	if len(s.buffer) < s.bufferSlots {
 		id := s.nextBuf
 		s.nextBuf++
@@ -245,8 +259,8 @@ func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 		pi.BufferID = openflow.NoBuffer
 		pi.Data = frame
 	}
-	s.packetIns++
 	s.mu.Unlock()
+	s.packetIns.Add(1)
 	s.send(pi)
 	fb.Release()
 }
@@ -291,34 +305,20 @@ func (s *Switch) apply(pkt netpkt.Packet, inPort uint16, actions []openflow.Acti
 
 // Stats returns (packet_ins, misses, forwarded, rules).
 func (s *Switch) Stats() (packetIns, misses, forwarded uint64, rules int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.packetIns, s.misses, s.forwarded, s.table.Len()
+	return s.packetIns.Load(), s.misses.Load(), s.forwarded.Load(), s.table.Len()
 }
 
 // Instrument attaches the switch's counters to reg under the given
 // metric name prefix (e.g. "fg_rtswitch") and registers the flow table
-// under prefix+"_table". The pull-through funcs snapshot under s.mu, so
-// a scrape never races the datapath.
+// under prefix+"_table". The datapath counters are atomics, so a scrape
+// never touches a lock the forwarding path holds.
 func (s *Switch) Instrument(reg *telemetry.Registry, prefix string) {
 	if reg == nil {
 		return
 	}
-	reg.CounterFunc(prefix+"_packet_ins_total", "packet_in messages sent to the controller.", func() uint64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.packetIns
-	})
-	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets.", func() uint64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.misses
-	})
-	reg.CounterFunc(prefix+"_forwarded_total", "Packets matched and forwarded by the datapath.", func() uint64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.forwarded
-	})
+	reg.CounterFunc(prefix+"_packet_ins_total", "packet_in messages sent to the controller.", s.packetIns.Load)
+	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets.", s.misses.Load)
+	reg.CounterFunc(prefix+"_forwarded_total", "Packets matched and forwarded by the datapath.", s.forwarded.Load)
 	reg.GaugeFunc(prefix+"_buffer_used", "Occupied packet buffer slots.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -329,8 +329,6 @@ func (s *Switch) Instrument(reg *telemetry.Registry, prefix string) {
 
 // Rules returns the number of installed flow rules.
 func (s *Switch) Rules() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.table.Len()
 }
 

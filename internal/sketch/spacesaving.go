@@ -14,49 +14,41 @@ type Entry struct {
 	Err   uint64
 }
 
-// SpaceSaving is the Metwally et al. stream-summary: it tracks at most
-// capacity candidate keys, replacing the minimum-count slot when a new
-// key arrives, so every key whose true frequency exceeds N/capacity is
-// guaranteed to be present. Observe is O(1) amortised for tracked keys
-// and O(capacity) on eviction; the structure is guarded by a mutex so
-// Top can be called from a telemetry scrape while a packet path
-// Observes.
-type SpaceSaving struct {
-	mu    sync.Mutex
+// ssCore is the unlocked Metwally et al. stream-summary shared by the
+// mutex-guarded SpaceSaving and the single-goroutine SpaceSavingLocal:
+// it tracks at most capacity candidate keys, replacing the minimum-count
+// slot when a new key arrives, so every key whose true frequency exceeds
+// N/capacity is guaranteed to be present. observe is O(1) amortised for
+// tracked keys and O(capacity) on eviction.
+type ssCore struct {
 	cap   int
 	slots []Entry
 	idx   map[uint64]int // key -> slot index
 }
 
-// NewSpaceSaving builds a summary over at most capacity keys.
-func NewSpaceSaving(capacity int) *SpaceSaving {
+func newSSCore(capacity int) ssCore {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &SpaceSaving{
+	return ssCore{
 		cap:   capacity,
 		slots: make([]Entry, 0, capacity),
 		idx:   make(map[uint64]int, capacity*2),
 	}
 }
 
-// Observe credits inc to key, evicting the current minimum slot if the
-// summary is full and key is untracked (the evicted slot's count becomes
-// the new key's error bound, per the algorithm).
-func (t *SpaceSaving) Observe(key uint64, inc uint64) {
-	t.mu.Lock()
+func (t *ssCore) observe(key uint64, inc uint64) {
 	if i, ok := t.idx[key]; ok {
 		t.slots[i].Count += inc
-		t.mu.Unlock()
 		return
 	}
 	if len(t.slots) < t.cap {
 		t.idx[key] = len(t.slots)
 		t.slots = append(t.slots, Entry{Key: key, Count: inc})
-		t.mu.Unlock()
 		return
 	}
-	// Evict the minimum-count slot.
+	// Evict the minimum-count slot (the evicted slot's count becomes the
+	// new key's error bound, per the algorithm).
 	min := 0
 	for i := 1; i < len(t.slots); i++ {
 		if t.slots[i].Count < t.slots[min].Count {
@@ -67,41 +59,16 @@ func (t *SpaceSaving) Observe(key uint64, inc uint64) {
 	delete(t.idx, old.Key)
 	t.idx[key] = min
 	t.slots[min] = Entry{Key: key, Count: old.Count + inc, Err: old.Count}
-	t.mu.Unlock()
 }
 
-// Count returns the tracked (over)estimate for key, or 0 when untracked.
-func (t *SpaceSaving) Count(key uint64) uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *ssCore) count(key uint64) uint64 {
 	if i, ok := t.idx[key]; ok {
 		return t.slots[i].Count
 	}
 	return 0
 }
 
-// Len returns how many keys are currently tracked.
-func (t *SpaceSaving) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.slots)
-}
-
-// Top appends the tracked entries, highest count first, to dst and
-// returns it. Pass a reused slice to avoid allocation.
-func (t *SpaceSaving) Top(dst []Entry) []Entry {
-	t.mu.Lock()
-	dst = append(dst, t.slots...)
-	t.mu.Unlock()
-	sort.Slice(dst, func(i, j int) bool { return dst[i].Count > dst[j].Count })
-	return dst
-}
-
-// Decay halves every slot's count and error, matching the count-min
-// sketch's exponential horizon so the two structures age together.
-// Slots decayed to zero are dropped.
-func (t *SpaceSaving) Decay() {
-	t.mu.Lock()
+func (t *ssCore) decay() {
 	keep := t.slots[:0]
 	for _, e := range t.slots {
 		e.Count /= 2
@@ -116,16 +83,73 @@ func (t *SpaceSaving) Decay() {
 	for i, e := range t.slots {
 		t.idx[e.Key] = i
 	}
+}
+
+func (t *ssCore) reset() {
+	t.slots = t.slots[:0]
+	for k := range t.idx {
+		delete(t.idx, k)
+	}
+}
+
+// SpaceSaving is the shared stream-summary: the core guarded by a mutex
+// so Top can be called from a telemetry scrape while a packet path
+// Observes.
+type SpaceSaving struct {
+	mu sync.Mutex
+	c  ssCore
+}
+
+// NewSpaceSaving builds a summary over at most capacity keys.
+func NewSpaceSaving(capacity int) *SpaceSaving {
+	return &SpaceSaving{c: newSSCore(capacity)}
+}
+
+// Observe credits inc to key, evicting the current minimum slot if the
+// summary is full and key is untracked.
+func (t *SpaceSaving) Observe(key uint64, inc uint64) {
+	t.mu.Lock()
+	t.c.observe(key, inc)
+	t.mu.Unlock()
+}
+
+// Count returns the tracked (over)estimate for key, or 0 when untracked.
+func (t *SpaceSaving) Count(key uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.c.count(key)
+}
+
+// Len returns how many keys are currently tracked.
+func (t *SpaceSaving) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.c.slots)
+}
+
+// Top appends the tracked entries, highest count first, to dst and
+// returns it. Pass a reused slice to avoid allocation.
+func (t *SpaceSaving) Top(dst []Entry) []Entry {
+	t.mu.Lock()
+	dst = append(dst, t.c.slots...)
+	t.mu.Unlock()
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Count > dst[j].Count })
+	return dst
+}
+
+// Decay halves every slot's count and error, matching the count-min
+// sketch's exponential horizon so the two structures age together.
+// Slots decayed to zero are dropped.
+func (t *SpaceSaving) Decay() {
+	t.mu.Lock()
+	t.c.decay()
 	t.mu.Unlock()
 }
 
 // Reset drops every tracked key.
 func (t *SpaceSaving) Reset() {
 	t.mu.Lock()
-	t.slots = t.slots[:0]
-	for k := range t.idx {
-		delete(t.idx, k)
-	}
+	t.c.reset()
 	t.mu.Unlock()
 }
 
@@ -134,9 +158,55 @@ func (t *SpaceSaving) Reset() {
 // in the union within the combined error.
 func (t *SpaceSaving) Merge(other *SpaceSaving) {
 	other.mu.Lock()
-	entries := append([]Entry(nil), other.slots...)
+	entries := append([]Entry(nil), other.c.slots...)
 	other.mu.Unlock()
 	for _, e := range entries {
 		t.Observe(e.Key, e.Count)
 	}
 }
+
+// AbsorbLocal folds a shard-local summary into t under one lock
+// acquisition and resets the local — the window-boundary merge of the
+// run-to-completion engine. The caller must be o's owner goroutine.
+func (t *SpaceSaving) AbsorbLocal(o *SpaceSavingLocal) {
+	t.mu.Lock()
+	for _, e := range o.c.slots {
+		t.c.observe(e.Key, e.Count)
+	}
+	t.mu.Unlock()
+	o.c.reset()
+}
+
+// SpaceSavingLocal is the unlocked stream-summary for a run-to-completion
+// shard: exactly one goroutine may touch it, so Observe takes no mutex
+// and performs no allocation once the slot array is full. Fold it into a
+// shared SpaceSaving at window boundaries with AbsorbLocal.
+type SpaceSavingLocal struct {
+	c ssCore
+}
+
+// NewSpaceSavingLocal builds an unlocked summary over at most capacity
+// keys.
+func NewSpaceSavingLocal(capacity int) *SpaceSavingLocal {
+	return &SpaceSavingLocal{c: newSSCore(capacity)}
+}
+
+// Observe credits inc to key. Owner goroutine only.
+func (t *SpaceSavingLocal) Observe(key uint64, inc uint64) { t.c.observe(key, inc) }
+
+// Count returns the tracked (over)estimate for key, or 0 when untracked.
+func (t *SpaceSavingLocal) Count(key uint64) uint64 { return t.c.count(key) }
+
+// Len returns how many keys are currently tracked.
+func (t *SpaceSavingLocal) Len() int { return len(t.c.slots) }
+
+// Entries returns the live slot slice in arbitrary order — a zero-copy
+// view that is invalidated by the next Observe/Decay/Reset. Owner
+// goroutine only.
+func (t *SpaceSavingLocal) Entries() []Entry { return t.c.slots }
+
+// Decay halves every slot's count and error, dropping zeroed slots.
+func (t *SpaceSavingLocal) Decay() { t.c.decay() }
+
+// Reset drops every tracked key.
+func (t *SpaceSavingLocal) Reset() { t.c.reset() }

@@ -1,0 +1,187 @@
+// Package spsc provides a single-producer/single-consumer lock-free ring
+// buffer — the handoff primitive of the run-to-completion packet engine.
+// Exactly one goroutine may push and exactly one may pop; under that
+// contract every operation is wait-free for the producer and lock-free
+// for the consumer, and the hot paths (Push/Pop and their batched forms)
+// perform no allocation and take no mutex.
+//
+// The consumer's blocking pop is busy-poll-then-park: it spins briefly
+// (the common case under load — the ring refills within nanoseconds),
+// yields the processor a few times, and only then parks on a channel the
+// producer pokes when it publishes into an empty ring. An idle shard
+// therefore costs nothing, while a loaded shard never pays a futex wait
+// per packet.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// cacheLinePad separates the producer- and consumer-owned indices so a
+// push and a pop never false-share a cache line.
+type cacheLinePad [64]byte
+
+// Ring is a bounded single-producer/single-consumer queue of T.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to push; advanced only by the producer
+	_    cacheLinePad
+
+	closed atomic.Bool
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+// New returns a ring holding at least capacity elements (rounded up to a
+// power of two, minimum 2).
+func New[T any](capacity int) *Ring[T] {
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring[T]{
+		buf:  make([]T, c),
+		mask: uint64(c - 1),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy. It is exact for the producer and
+// the consumer and a point-in-time estimate for anyone else.
+func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Push enqueues v, returning false when the ring is full. Producer only.
+func (r *Ring[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	r.notify()
+	return true
+}
+
+// PushBatch enqueues as many of vs as fit, publishing them with a single
+// index store, and returns how many were taken. Producer only.
+func (r *Ring[T]) PushBatch(vs []T) int {
+	t := r.tail.Load()
+	free := r.mask + 1 - (t - r.head.Load())
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		r.buf[(t+i)&r.mask] = vs[i]
+	}
+	if n > 0 {
+		r.tail.Store(t + n)
+		r.notify()
+	}
+	return int(n)
+}
+
+// Pop dequeues one element. Consumer only.
+func (r *Ring[T]) Pop() (T, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch dequeues up to len(dst) elements into dst, consuming them
+// with a single index store, and returns the count. Consumer only.
+func (r *Ring[T]) PopBatch(dst []T) int {
+	h := r.head.Load()
+	avail := r.tail.Load() - h
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.buf[(h+i)&r.mask]
+	}
+	if n > 0 {
+		r.head.Store(h + n)
+	}
+	return int(n)
+}
+
+// popSpins is how many empty polls the consumer tolerates before
+// parking; every eighth poll yields the processor so a same-core
+// producer can run (the single-GOMAXPROCS case).
+const popSpins = 64
+
+// PopBatchWait dequeues up to len(dst) elements, busy-polling briefly
+// and then parking until the producer publishes or the ring is closed.
+// It returns 0 only when the ring is closed and fully drained. Consumer
+// only.
+func (r *Ring[T]) PopBatchWait(dst []T) int {
+	for {
+		if n := r.PopBatch(dst); n > 0 {
+			return n
+		}
+		if r.closed.Load() {
+			// Drain anything pushed between the pop and the close flag.
+			return r.PopBatch(dst)
+		}
+		for i := 0; i < popSpins; i++ {
+			if r.Len() > 0 || r.closed.Load() {
+				break
+			}
+			if i%8 == 7 {
+				runtime.Gosched()
+			}
+		}
+		if r.Len() > 0 || r.closed.Load() {
+			continue
+		}
+		// Park: raise the flag, re-check (the producer may have published
+		// between the last poll and the flag), then block on the poke.
+		r.parked.Store(true)
+		if r.Len() > 0 || r.closed.Load() {
+			r.parked.Store(false)
+			continue
+		}
+		<-r.wake
+		r.parked.Store(false)
+	}
+}
+
+// notify pokes a parked consumer. The flag check keeps the cost of the
+// un-parked common case to one uncontended atomic load.
+func (r *Ring[T]) notify() {
+	if r.parked.Load() && r.parked.CompareAndSwap(true, false) {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Close marks the ring closed and wakes a parked consumer. The consumer
+// may keep popping until the ring is drained; pushes after Close are the
+// producer's bug (they still succeed — Close is a signal, not a fence).
+func (r *Ring[T]) Close() {
+	r.closed.Store(true)
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Closed reports whether Close was called.
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }

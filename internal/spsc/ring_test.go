@@ -1,0 +1,254 @@
+package spsc
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024},
+	} {
+		if got := New[int](c.ask).Cap(); got != c.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+func TestRingFIFOAndWraparound(t *testing.T) {
+	r := New[int](4) // capacity 4: wraps every four elements
+	next := 0
+	for round := 0; round < 100; round++ {
+		// Fill to capacity, refuse one more, drain in order.
+		for i := 0; i < 4; i++ {
+			if !r.Push(next + i) {
+				t.Fatalf("round %d: push %d refused", round, i)
+			}
+		}
+		if r.Push(-1) {
+			t.Fatalf("round %d: push into full ring accepted", round)
+		}
+		if r.Len() != 4 {
+			t.Fatalf("round %d: Len = %d, want 4", round, r.Len())
+		}
+		for i := 0; i < 4; i++ {
+			v, ok := r.Pop()
+			if !ok || v != next {
+				t.Fatalf("round %d: pop = %d,%v, want %d,true", round, v, ok, next)
+			}
+			next++
+		}
+		if _, ok := r.Pop(); ok {
+			t.Fatalf("round %d: pop from empty ring succeeded", round)
+		}
+	}
+}
+
+func TestRingBatchBoundaries(t *testing.T) {
+	r := New[int](8)
+	buf := make([]int, 16)
+
+	// Batch push larger than free space takes only what fits.
+	in := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if n := r.PushBatch(in); n != 8 {
+		t.Fatalf("PushBatch into empty ring of 8 took %d", n)
+	}
+	if n := r.PushBatch(in); n != 0 {
+		t.Fatalf("PushBatch into full ring took %d", n)
+	}
+	// Partial drain, partial refill across the wrap point.
+	if n := r.PopBatch(buf[:5]); n != 5 {
+		t.Fatalf("PopBatch(5) = %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		if buf[i] != i {
+			t.Fatalf("PopBatch order: buf[%d] = %d", i, buf[i])
+		}
+	}
+	if n := r.PushBatch([]int{10, 11, 12, 13, 14, 15}); n != 5 {
+		t.Fatalf("PushBatch after partial drain took %d, want 5", n)
+	}
+	// Remaining contents must be 5,6,7,10,11,12,13,14 in order.
+	want := []int{5, 6, 7, 10, 11, 12, 13, 14}
+	if n := r.PopBatch(buf); n != len(want) {
+		t.Fatalf("PopBatch drained %d, want %d", n, len(want))
+	}
+	for i, w := range want {
+		if buf[i] != w {
+			t.Fatalf("wrap order: buf[%d] = %d, want %d", i, buf[i], w)
+		}
+	}
+
+	// Zero-length destination is a no-op, not a stall.
+	r.Push(1)
+	if n := r.PopBatch(buf[:0]); n != 0 {
+		t.Fatalf("PopBatch(empty dst) = %d", n)
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("element lost after zero-length PopBatch")
+	}
+}
+
+// TestRingSoak transfers a long random-batch-size stream through the
+// ring under -race: every value must arrive exactly once, in order,
+// with the consumer exercising the park/wake path via PopBatchWait.
+func TestRingSoak(t *testing.T) {
+	const total = 200_000
+	r := New[uint64](256)
+	rng := rand.New(rand.NewSource(0xF100D))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([]uint64, 64)
+		next := uint64(0)
+		for next < total {
+			n := rng.Intn(len(batch)) + 1
+			for i := 0; i < n && next+uint64(i) < total; i++ {
+				batch[i] = next + uint64(i)
+			}
+			if m := uint64(n); next+m > total {
+				n = int(total - next)
+			}
+			pushed := 0
+			for pushed < n {
+				k := r.PushBatch(batch[pushed:n])
+				if k == 0 {
+					runtime.Gosched()
+					continue
+				}
+				pushed += k
+			}
+			next += uint64(n)
+			if n%7 == 0 {
+				// Let the consumer drain fully so the park path runs.
+				time.Sleep(time.Millisecond)
+			}
+		}
+		r.Close()
+	}()
+
+	dst := make([]uint64, 48)
+	var got uint64
+	for {
+		n := r.PopBatchWait(dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != got {
+				t.Errorf("out of order: got %d, want %d", dst[i], got)
+				r.Close()
+				wg.Wait()
+				return
+			}
+			got++
+		}
+	}
+	wg.Wait()
+	if got != total {
+		t.Fatalf("consumed %d values, want %d", got, total)
+	}
+}
+
+// TestRingParkWake pins the blocking path: a consumer parked on an empty
+// ring must wake for a push and for Close.
+func TestRingParkWake(t *testing.T) {
+	r := New[int](8)
+	dst := make([]int, 8)
+
+	done := make(chan int, 1)
+	go func() {
+		n := r.PopBatchWait(dst)
+		done <- n
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	r.Push(42)
+	select {
+	case n := <-done:
+		if n != 1 || dst[0] != 42 {
+			t.Fatalf("woke with n=%d dst[0]=%d", n, dst[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never woke for push")
+	}
+
+	go func() {
+		done <- r.PopBatchWait(dst)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.Close()
+	select {
+	case n := <-done:
+		if n != 0 {
+			t.Fatalf("close wake returned %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer never woke for close")
+	}
+
+	// After close-and-drain, PopBatchWait returns 0 immediately.
+	if n := r.PopBatchWait(dst); n != 0 {
+		t.Fatalf("PopBatchWait on closed empty ring = %d", n)
+	}
+}
+
+func TestRingCloseDrainsBacklog(t *testing.T) {
+	r := New[int](16)
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	dst := make([]int, 4)
+	var got []int
+	for {
+		n := r.PopBatchWait(dst)
+		if n == 0 {
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	if len(got) != 10 {
+		t.Fatalf("drained %d of 10 after Close", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("drain order: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := New[uint64](1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(uint64(i))
+		if _, ok := r.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+func BenchmarkRingBatch64(b *testing.B) {
+	r := New[uint64](1024)
+	in := make([]uint64, 64)
+	out := make([]uint64, 64)
+	for i := range in {
+		in[i] = uint64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.PushBatch(in) != 64 {
+			b.Fatal("push batch short")
+		}
+		if r.PopBatch(out) != 64 {
+			b.Fatal("pop batch short")
+		}
+	}
+}
