@@ -3,15 +3,17 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 cover check fuzz ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 cover check fuzz soak-short ci
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# cannot hide; failures print the shuffle seed for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The pooled marshal and batched sideband paths are the ones most worth
 # racing; run the whole tree so regressions elsewhere surface too.
@@ -101,6 +103,27 @@ bench-json6:
 		-gate 'BenchmarkSustainedPPS/mode=sharded(-|$$):pps>=50000' \
 		-gate 'BenchmarkSustainedPPS/mode=sharded(-|$$):p99ms<=250'
 
+# The PR-7 adversarial-soak quality tier rendered as BENCH_7.json: one
+# full soak (all four adaptive attacker profiles + seeded chaos) per
+# iteration, gated on the run's quality numbers — zero invariant
+# violations, benign collateral loss under the 1% ceiling, every bounded
+# structure within budget, every above-floor attacker blamed, and a
+# generous wall-clock throughput floor for slow CI boxes.
+bench-json7:
+	@rm -f bench7.txt
+	$(GO) test -bench=SoakQuality -benchtime=3x -benchmem -run=^$$ ./internal/soak/ | tee bench7.txt
+	$(GO) run ./cmd/benchjson -in bench7.txt -out BENCH_7.json \
+		-gate 'BenchmarkSoakQuality(-|$$):violations<=0' \
+		-gate 'BenchmarkSoakQuality(-|$$):benign_loss<=0.01' \
+		-gate 'BenchmarkSoakQuality(-|$$):mem_frac<=1' \
+		-gate 'BenchmarkSoakQuality(-|$$):detected>=1' \
+		-gate 'BenchmarkSoakQuality(-|$$):pps>=50000'
+
+# The deterministic tier-A soak on its own, in short mode — the
+# seconds-scale smoke ci runs on every push.
+soak-short:
+	$(GO) test -short -count=1 -run 'TestSoak|TestDifferential' ./internal/soak/
+
 # Coverage over the whole tree; cover.out is the artifact CI uploads.
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
@@ -118,6 +141,7 @@ fuzz:
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzReplayHintRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/symexec/ -run '^$$' -fuzz FuzzExplore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/soak/ -run '^$$' -fuzz FuzzParseScenario -fuzztime $(FUZZTIME)
 
 # Everything CI runs, in CI's order.
 ci: build vet test race fuzz

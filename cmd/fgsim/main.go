@@ -8,7 +8,7 @@
 //	fgsim <experiment> [flags]
 //
 // Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4,
-// compare, chaos, attrib, sweep, pps, all
+// compare, chaos, attrib, sweep, pps, soak, all
 package main
 
 import (
@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"floodguard/internal/experiments"
+	"floodguard/internal/soak"
 	"floodguard/internal/telemetry"
 )
 
@@ -31,10 +33,14 @@ var (
 func main() {
 	trials := flag.Int("trials", 5, "probe flows for tab4")
 	iters := flag.Int("iters", 50, "derivation repetitions for fig13")
-	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos")
+	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos and the soak generators")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
-	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant) and pps")
-	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos/attrib/sweep)")
+	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant) and pps; >1 also applies to soak")
+	duration := flag.Duration("duration", 5*time.Second, "simulated soak length")
+	flows := flag.Int("flows", 100_000, "benign distinct-flow population for soak")
+	profile := flag.String("profile", "all", "soak attacker profile: ramp, pulse, rotate, slow, or all")
+	scenario := flag.String("scenario", "", "extra soak scenario terms (key=value,... ; overrides the soak flags)")
+	flag.BoolVar(&asCSV, "csv", false, "emit machine-readable CSV (fig10/fig11/fig12/fig13/sec2-baseline/compare/chaos/attrib/sweep/soak)")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
 	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
 	flag.StringVar(&windowsCSV, "windows-csv", "", "write the chaos run's per-window telemetry rows to this file")
@@ -87,7 +93,8 @@ func main() {
 		}()
 	}
 
-	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps, *shards); err != nil {
+	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps, *shards,
+		*duration, *flows, *profile, *scenario); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsim:", err)
 		os.Exit(1)
 	}
@@ -115,13 +122,16 @@ experiments:
   attrib          collateral damage to benign traffic: blanket vs selective migration
   sweep           multi-seed bandwidth sweep sharded across -shards workers
   pps             sustained-pps macro benchmark: sharded engine vs channel baseline
+  soak            adversarial soak: zipfian flows + adaptive attackers + chaos,
+                  invariants asserted every window (-duration/-flows/-profile/-scenario)
   all             run everything in paper order
 
 flags:`)
 	flag.PrintDefaults()
 }
 
-func run(name string, trials, iters int, seed int64, flaps, shards int) error {
+func run(name string, trials, iters int, seed int64, flaps, shards int,
+	duration time.Duration, flows int, profile, scenario string) error {
 	switch name {
 	case "sec2-baseline":
 		return sec2()
@@ -147,6 +157,8 @@ func run(name string, trials, iters int, seed int64, flaps, shards int) error {
 		return sweep(shards)
 	case "pps":
 		return pps(seed, shards)
+	case "soak":
+		return soakRun(seed, shards, duration, flows, profile, scenario)
 	case "all":
 		for _, fn := range []func() error{
 			sec2, fig10, fig11, fig12,
@@ -304,6 +316,52 @@ func pps(seed int64, shards int) error {
 	}
 	ratio := results[1].SustainedPPS / results[0].SustainedPPS
 	fmt.Fprintf(os.Stdout, "sharded/channels speedup: %.2fx\n", ratio)
+	return nil
+}
+
+// soakRun assembles the scenario string from the dedicated flags (the
+// -scenario terms come last, so they win) and hands it to the same
+// parser the fuzz tier hammers; a run with invariant violations exits
+// nonzero so CI smoke catches regressions.
+func soakRun(seed int64, shards int, duration time.Duration, flows int, profile, scenario string) error {
+	terms := []string{
+		fmt.Sprintf("seed=%d", seed),
+		fmt.Sprintf("duration=%v", duration),
+		fmt.Sprintf("flows=%d", flows),
+		fmt.Sprintf("profile=%s", profile),
+	}
+	if shards > 1 {
+		terms = append(terms, fmt.Sprintf("shards=%d", shards))
+	}
+	if scenario != "" {
+		terms = append(terms, scenario)
+	}
+	cfg, err := soak.ParseScenario(strings.Join(terms, ","))
+	if err != nil {
+		return err
+	}
+	res, err := soak.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		if err := experiments.WriteSoakCSV(os.Stdout, res.Windows); err != nil {
+			return err
+		}
+		res.Print(os.Stderr)
+	} else {
+		res.Print(os.Stdout)
+	}
+	if n := len(res.Violations); n > 0 {
+		for i, v := range res.Violations {
+			if i >= 10 {
+				fmt.Fprintf(os.Stderr, "fgsim: ... and %d more violations\n", n-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "fgsim: invariant violation: %s\n", v)
+		}
+		return fmt.Errorf("soak: %d invariant violations", n)
+	}
 	return nil
 }
 

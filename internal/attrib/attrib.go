@@ -46,6 +46,9 @@ type Config struct {
 	// while its window rate is below it, no matter the excursion. Set it
 	// between the expected benign per-port packet_in rate and the attack
 	// rate — a natural choice is the Guard's RateThresholdPPS (default 10).
+	// The floor also gates baseline learning: windows strictly above it
+	// never update the EWMA, so an attack cannot poison its own baseline
+	// by ramping slowly.
 	SuspectRatePPS float64
 	// HealWindows is how many consecutive calm windows (rate back within
 	// baseline+drift) un-blame a port (default 3).
@@ -248,7 +251,14 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 				ps.blamed = true
 				ps.calm = 0
 				a.blameEvts.Inc()
-			} else {
+			} else if rate <= a.cfg.SuspectRatePPS {
+				// The baseline learns only from sub-floor windows. A rate
+				// above the suspect floor is by definition suspicious;
+				// folding it into the EWMA would let an attacker ramp more
+				// slowly than the EWMA lag (slope below CUSUMDrift*alpha/
+				// (1-alpha) per window) poison its own baseline and hold a
+				// full-rate flood forever without the excursion ever
+				// accumulating.
 				ps.ewma = a.cfg.EWMAAlpha*rate + (1-a.cfg.EWMAAlpha)*ps.ewma
 			}
 		}
@@ -321,6 +331,36 @@ func (a *Attributor) Suspects(dpid uint64) []uint16 {
 		}
 	}
 	return out
+}
+
+// TrackedPorts returns how many (dpid, port) detectors are live — the
+// attribution engine's per-port memory footprint, one small struct per
+// distinct ingress port ever observed.
+func (a *Attributor) TrackedPorts() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ports)
+}
+
+// TrackedSources returns the heavy-hitter summary occupancy (bounded by
+// Config.TopK regardless of how many distinct sources the stream held).
+func (a *Attributor) TrackedSources() int { return a.hot.Len() }
+
+// SampleTotal returns the source sketch's sample count under the
+// current decay horizon.
+func (a *Attributor) SampleTotal() uint64 { return a.srcs.Total() }
+
+// BlamedCount returns how many ports are currently blamed.
+func (a *Attributor) BlamedCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ps := range a.ports {
+		if ps.blamed {
+			n++
+		}
+	}
+	return n
 }
 
 // MaxBlamePort returns the port of dpid with the largest excursion score

@@ -244,6 +244,9 @@ type Stats struct {
 	// conservation equation Enqueued == Emitted + Dropped + Backlog
 	// survives delivery failures.
 	Requeued uint64
+	// MaxBacklog is the backlog high-watermark since construction: the
+	// most packets ever resident across all queues at once.
+	MaxBacklog int
 	// SuspectBacklog is the portion of Backlog sitting in the suspect
 	// queues; SuspectDropped / BenignDropped split Dropped by the
 	// attribution verdict at ingest. BenignDropped is the collateral-
@@ -293,6 +296,9 @@ type Cache struct {
 	emitted  telemetry.Gauge
 	prioSrvd telemetry.Counter
 	requeued telemetry.Counter
+	// maxBacklog is the backlog high-watermark since construction — the
+	// soak harness's memory-ceiling proxy for the queue tier.
+	maxBacklog telemetry.Gauge
 	ratePPS  telemetry.FloatGauge // mirrors rate for scrape goroutines
 
 	// Attribution-split accounting: served by verdict class.
@@ -406,9 +412,20 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 	}
 	if c.rules != nil && c.rules.Peek(p, inPort) != nil {
 		c.priority.push(e)
+		c.noteBacklog()
 		return
 	}
 	c.queueFor(&e).push(e)
+	c.noteBacklog()
+}
+
+// noteBacklog advances the backlog high-watermark after an enqueue —
+// the cache's RSS proxy for soak memory-ceiling checks. Backlog only
+// grows at push sites, so sampling here captures the true peak.
+func (c *Cache) noteBacklog() {
+	if n := int64(c.Backlog()); n > c.maxBacklog.Value() {
+		c.maxBacklog.Set(n)
+	}
 }
 
 // queueFor picks the buffer queue an entry belongs to: its protocol
@@ -445,9 +462,11 @@ func (c *Cache) Requeue(origin uint64, inPort uint16, pkt netpkt.Packet, queued 
 	}
 	if c.rules != nil && c.rules.Peek(p, inPort) != nil {
 		c.priority.pushFront(e)
+		c.noteBacklog()
 		return
 	}
 	c.queueFor(&e).pushFront(e)
+	c.noteBacklog()
 }
 
 // Adapter returns a PortPeer view of the cache bound to one origin
@@ -581,6 +600,7 @@ func (c *Cache) Stats() Stats {
 		Requeued:       c.requeued.Value(),
 		BenignServed:   c.benignSrvd.Value(),
 		SuspectServed:  c.suspectSrvd.Value(),
+		MaxBacklog:     int(c.maxBacklog.Value()),
 	}
 	for i, q := range c.queues {
 		s.PerQueue[i] = int(q.depth.Value())
@@ -617,6 +637,7 @@ func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
 	})
 	reg.RegisterCounter(prefix+"_priority_served_total", "Packets served from the cache-resident rule fast path.", &c.prioSrvd)
 	reg.RegisterCounter(prefix+"_requeued_total", "Failed deliveries returned to their queue.", &c.requeued)
+	reg.RegisterGauge(prefix+"_backlog_high_watermark", "Most packets ever resident across all queues at once.", &c.maxBacklog)
 	reg.RegisterCounter(prefix+"_benign_served_total", "Deliveries of likely-benign (or unclassified) packets.", &c.benignSrvd)
 	reg.RegisterCounter(prefix+"_suspect_served_total", "Deliveries of attribution-blamed packets.", &c.suspectSrvd)
 	for i, q := range c.queues {

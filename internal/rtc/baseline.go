@@ -40,6 +40,11 @@ type Baseline struct {
 	cache    *dpcache.Cache
 	replayed atomic.Uint64
 
+	simTarget atomic.Int64
+	simDone   atomic.Int64
+	ctrl      chan func()
+	cacheGone chan struct{}
+
 	processed  atomic.Uint64
 	forwarded  atomic.Uint64
 	misses     atomic.Uint64
@@ -65,18 +70,24 @@ func NewBaseline(cfg Config) *Baseline {
 		classified: make(chan Item, cfg.RingCapacity),
 		looked:     make(chan CacheItem, cfg.CacheRingCapacity),
 		sim:        netsim.NewEngine(),
+		ctrl:       make(chan func(), 16),
+		cacheGone:  make(chan struct{}),
 	}
 	b.cache = dpcache.New(b.sim, dpcache.Config{
 		QueueCapacity:   cfg.QueueCapacity,
 		InitialRatePPS:  cfg.ReplayPPS,
 		ProcessingDelay: 0,
-	}, replaySink{n: &b.replayed})
+	}, replaySink{n: &b.replayed, obs: cfg.ReplayObserver})
 	b.cache.SetHinter(b.attr)
 	return b
 }
 
 // Attributor exposes the shared attribution engine.
 func (b *Baseline) Attributor() *attrib.Attributor { return b.attr }
+
+// Cache exposes the data plane cache (same ownership contract as
+// Engine.Cache: RunOnCache for mutations while running).
+func (b *Baseline) Cache() *dpcache.Cache { return b.cache }
 
 // Apply installs a flow_mod under the table lock.
 func (b *Baseline) Apply(m openflow.FlowMod) error {
@@ -136,8 +147,61 @@ func (b *Baseline) Stop() {
 	b.wgLookup.Wait()
 	close(b.looked)
 	b.wgCache.Wait()
-	b.attr.Roll(b.cfg.Window)
+	if !b.cfg.Manual {
+		b.attr.Roll(b.cfg.Window)
+	}
 }
+
+// SetSimTarget mirrors Engine.SetSimTarget for manual-mode harnesses.
+func (b *Baseline) SetSimTarget(d time.Duration) {
+	for {
+		cur := b.simTarget.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if b.simTarget.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// SimReached mirrors Engine.SimReached.
+func (b *Baseline) SimReached() time.Duration { return time.Duration(b.simDone.Load()) }
+
+// RunOnCache mirrors Engine.RunOnCache: run fn on the cache-stage
+// goroutine and wait, falling back to inline execution once the cache
+// stage has exited.
+func (b *Baseline) RunOnCache(fn func()) {
+	done := make(chan struct{})
+	wrapped := func() { fn(); close(done) }
+	select {
+	case b.ctrl <- wrapped:
+	case <-b.cacheGone:
+		fn()
+		return
+	}
+	select {
+	case <-done:
+	case <-b.cacheGone:
+		select {
+		case <-done:
+		default:
+			fn()
+		}
+	}
+}
+
+// Counters mirrors Engine.Counters (drops here are looked-channel
+// overflows rather than ring drops).
+func (b *Baseline) Counters() (processed, forwarded, misses, ringDrops uint64) {
+	return b.processed.Load(), b.forwarded.Load(), b.misses.Load(), b.cacheDrops.Load()
+}
+
+// CacheStats snapshots the data plane cache counters.
+func (b *Baseline) CacheStats() dpcache.Stats { return b.cache.Stats() }
+
+// ReplayedTotal returns the controller-path delivery count.
+func (b *Baseline) ReplayedTotal() uint64 { return b.replayed.Load() }
 
 func (b *Baseline) classifyLoop() {
 	defer b.wgStages.Done()
@@ -151,6 +215,11 @@ func (b *Baseline) lookupLoop() {
 	defer b.wgLookup.Done()
 	dpid := b.cfg.DPID
 	for it := range b.classified {
+		if it.Flush {
+			// Shard-flush sentinels are meaningless here: the baseline feeds
+			// attribution per packet, so the deltas are already merged.
+			continue
+		}
 		now := time.Now()
 		b.mu.Lock()
 		entry := b.table.Lookup(&it.Pkt, it.InPort, now, it.Pkt.WireLen())
@@ -178,6 +247,11 @@ func (b *Baseline) lookupLoop() {
 
 func (b *Baseline) cacheLoop() {
 	defer b.wgCache.Done()
+	defer close(b.cacheGone)
+	if b.cfg.Manual {
+		b.manualCacheLoop()
+		return
+	}
 	start := time.Now()
 	lastRoll := start
 	open := true
@@ -209,6 +283,50 @@ func (b *Baseline) cacheLoop() {
 		}
 		if drained == 0 {
 			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// manualCacheLoop mirrors Engine.manualCacheLoop: virtual-time pump to
+// the harness target, control closures between drains, no self-rolled
+// attribution windows.
+func (b *Baseline) manualCacheLoop() {
+	open := true
+	for {
+		drained := 0
+	drain:
+		for open && drained < 256 {
+			select {
+			case ci, ok := <-b.looked:
+				if !ok {
+					open = false
+					break drain
+				}
+				b.cache.Ingest(ci.Origin, ci.Pkt)
+				drained++
+			default:
+				break drain
+			}
+		}
+		for {
+			select {
+			case fn := <-b.ctrl:
+				fn()
+				continue
+			default:
+			}
+			break
+		}
+		if target := b.simTarget.Load(); target > b.simDone.Load() {
+			b.sim.RunUntil(netsim.Epoch.Add(time.Duration(target)))
+			b.simDone.Store(target)
+		}
+		if !open {
+			b.cache.Stop()
+			return
+		}
+		if drained == 0 {
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
 }

@@ -41,11 +41,16 @@ import (
 
 // Item is one packet entering the engine. IngressNanos, when nonzero,
 // is the producer's wall-clock stamp (UnixNano) for latency sampling;
-// producers stamp one packet in Config.LatencySample.
+// producers stamp one packet in Config.LatencySample. An Item with
+// Flush set carries no packet: it makes the owning shard fold its
+// attribution deltas into the shared Attributor the moment it is
+// popped, giving a manual-mode harness an in-band, FIFO-ordered window
+// barrier (every packet pushed before the sentinel is merged first).
 type Item struct {
 	Pkt          netpkt.Packet
 	InPort       uint16
 	IngressNanos int64
+	Flush        bool
 }
 
 // CacheItem is one table-miss packet handed from a shard to the cache
@@ -90,6 +95,18 @@ type Config struct {
 	Attrib attrib.Config
 	// Batch is the shard pop-batch size (default 256).
 	Batch int
+	// Manual switches the engine to harness-driven virtual time: the
+	// cache stage pumps the discrete-event engine to the target set by
+	// SetSimTarget instead of the wall clock, never rolls the attribution
+	// window on its own (the harness calls Attributor().Roll at its own
+	// barriers), and shards flush their attribution deltas only on Flush
+	// sentinel items. Two manual runs fed the same item sequence produce
+	// identical counters — the soak harness's determinism contract.
+	Manual bool
+	// ReplayObserver, when set, sees every packet the cache stage replays
+	// to the controller path, with its virtual-time queue residency.
+	// Called on the cache-stage goroutine.
+	ReplayObserver func(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
 }
 
 // DefaultLatencySample is the conventional 1-in-N latency stamp rate.
@@ -189,27 +206,46 @@ type Engine struct {
 	cache    *dpcache.Cache
 	replayed atomic.Uint64
 
+	// Manual-mode state: the harness-set virtual time target, the target
+	// the cache stage has pumped the sim to, and a control queue of
+	// closures the cache stage executes between drain iterations (so the
+	// harness can touch cache-owned state — SetRate, rule tables —
+	// without racing the discrete-event engine).
+	simTarget atomic.Int64
+	simDone   atomic.Int64
+	ctrl      chan func()
+	cacheGone chan struct{}
+
 	wgShards sync.WaitGroup
 	wgCache  sync.WaitGroup
 	started  bool
 }
 
 // replaySink counts cache deliveries — the packets FloodGuard would
-// re-raise to the controller as packet_ins.
-type replaySink struct{ n *atomic.Uint64 }
+// re-raise to the controller as packet_ins — and forwards them to the
+// optional replay observer.
+type replaySink struct {
+	n   *atomic.Uint64
+	obs func(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
+}
 
 func (s replaySink) CacheEmit(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration) {
 	s.n.Add(1)
+	if s.obs != nil {
+		s.obs(origin, origInPort, pkt, queued)
+	}
 }
 
 // New builds an engine; Start spins up the shard and cache goroutines.
 func New(cfg Config) *Engine {
 	cfg.normalize()
 	e := &Engine{
-		cfg:   cfg,
-		table: flowtable.NewConcurrent(cfg.TableCapacity),
-		attr:  attrib.New(cfg.Attrib),
-		sim:   netsim.NewEngine(),
+		cfg:       cfg,
+		table:     flowtable.NewConcurrent(cfg.TableCapacity),
+		attr:      attrib.New(cfg.Attrib),
+		sim:       netsim.NewEngine(),
+		ctrl:      make(chan func(), 16),
+		cacheGone: make(chan struct{}),
 	}
 	e.cache = dpcache.New(e.sim, dpcache.Config{
 		QueueCapacity:  cfg.QueueCapacity,
@@ -217,7 +253,7 @@ func New(cfg Config) *Engine {
 		// Zero processing delay: replay cost is real compute here, not a
 		// modelled constant, and the zero-delay path is allocation-free.
 		ProcessingDelay: 0,
-	}, replaySink{n: &e.replayed})
+	}, replaySink{n: &e.replayed, obs: cfg.ReplayObserver})
 	e.cache.SetHinter(e.attr)
 	e.shards = make([]*Shard, cfg.Shards)
 	for i := range e.shards {
@@ -249,6 +285,11 @@ func (e *Engine) Table() *flowtable.Concurrent { return e.table }
 
 // Attributor exposes the shared attribution engine (verdict reads).
 func (e *Engine) Attributor() *attrib.Attributor { return e.attr }
+
+// Cache exposes the data plane cache. It is owned by the cache-stage
+// goroutine: mutate it (SetRate, rule table) only from RunOnCache
+// closures while the engine runs, or freely after Stop.
+func (e *Engine) Cache() *dpcache.Cache { return e.cache }
 
 // Apply installs a flow_mod into the shared table.
 func (e *Engine) Apply(m openflow.FlowMod) error {
@@ -296,7 +337,94 @@ func (e *Engine) Stop() {
 	}
 	e.wgShards.Wait()
 	e.wgCache.Wait()
-	e.attr.Roll(e.cfg.Window) // close the last detection window
+	if !e.cfg.Manual {
+		e.attr.Roll(e.cfg.Window) // close the last detection window
+	}
+}
+
+// SetSimTarget advances the manual-mode virtual clock target to d past
+// the sim epoch (monotonic; a smaller target is ignored). The cache
+// stage pumps the discrete-event engine — replay ticks, scheduled
+// events — up to the target; poll SimReached to learn when it caught
+// up. No-op outside manual mode.
+func (e *Engine) SetSimTarget(d time.Duration) {
+	for {
+		cur := e.simTarget.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if e.simTarget.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// SimReached returns the virtual time target the cache stage has
+// finished pumping to.
+func (e *Engine) SimReached() time.Duration { return time.Duration(e.simDone.Load()) }
+
+// RunOnCache executes fn on the cache-stage goroutine, between drain
+// iterations, and blocks until it ran — the safe way for a manual-mode
+// harness to adjust cache-owned state (replay rate, rule tables). If
+// the cache stage has already exited (after Stop), fn runs inline: the
+// cache is quiescent then and single-threaded access is safe.
+func (e *Engine) RunOnCache(fn func()) {
+	done := make(chan struct{})
+	wrapped := func() { fn(); close(done) }
+	select {
+	case e.ctrl <- wrapped:
+	case <-e.cacheGone:
+		fn()
+		return
+	}
+	select {
+	case <-done:
+	case <-e.cacheGone:
+		// The cache stage exited after accepting but the queue drains on
+		// exit; if fn never ran, run it inline now.
+		select {
+		case <-done:
+		default:
+			fn()
+		}
+	}
+}
+
+// Counters returns the engine-wide packet accounting from the shard
+// atomics: processed, forwarded, misses, and shard→cache ring drops.
+// Safe from any goroutine; reading them after an external quiescence
+// barrier (all injected packets observed processed) yields exact
+// values with proper happens-before edges.
+func (e *Engine) Counters() (processed, forwarded, misses, ringDrops uint64) {
+	for _, s := range e.shards {
+		processed += s.processed.Load()
+		forwarded += s.forwarded.Load()
+		misses += s.misses.Load()
+		ringDrops += s.cacheDrops.Load()
+	}
+	return
+}
+
+// Flushes returns how many attribution flushes shard i has completed.
+func (e *Engine) Flushes(i int) uint64 { return e.shards[i].flushes.Load() }
+
+// CacheStats snapshots the data plane cache counters (atomics only —
+// safe live from any goroutine).
+func (e *Engine) CacheStats() dpcache.Stats { return e.cache.Stats() }
+
+// ReplayedTotal returns how many packets the cache stage delivered to
+// the controller path.
+func (e *Engine) ReplayedTotal() uint64 { return e.replayed.Load() }
+
+// MicroEntries sums the shard microflow cache occupancy. The per-shard
+// maps are owned by the shard goroutines, so call this only while the
+// shards are quiescent (a manual-mode barrier, or after Stop).
+func (e *Engine) MicroEntries() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.mc.Stats().Entries
+	}
+	return n
 }
 
 // run is the shard loop: batched pop from the ingress ring, then each
@@ -307,6 +435,7 @@ func (s *Shard) run() {
 	defer s.toCache.Close()
 	batch := make([]Item, s.eng.cfg.Batch)
 	window := s.eng.cfg.Window
+	manual := s.eng.cfg.Manual
 	nextFlush := time.Now().Add(window)
 	dpid := s.eng.cfg.DPID
 	for {
@@ -318,9 +447,15 @@ func (s *Shard) run() {
 		}
 		now := time.Now()
 		for i := 0; i < n; i++ {
+			if batch[i].Flush {
+				// In-band window barrier: merge everything popped so far.
+				s.obs.Flush()
+				s.flushes.Add(1)
+				continue
+			}
 			s.processOne(&batch[i], now, dpid)
 		}
-		if now.After(nextFlush) {
+		if !manual && now.After(nextFlush) {
 			s.obs.Flush()
 			s.flushes.Add(1)
 			nextFlush = now.Add(window)
@@ -366,6 +501,11 @@ func (s *Shard) processOne(it *Item, now time.Time, dpid uint64) {
 // the control plane, not the packet path.
 func (e *Engine) cacheLoop() {
 	defer e.wgCache.Done()
+	defer close(e.cacheGone)
+	if e.cfg.Manual {
+		e.manualCacheLoop()
+		return
+	}
 	start := time.Now()
 	lastRoll := start
 	batch := make([]CacheItem, 256)
@@ -395,6 +535,51 @@ func (e *Engine) cacheLoop() {
 		if drained == 0 {
 			// Idle: let the replay ticker interval pass without spinning.
 			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// manualCacheLoop is the cache-stage loop under harness-driven virtual
+// time: drain the shard handoff rings, run any queued control closures,
+// and pump the discrete-event engine only to the harness's target —
+// never the wall clock, never a self-rolled attribution window. The
+// ingest → pump ordering inside one iteration is fixed, so the sequence
+// of sim events (and thus every replay emission and drop) is a pure
+// function of the item sequence and the target schedule.
+func (e *Engine) manualCacheLoop() {
+	batch := make([]CacheItem, 256)
+	for {
+		drained := 0
+		alive := false
+		for _, s := range e.shards {
+			n := s.toCache.PopBatch(batch)
+			for i := 0; i < n; i++ {
+				e.cache.Ingest(batch[i].Origin, batch[i].Pkt)
+			}
+			drained += n
+			if n > 0 || !s.toCache.Closed() || s.toCache.Len() > 0 {
+				alive = true
+			}
+		}
+		for {
+			select {
+			case fn := <-e.ctrl:
+				fn()
+				continue
+			default:
+			}
+			break
+		}
+		if target := e.simTarget.Load(); target > e.simDone.Load() {
+			e.sim.RunUntil(netsim.Epoch.Add(time.Duration(target)))
+			e.simDone.Store(target)
+		}
+		if !alive {
+			e.cache.Stop()
+			return
+		}
+		if drained == 0 {
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
 }

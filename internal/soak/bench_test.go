@@ -1,0 +1,61 @@
+package soak
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSoakQuality is the tier-C quality benchmark: one full
+// adversarial soak per iteration (all four attacker profiles plus the
+// seeded chaos plan), reporting the run's quality numbers as custom
+// metrics so cmd/benchjson can gate them in CI:
+//
+//	violations  invariant violations across the run (gate: 0)
+//	benign_loss cumulative ground-truth benign collateral loss (gate: ceiling)
+//	mem_frac    worst occupancy/budget ratio of the bounded structures (gate: <= 1)
+//	detected    1 if every above-floor attacker was blamed (gate: >= 1)
+//	pps         simulated packets processed per wall-clock second (gate: floor)
+func BenchmarkSoakQuality(b *testing.B) {
+	cfg := Config{
+		Seed:      0xBE7C4,
+		Duration:  4 * time.Second,
+		Window:    100 * time.Millisecond,
+		Flows:     100_000,
+		HotFlows:  256,
+		Ports:     8,
+		Shards:    4,
+		Profile:   ProfileAll,
+		BenignPPS: 40_000,
+		Chaos:     true,
+	}
+	var violations, detected int
+	var loss, memFrac, packets, secs float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatalf("soak run: %v", err)
+		}
+		violations += len(res.Violations)
+		loss += res.BenignLoss
+		if res.MaxMemFrac > memFrac {
+			memFrac = res.MaxMemFrac
+		}
+		if res.Detected {
+			detected++
+		}
+		last := res.Windows[len(res.Windows)-1]
+		packets += float64(last.Processed)
+		secs += res.Elapsed.Seconds()
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(violations)/n, "violations")
+	b.ReportMetric(loss/n, "benign_loss")
+	b.ReportMetric(memFrac, "mem_frac")
+	b.ReportMetric(float64(detected)/n, "detected")
+	if secs > 0 {
+		b.ReportMetric(packets/secs, "pps")
+	}
+}

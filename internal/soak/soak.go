@@ -1,0 +1,549 @@
+package soak
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"runtime"
+	"time"
+
+	"floodguard/internal/attrib"
+	"floodguard/internal/dpcache"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+	"floodguard/internal/rtc"
+)
+
+// WindowStats is one window's accounting row — the per-window CSV
+// record and the invariant checker's input. Counter fields are
+// cumulative since run start; Inj* fields are this window's offered
+// counts.
+type WindowStats struct {
+	Window    int
+	SimMillis int64
+	FSM       string
+
+	InjBenign uint64
+	InjAttack uint64
+
+	CumInjBenign     uint64
+	CumInjAttack     uint64
+	CumBenignHotInj  uint64 // benign injections covered by an installed rule
+	CumBenignMissInj uint64 // benign injections bound for the cache tier
+
+	Processed uint64
+	Forwarded uint64
+	Misses    uint64
+	RingDrops uint64
+
+	Enqueued       uint64
+	Emitted        uint64
+	DroppedBenign  uint64
+	DroppedSuspect uint64
+	Requeued       uint64
+	Backlog        int
+	SuspectBacklog int
+	MaxBacklog     int
+
+	Replayed       uint64
+	BenignReplayed uint64
+	AttackReplayed uint64
+
+	BenignLoss float64 // cumulative ground-truth benign loss fraction
+
+	BlamedPorts    int
+	TrackedPorts   int
+	TrackedSources int
+	SampleTotal    uint64
+	MicroEntries   int
+	TableRules     int
+
+	ReplayWaitP99Millis float64
+	Violations          int
+}
+
+// Result is one soak run's outcome.
+type Result struct {
+	Config     Config
+	Windows    []WindowStats
+	Violations []Violation
+
+	DistinctFlows int
+	BenignLoss    float64 // final cumulative loss fraction
+	MaxMemFrac    float64 // worst occupancy/budget ratio seen
+	Detected      bool    // every above-floor attacker blamed at least once
+	Elapsed       time.Duration
+}
+
+// pipeline is the manual-mode surface shared by rtc.Engine and
+// rtc.Baseline that the harness drives.
+type pipeline interface {
+	Apply(m openflow.FlowMod) error
+	Start()
+	Stop()
+	InjectItem(it rtc.Item) bool
+	SetSimTarget(d time.Duration)
+	SimReached() time.Duration
+	RunOnCache(fn func())
+	Counters() (processed, forwarded, misses, ringDrops uint64)
+	CacheStats() dpcache.Stats
+	Attributor() *attrib.Attributor
+	Cache() *dpcache.Cache
+	ReplayedTotal() uint64
+}
+
+// replayTally is the ground-truth view of the controller-path replay
+// stream, fed by the rtc ReplayObserver on the cache goroutine and read
+// by the harness at window barriers (the SetSimTarget/SimReached atomic
+// pair orders the accesses).
+type replayTally struct {
+	benign uint64
+	attack uint64
+	// winWait is the window-local histogram of virtual replay-queue
+	// residence, log2-millisecond buckets; the harness reads the p99 and
+	// resets it every barrier.
+	winWait  [32]uint64
+	winTotal uint64
+}
+
+func (t *replayTally) observe(_ uint64, _ uint16, pkt netpkt.Packet, queued time.Duration) {
+	if isBenignSrc(pkt.NwSrc) {
+		t.benign++
+	} else {
+		t.attack++
+	}
+	ms := queued.Milliseconds()
+	b := bits.Len64(uint64(ms)) // 0ms -> 0, 1ms -> 1, 2-3ms -> 2, ...
+	if b >= len(t.winWait) {
+		b = len(t.winWait) - 1
+	}
+	t.winWait[b]++
+	t.winTotal++
+}
+
+// p99Reset returns the window's p99 replay wait (upper bucket bound,
+// milliseconds) and clears the window-local histogram.
+func (t *replayTally) p99Reset() float64 {
+	total := t.winTotal
+	t.winTotal = 0
+	if total == 0 {
+		for i := range t.winWait {
+			t.winWait[i] = 0
+		}
+		return 0
+	}
+	rank := total - total/100 // ceil-ish 99th percentile rank
+	var seen uint64
+	out := 0
+	for i, n := range t.winWait {
+		seen += n
+		t.winWait[i] = 0
+		if out == 0 && seen >= rank {
+			out = i
+		}
+	}
+	if out == 0 {
+		return 0
+	}
+	return float64(uint64(1) << (out - 1)) // bucket lower bound in ms
+}
+
+// attribConfigFor derives attribution thresholds from the traffic
+// scale: with per-port benign rate b, the floor sits at 3b (benign
+// stays under it, adaptive attackers peak at 6b), drift at b/2 absorbs
+// benign jitter, and the CUSUM threshold at 5b is crossed by one window
+// of full-rate attack. Paper-scale absolute defaults would blame every
+// port at soak rates, since baselines start at zero.
+func attribConfigFor(cfg *Config) attrib.Config {
+	b := cfg.BenignPPS / float64(cfg.Ports)
+	a := attrib.Config{
+		CUSUMThreshold: 5 * b,
+		CUSUMDrift:     0.5 * b,
+		SuspectRatePPS: 3 * b,
+		HealWindows:    3,
+		Seed:           uint64(cfg.Seed),
+	}
+	if cfg.HeavyHitterFrac > 0 {
+		a.HeavyHitterFrac = cfg.HeavyHitterFrac
+	}
+	return a
+}
+
+const soakMicroSize = 4096
+
+// Run executes one soak: build the pipeline in manual (virtual-time)
+// mode, install the hot-flow rules, then march window by window —
+// inject the benign+attack schedule with backpressure, quiesce,
+// flush the shard attribution deltas in shard order, advance simulated
+// time, roll the detection window, and hand the barrier snapshot to the
+// invariant checker. Any violation is recorded, never fatal: the full
+// run's evidence comes back in the Result.
+func Run(cfg Config) (*Result, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	started := time.Now()
+
+	tally := &replayTally{}
+	rcfg := rtc.Config{
+		Shards:            cfg.Shards,
+		MicroSize:         soakMicroSize,
+		RingCapacity:      4096,
+		CacheRingCapacity: 16384,
+		QueueCapacity:     cfg.QueueCapacity,
+		ReplayPPS:         cfg.ReplayPPS,
+		Window:            cfg.Window,
+		Attrib:            attribConfigFor(&cfg),
+		Manual:            true,
+		ReplayObserver:    tally.observe,
+	}
+	var pipe pipeline
+	var eng *rtc.Engine
+	if cfg.Baseline {
+		pipe = rtc.NewBaseline(rcfg)
+	} else {
+		eng = rtc.New(rcfg)
+		pipe = eng
+	}
+
+	gen := newBenignGen(&cfg)
+	atks := buildAttackers(&cfg)
+	plan := chaosPlan(&cfg)
+	acfg := attribConfigFor(&cfg)
+	microBudget := 0
+	if eng != nil {
+		microBudget = cfg.Shards * soakMicroSize
+	}
+	chk := newChecker(&cfg, atks, plan, acfg.SuspectRatePPS, acfg.HealWindows, 64, microBudget)
+
+	// Install the zipf-head rules: the benign hot path forwards in the
+	// data plane; only the cold tail and the attack reach the cache tier.
+	for f := 0; f < cfg.HotFlows; f++ {
+		if err := pipe.Apply(hotFlowMod(gen, f)); err != nil {
+			return nil, fmt.Errorf("soak: install hot flow %d: %w", f, err)
+		}
+	}
+
+	pipe.Start()
+	res := &Result{Config: cfg}
+	windows := cfg.Windows()
+	winSecs := cfg.Window.Seconds()
+	benignAcc := 0.0
+	var cumInjBenign, cumInjAttack uint64
+	attackerBlamed := make([]bool, len(atks))
+	attackerInj := make([]int, len(atks))
+	var slots []uint8
+	outage := false
+
+	fail := func(err error) (*Result, error) {
+		pipe.Stop()
+		return nil, err
+	}
+
+	for w := 0; w < windows; w++ {
+		// Chaos, applied at the barrier while the pipeline is quiescent:
+		// rule churn (generation bump every shard must revalidate) and
+		// replay outages for the coming window.
+		if plan[w].Churn && cfg.HotFlows > 0 {
+			f := w % cfg.HotFlows
+			del := hotFlowMod(gen, f)
+			del.Command = openflow.FlowDeleteStrict
+			if err := pipe.Apply(del); err != nil {
+				return fail(fmt.Errorf("soak: churn delete flow %d: %w", f, err))
+			}
+			if err := pipe.Apply(hotFlowMod(gen, f)); err != nil {
+				return fail(fmt.Errorf("soak: churn re-add flow %d: %w", f, err))
+			}
+		}
+		if plan[w].Outage != outage {
+			outage = plan[w].Outage
+			rate := cfg.ReplayPPS
+			if outage {
+				rate = 0
+			}
+			c := pipe.Cache()
+			pipe.RunOnCache(func() { c.SetRate(rate) })
+		}
+
+		// Offered load for this window: whole benign packets via a
+		// carried fractional accumulator, per-attacker counts from each
+		// profile's adaptive rate (pulse consults its blame state).
+		benignAcc += cfg.BenignPPS * winSecs
+		benignN := int(benignAcc)
+		benignAcc -= float64(benignN)
+		total := benignN
+		for i, a := range atks {
+			attackerInj[i] = a.packetsFor(w, attackerBlamed[i], winSecs)
+			total += attackerInj[i]
+		}
+
+		// Deterministic proportional interleave: attacker packets are
+		// spread across the window's slots by stride placement (linear
+		// probing on collision), benign fills the rest.
+		if cap(slots) < total {
+			slots = make([]uint8, total)
+		}
+		slots = slots[:total]
+		for i := range slots {
+			slots[i] = 0
+		}
+		for j, n := range attackerInj {
+			for i := 0; i < n; i++ {
+				pos := i * total / n
+				for slots[pos] != 0 {
+					pos++
+					if pos == total {
+						pos = 0
+					}
+				}
+				slots[pos] = uint8(j + 1)
+			}
+		}
+
+		// Inject with backpressure: a full ingress ring retries (never
+		// drops the offer), and every 512 packets the producer lets the
+		// cache stage catch up so the shard→cache rings cannot overflow —
+		// the determinism contract needs exactly zero ring drops.
+		for i, s := range slots {
+			var it rtc.Item
+			if s == 0 {
+				it.Pkt, it.InPort = gen.next()
+			} else {
+				a := atks[s-1]
+				it.Pkt, it.InPort = a.packet(w), a.port
+			}
+			for !pipe.InjectItem(it) {
+				runtime.Gosched()
+			}
+			if i%512 == 511 {
+				if err := waitFor(func() bool {
+					_, _, m, rd := pipe.Counters()
+					return m-(pipe.CacheStats().Enqueued+rd) <= 2048
+				}, "cache handoff backpressure"); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		cumInjBenign += uint64(benignN)
+		for _, n := range attackerInj {
+			cumInjAttack += uint64(n)
+		}
+
+		// Quiesce: every offered packet processed, every miss handed over.
+		injected := cumInjBenign + cumInjAttack
+		if err := waitFor(func() bool {
+			p, _, _, _ := pipe.Counters()
+			return p == injected
+		}, "shard quiescence"); err != nil {
+			return fail(err)
+		}
+		if err := waitFor(func() bool {
+			_, _, m, rd := pipe.Counters()
+			return pipe.CacheStats().Enqueued+rd == m
+		}, "cache ingest quiescence"); err != nil {
+			return fail(err)
+		}
+
+		// Merge the shard attribution deltas, in shard order so the
+		// sketch merge sequence is identical run to run.
+		if eng != nil {
+			for i := 0; i < eng.Shards(); i++ {
+				want := eng.Flushes(i) + 1
+				ring := eng.Shard(i).Ring()
+				for !ring.Push(rtc.Item{Flush: true}) {
+					runtime.Gosched()
+				}
+				i := i
+				if err := waitFor(func() bool { return eng.Flushes(i) >= want }, "shard flush"); err != nil {
+					return fail(err)
+				}
+			}
+		}
+
+		// Advance simulated time one window: the replay ticker drains the
+		// cache queues at the configured rate, entirely in virtual time.
+		target := time.Duration(w+1) * cfg.Window
+		pipe.SetSimTarget(target)
+		if err := waitFor(func() bool { return pipe.SimReached() >= target }, "virtual-time pump"); err != nil {
+			return fail(err)
+		}
+
+		// Close the detection window and collect the barrier snapshot.
+		verdicts := pipe.Attributor().Roll(cfg.Window)
+		blamedPorts := 0
+		var benignBlamed []uint16
+		for i := range attackerBlamed {
+			attackerBlamed[i] = false
+		}
+		for _, v := range verdicts {
+			if !v.Suspect {
+				continue
+			}
+			blamedPorts++
+			if int(v.Port) <= cfg.Ports {
+				benignBlamed = append(benignBlamed, v.Port)
+			}
+			for i, a := range atks {
+				if a.port == v.Port {
+					attackerBlamed[i] = true
+				}
+			}
+		}
+
+		ws := collectWindow(w, &cfg, pipe, eng, gen, tally)
+		ws.InjBenign = uint64(benignN)
+		ws.CumInjBenign = cumInjBenign
+		ws.CumInjAttack = cumInjAttack
+		for _, n := range attackerInj {
+			ws.InjAttack += uint64(n)
+		}
+		ws.BlamedPorts = blamedPorts
+		benignBacklog := ws.Backlog - ws.SuspectBacklog
+		ws.FSM = chk.fsm(w, blamedPorts, benignBacklog)
+
+		vs := chk.check(w, &ws, attackerBlamed, benignBlamed, attackerInj, benignBacklog)
+		ws.Violations = len(vs)
+		res.Violations = append(res.Violations, vs...)
+		res.Windows = append(res.Windows, ws)
+
+		frac := memFrac(&ws, &cfg, len(atks), microBudget)
+		if frac > res.MaxMemFrac {
+			res.MaxMemFrac = frac
+		}
+	}
+
+	pipe.Stop()
+	res.DistinctFlows = gen.distinct
+	if n := len(res.Windows); n > 0 {
+		res.BenignLoss = res.Windows[n-1].BenignLoss
+	}
+	res.Detected = chk.detectionConfirmed()
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// hotFlowMod builds the exact-match flow_mod for benign hot flow f.
+func hotFlowMod(gen *benignGen, f int) openflow.FlowMod {
+	pkt := gen.flowPacket(f)
+	return openflow.FlowMod{
+		Match:    openflow.ExactFrom(&pkt, gen.port(f)),
+		Command:  openflow.FlowAdd,
+		Priority: 100,
+		Actions:  []openflow.Action{openflow.Output(2)},
+	}
+}
+
+// collectWindow reads the barrier snapshot into a WindowStats row.
+func collectWindow(w int, cfg *Config, pipe pipeline, eng *rtc.Engine, gen *benignGen, tally *replayTally) WindowStats {
+	p, f, m, rd := pipe.Counters()
+	cs := pipe.CacheStats()
+	attr := pipe.Attributor()
+	ws := WindowStats{
+		Window:           w,
+		SimMillis:        (time.Duration(w+1) * cfg.Window).Milliseconds(),
+		CumBenignHotInj:  gen.hotInj,
+		CumBenignMissInj: gen.missInj,
+		Processed:        p,
+		Forwarded:        f,
+		Misses:           m,
+		RingDrops:        rd,
+		Enqueued:         cs.Enqueued,
+		Emitted:          cs.Emitted,
+		DroppedBenign:    cs.BenignDropped,
+		DroppedSuspect:   cs.SuspectDropped,
+		Requeued:         cs.Requeued,
+		Backlog:          cs.Backlog,
+		SuspectBacklog:   cs.SuspectBacklog,
+		MaxBacklog:       cs.MaxBacklog,
+		Replayed:         pipe.ReplayedTotal(),
+		BenignReplayed:   tally.benign,
+		AttackReplayed:   tally.attack,
+		TrackedPorts:     attr.TrackedPorts(),
+		TrackedSources:   attr.TrackedSources(),
+		SampleTotal:      attr.SampleTotal(),
+		ReplayWaitP99Millis: tally.p99Reset(),
+	}
+	if eng != nil {
+		ws.MicroEntries = eng.MicroEntries()
+		ws.TableRules = eng.Table().Len()
+	} else {
+		ws.TableRules = cfg.HotFlows
+	}
+	// Ground-truth cumulative benign loss: cold benign offered, minus
+	// replayed, minus what is still waiting in the benign UDP queue.
+	if ws.CumBenignMissInj > 0 {
+		benignWaiting := uint64(cs.PerQueue[dpcache.QueueUDP])
+		lost := int64(ws.CumBenignMissInj) - int64(ws.BenignReplayed) - int64(benignWaiting)
+		if lost > 0 {
+			ws.BenignLoss = float64(lost) / float64(ws.CumBenignMissInj)
+		}
+	}
+	return ws
+}
+
+// memFrac is the worst occupancy/budget ratio of the bounded
+// structures — the run's RSS proxy, reported to the benchmark tier.
+func memFrac(ws *WindowStats, cfg *Config, attackers, microBudget int) float64 {
+	frac := func(n, lim int) float64 {
+		if lim <= 0 {
+			return 0
+		}
+		return float64(n) / float64(lim)
+	}
+	out := frac(ws.TrackedPorts, cfg.Ports+attackers)
+	if f := frac(ws.TrackedSources, 64); f > out {
+		out = f
+	}
+	if f := frac(ws.MicroEntries, microBudget); f > out {
+		out = f
+	}
+	if f := frac(ws.TableRules, cfg.HotFlows+1); f > out {
+		out = f
+	}
+	if f := frac(ws.Backlog, 9*cfg.QueueCapacity); f > out {
+		out = f
+	}
+	return out
+}
+
+// waitFor spins (with scheduler yields) until cond holds, failing after
+// a generous wall-clock deadline so a wedged pipeline surfaces as an
+// error instead of a hung test.
+func waitFor(cond func() bool, what string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; ; i++ {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("soak: timed out waiting for %s", what)
+		}
+		if i < 1000 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// Print renders a run summary.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "soak — profile=%s duration=%v window=%v flows=%d shards=%d seed=%#x chaos=%v\n",
+		r.Config.Profile, r.Config.Duration, r.Config.Window, r.Config.Flows, r.Config.Shards, r.Config.Seed, r.Config.Chaos)
+	last := WindowStats{}
+	if n := len(r.Windows); n > 0 {
+		last = r.Windows[n-1]
+	}
+	fmt.Fprintf(w, "  windows    %d   distinct flows %d\n", len(r.Windows), r.DistinctFlows)
+	fmt.Fprintf(w, "  pipeline   processed %d  forwarded %d  migrated %d\n", last.Processed, last.Forwarded, last.Misses)
+	fmt.Fprintf(w, "  replay     benign %d  attack %d  dropped %d/%d (benign/suspect)\n",
+		last.BenignReplayed, last.AttackReplayed, last.DroppedBenign, last.DroppedSuspect)
+	fmt.Fprintf(w, "  benign loss %.5f   max mem frac %.3f   detected=%v\n", r.BenignLoss, r.MaxMemFrac, r.Detected)
+	fmt.Fprintf(w, "  invariants  %d violations", len(r.Violations))
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(w, " (first: %s)", r.Violations[0])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  elapsed    %v\n", r.Elapsed.Round(time.Millisecond))
+}
