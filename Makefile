@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 cover check fuzz soak-short ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 bench-json8 cover check fuzz soak-short ci
 
 all: build test
 
@@ -118,6 +118,22 @@ bench-json7:
 		-gate 'BenchmarkSoakQuality(-|$$):mem_frac<=1' \
 		-gate 'BenchmarkSoakQuality(-|$$):detected>=1' \
 		-gate 'BenchmarkSoakQuality(-|$$):pps>=50000'
+
+# The PR-8 decision-forensics tier rendered as BENCH_8.json: the raw
+# journal append, the instrumented shard body (journal-on must stay
+# 0 allocs and lock-free like the bare PR-6 path), and the macro
+# journal-on/off sustained-pps delta — forensics may cost at most 2%
+# of sustained throughput.
+bench-json8:
+	@rm -f bench8.txt
+	$(GO) test -bench=JournalAppend -benchtime=10000x -benchmem -run=^$$ ./internal/journal/ | tee -a bench8.txt
+	$(GO) test -bench=JournalShardBody -benchtime=10000x -benchmem -run=^$$ ./internal/rtc/ | tee -a bench8.txt
+	$(GO) test -bench=JournalPPSDelta -benchtime=3x -run=^$$ ./internal/experiments/ | tee -a bench8.txt
+	$(GO) run ./cmd/benchjson -in bench8.txt -out BENCH_8.json \
+		-gate 'BenchmarkJournalAppend(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkJournalShardBody/journal-on(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkJournalShardBody/journal-on(-|$$):mutexwaits<=0' \
+		-gate 'BenchmarkJournalPPSDelta(-|$$):pps_ratio>=0.98'
 
 # The deterministic tier-A soak on its own, in short mode — the
 # seconds-scale smoke ci runs on every push.

@@ -9,16 +9,24 @@
 // Usage:
 //
 //	fganalyze [app ...]
+//	fganalyze journal [-port N] [-kind k1,k2] [-windows a:b] [-explain port=N] <dump.jsonl>
 //
-// With no arguments every bundled application is analyzed.
+// With no arguments every bundled application is analyzed. The journal
+// subcommand queries a flight-recorder dump produced by
+// `fgsim -journal <path> soak`: filter the total-ordered event
+// timeline, or reconstruct one port's evidence chain with -explain.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"floodguard/internal/appir"
 	"floodguard/internal/apps"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/symexec"
 )
@@ -70,6 +78,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "journal" {
+		return runJournal(args[1:])
+	}
 	subjects := buildSubjects()
 	names := args
 	if len(names) == 0 {
@@ -84,6 +95,88 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// runJournal implements the journal subcommand: load a JSONL
+// flight-recorder dump and either print the (filtered) total-ordered
+// timeline or explain one port's evidence chain.
+func runJournal(args []string) error {
+	fs := flag.NewFlagSet("journal", flag.ContinueOnError)
+	port := fs.Int("port", -1, "only events touching this port")
+	kinds := fs.String("kind", "", "comma-separated kind filter (e.g. blame,heal,slo)")
+	windows := fs.String("windows", "", "inclusive window range a:b")
+	explain := fs.String("explain", "", "port=N: print the evidence chain for port N")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fganalyze journal [-port N] [-kind k1,k2] [-windows a:b] [-explain port=N] <dump.jsonl>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("journal: want exactly one dump path (or - for stdin)")
+	}
+
+	var r io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	d, err := journal.ReadDump(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("journal: seed=%#x shards=%d windows=%d trigger=%s dropped=%d events=%d violations=%d\n",
+		d.Meta.Seed, d.Meta.Shards, d.Meta.Windows, d.Meta.Trigger, d.Meta.Dropped, len(d.Events), len(d.Violations))
+
+	if *explain != "" {
+		var p int
+		if _, err := fmt.Sscanf(*explain, "port=%d", &p); err != nil || p < 0 || p > 0xFFFF {
+			return fmt.Errorf("journal: bad -explain %q (want port=N)", *explain)
+		}
+		return journal.Explain(os.Stdout, d, uint16(p))
+	}
+
+	kindSet := make(map[journal.Kind]bool)
+	if *kinds != "" {
+		for _, s := range strings.Split(*kinds, ",") {
+			k, ok := journal.ParseKind(strings.TrimSpace(s))
+			if !ok {
+				return fmt.Errorf("journal: unknown kind %q", s)
+			}
+			kindSet[k] = true
+		}
+	}
+	lo, hi := 0, int(^uint(0)>>1)
+	if *windows != "" {
+		if _, err := fmt.Sscanf(*windows, "%d:%d", &lo, &hi); err != nil {
+			return fmt.Errorf("journal: bad -windows %q (want a:b)", *windows)
+		}
+	}
+	for _, ev := range d.Events {
+		if *port >= 0 && int(ev.Port) != *port {
+			continue
+		}
+		if len(kindSet) > 0 && !kindSet[ev.Kind] {
+			continue
+		}
+		if int(ev.Window) < lo || int(ev.Window) > hi {
+			continue
+		}
+		fmt.Println(journal.FormatEvent(ev))
+	}
+	for _, v := range d.Violations {
+		if v.Window < lo || v.Window > hi {
+			continue
+		}
+		fmt.Printf("w%-4d [violation] %s: %s\n", v.Window, v.Invariant, v.Detail)
 	}
 	return nil
 }

@@ -26,8 +26,10 @@ import (
 )
 
 var (
-	asCSV      bool
-	windowsCSV string
+	asCSV       bool
+	windowsCSV  string
+	journalPath string
+	metricsReg  *telemetry.Registry
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address (/metrics, /metrics.json, /debug/pprof); held open after the run until interrupted")
 	metricsCSV := flag.String("metrics-csv", "", "append periodic registry dumps (elapsed_ms,name,value rows) to this file")
 	flag.StringVar(&windowsCSV, "windows-csv", "", "write the chaos run's per-window telemetry rows to this file")
+	flag.StringVar(&journalPath, "journal", "", "arm the soak decision journal and write the flight-recorder JSONL dump to this file (inspect with: fganalyze journal)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +59,7 @@ func main() {
 	if *metricsAddr != "" || *metricsCSV != "" {
 		reg = telemetry.NewRegistry()
 		experiments.SetRegistry(reg)
+		metricsReg = reg
 	}
 	if *metricsAddr != "" {
 		ln, err := telemetry.Serve(*metricsAddr, reg)
@@ -340,9 +344,19 @@ func soakRun(seed int64, shards int, duration time.Duration, flows int, profile,
 	if err != nil {
 		return err
 	}
+	if journalPath != "" {
+		cfg.Journal = true
+		cfg.Registry = metricsReg
+	}
 	res, err := soak.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if journalPath != "" {
+		if err := os.WriteFile(journalPath, res.JournalDump, 0o644); err != nil {
+			return fmt.Errorf("write journal dump: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "fgsim: journal dump (%d bytes) written to %s\n", len(res.JournalDump), journalPath)
 	}
 	if asCSV {
 		if err := experiments.WriteSoakCSV(os.Stdout, res.Windows); err != nil {

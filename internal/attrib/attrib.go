@@ -21,10 +21,12 @@ package attrib
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"floodguard/internal/dpcache"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/sketch"
 	"floodguard/internal/telemetry"
@@ -143,6 +145,9 @@ type portState struct {
 	calm   int // consecutive calm windows while blamed
 
 	lastRate float64 // rate of the last closed window
+	// lastBlamedRate is the rate of the most recent hot window while the
+	// port was blamed — the heal verdict's evidence of what it healed from.
+	lastBlamedRate float64
 }
 
 // Verdict is one port's attribution output for a closed window.
@@ -155,6 +160,16 @@ type Verdict struct {
 	RatePPS  float64
 	Baseline float64
 	Suspect  bool
+
+	// Healed marks the window in which the port completed its calm run
+	// and was un-blamed; the two evidence fields below say how.
+	Healed bool
+	// CalmWindows is the consecutive-calm-window count that satisfied the
+	// heal threshold (only set when Healed).
+	CalmWindows int
+	// LastBlamedRate is the rate of the most recent hot window while the
+	// port was blamed — what the port healed *from* (only set when Healed).
+	LastBlamedRate float64
 }
 
 // Attributor is the attribution engine. ObservePacket and Hint are safe
@@ -163,9 +178,19 @@ type Attributor struct {
 	mu    sync.Mutex
 	cfg   Config
 	ports map[uint64]*portState
+	// keys holds the portState map keys in sorted order so Roll closes
+	// windows (and records journal events) in a deterministic port order
+	// rather than Go's randomized map order.
+	keys []uint64
 
 	srcs *sketch.CountMin
 	hot  *sketch.SpaceSaving
+
+	// jrec, when set, receives suspect/blame/heal evidence events from
+	// Roll. Roll has a single caller goroutine per deployment (the guard
+	// engine or the rtc cache loop), satisfying the recorder's SPSC
+	// contract.
+	jrec *journal.Recorder
 
 	windows    int
 	anyBlamed  bool // snapshot of "some port blamed" for the source gate
@@ -192,19 +217,38 @@ func New(cfg Config) *Attributor {
 // the full stream regardless of which ports are currently diverted.
 func (a *Attributor) ObservePacket(origin uint64, inPort uint16, pkt *netpkt.Packet) {
 	a.mu.Lock()
-	k := portKey(origin, inPort)
-	ps := a.ports[k]
-	if ps == nil {
-		ps = &portState{dpid: origin, port: inPort}
-		a.ports[k] = ps
-	}
-	ps.count++
+	a.stateLocked(portKey(origin, inPort)).count++
 	a.mu.Unlock()
 	if pkt != nil && pkt.IsIP() {
 		src := uint64(pkt.NwSrc)
 		a.srcs.Update(src, 1)
 		a.hot.Observe(src, 1)
 	}
+}
+
+// stateLocked returns the detector for a port key, creating it (and
+// keeping the sorted key index in step) on first sight. Caller holds
+// a.mu.
+func (a *Attributor) stateLocked(k uint64) *portState {
+	if ps := a.ports[k]; ps != nil {
+		return ps
+	}
+	ps := &portState{dpid: k >> 16, port: uint16(k)}
+	a.ports[k] = ps
+	i := sort.Search(len(a.keys), func(i int) bool { return a.keys[i] >= k })
+	a.keys = append(a.keys, 0)
+	copy(a.keys[i+1:], a.keys[i:])
+	a.keys[i] = k
+	return ps
+}
+
+// SetJournal attaches a decision-journal recorder; Roll then records
+// suspect/blame/heal evidence events. The recorder is single-producer:
+// only Roll's caller goroutine writes to it.
+func (a *Attributor) SetJournal(rec *journal.Recorder) {
+	a.mu.Lock()
+	a.jrec = rec
+	a.mu.Unlock()
 }
 
 // Roll closes the current detection window of the given length and
@@ -220,7 +264,8 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 
 	verdicts := make([]Verdict, 0, len(a.ports))
 	blamed := 0
-	for _, ps := range a.ports {
+	for _, k := range a.keys {
+		ps := a.ports[k]
 		rate := float64(ps.count) / secs
 		ps.count = 0
 		ps.lastRate = rate
@@ -232,26 +277,39 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 			// baseline; the CUSUM then sees the full excursion.
 		}
 
+		healed := false
 		if ps.blamed {
 			// Baseline frozen at its pre-attack value; watch for calm.
 			if rate <= ps.ewma+a.cfg.CUSUMDrift {
 				ps.calm++
 				if ps.calm >= a.cfg.HealWindows {
 					ps.blamed = false
+					healed = true
 					ps.cusum = 0
-					ps.calm = 0
 					a.healEvts.Inc()
+					a.jrec.Record(journal.KindHeal, 0, 0, ps.dpid, ps.port,
+						float64(ps.calm), ps.lastBlamedRate, ps.ewma)
 				}
 			} else {
 				ps.calm = 0
+				ps.lastBlamedRate = rate
 			}
 		} else {
 			ps.cusum = math.Max(0, ps.cusum+rate-ps.ewma-a.cfg.CUSUMDrift)
 			if ps.cusum >= a.cfg.CUSUMThreshold && rate >= a.cfg.SuspectRatePPS {
 				ps.blamed = true
 				ps.calm = 0
+				ps.lastBlamedRate = rate
 				a.blameEvts.Inc()
-			} else if rate <= a.cfg.SuspectRatePPS {
+				a.jrec.Record(journal.KindBlame, 0, 0, ps.dpid, ps.port,
+					rate, ps.ewma, rate-ps.ewma-a.cfg.CUSUMDrift)
+			} else if ps.cusum > 0 {
+				// Pre-blame evidence: the excursion is accumulating but has
+				// not crossed the threshold yet.
+				a.jrec.Record(journal.KindSuspect, 0, 0, ps.dpid, ps.port,
+					rate, ps.ewma, ps.cusum/a.cfg.CUSUMThreshold)
+			}
+			if !ps.blamed && rate <= a.cfg.SuspectRatePPS {
 				// The baseline learns only from sub-floor windows. A rate
 				// above the suspect floor is by definition suspicious;
 				// folding it into the EWMA would let an attacker ramp more
@@ -265,14 +323,21 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 		if ps.blamed {
 			blamed++
 		}
-		verdicts = append(verdicts, Verdict{
+		v := Verdict{
 			DPID:     ps.dpid,
 			Port:     ps.port,
 			Blame:    ps.cusum / a.cfg.CUSUMThreshold,
 			RatePPS:  rate,
 			Baseline: ps.ewma,
 			Suspect:  ps.blamed,
-		})
+		}
+		if healed {
+			v.Healed = true
+			v.CalmWindows = ps.calm
+			v.LastBlamedRate = ps.lastBlamedRate
+			ps.calm = 0
+		}
+		verdicts = append(verdicts, v)
 	}
 	a.blamedN.Set(int64(blamed))
 	a.anyBlamed = blamed > 0

@@ -58,12 +58,7 @@ func (o *ShardObserver) Flush() {
 	if len(o.ports) > 0 {
 		a.mu.Lock()
 		for k, n := range o.ports {
-			ps := a.ports[k]
-			if ps == nil {
-				ps = &portState{dpid: k >> 16, port: uint16(k)}
-				a.ports[k] = ps
-			}
-			ps.count += n
+			a.stateLocked(k).count += n
 		}
 		a.mu.Unlock()
 		clear(o.ports)

@@ -9,6 +9,7 @@ import (
 	"floodguard/internal/controller"
 	"floodguard/internal/dpcache"
 	"floodguard/internal/flowtable"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
@@ -53,6 +54,11 @@ type Guard struct {
 	switches map[uint64]*protectedSwitch
 	caches   []*dpcache.Cache
 	cacheTbl *flowtable.Table // §IV.E cache-resident rule table
+
+	// jrec, when armed by SetJournal, records FSM transitions and
+	// selective migrate/unmigrate actions. All record sites run on the
+	// engine goroutine, satisfying the recorder's single-producer rule.
+	jrec *journal.Recorder
 
 	// Detector state.
 	rateEWMA      *netsim.EWMA
@@ -263,6 +269,24 @@ func (g *Guard) onTransition(tr Transition) {
 			"degraded_drops":     float64(g.degradedDrops.Value()),
 		},
 	})
+	g.jrec.Record(journal.KindFSM, uint8(tr.To), uint8(tr.From), 0, 0,
+		g.rateEWMA.Value(), float64(backlog), g.migrationRate)
+}
+
+// SetJournal attaches a decision journal (journal.ForEngine layout):
+// the guard takes the control recorder for FSM and migration events and
+// forwards the attribution and cache recorders to its components. Call
+// before Start, from the construction goroutine.
+func (g *Guard) SetJournal(j *journal.Journal) {
+	g.jrec = j.ControlRec()
+	if g.attrib != nil {
+		g.attrib.SetJournal(j.AttribRec())
+	}
+	for _, c := range g.caches {
+		// All caches run on the one engine goroutine, so sharing the
+		// cache-stage recorder keeps the single-producer rule intact.
+		c.SetJournal(j.CacheRec())
+	}
 }
 
 // Instrument attaches the guard, its FSM event log, its caches, and its
@@ -835,6 +859,7 @@ func (g *Guard) migratePort(ps *protectedSwitch, port uint16) {
 	}
 	ps.portRules[port] = rules
 	g.gMigratedPorts.Inc()
+	g.jrec.Record(journal.KindMigrate, 0, 0, ps.dp.DPID(), port, 0, 0, 0)
 }
 
 // unmigratePort withdraws one port's diversion rules.
@@ -850,6 +875,7 @@ func (g *Guard) unmigratePort(ps *protectedSwitch, port uint16) {
 	}
 	delete(ps.portRules, port)
 	g.gMigratedPorts.Dec()
+	g.jrec.Record(journal.KindUnmigrate, 0, 0, ps.dp.DPID(), port, 0, 0, 0)
 }
 
 // track is the application tracker: it re-derives and re-installs

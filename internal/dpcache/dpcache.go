@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"floodguard/internal/flowtable"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
@@ -285,6 +286,15 @@ type Cache struct {
 	// rules, when set, is the §IV.E cache-resident proactive rule table.
 	rules *flowtable.Table
 
+	// jrec, when set, records verdict flips and backlog watermarks into
+	// the decision journal. lastHint remembers each (origin, inPort)'s
+	// previous hint so only class *changes* produce events; wmNext is the
+	// next backlog band that emits a watermark (doubling — power-of-two
+	// sampling keeps a flood from journaling every enqueue).
+	jrec     *journal.Recorder
+	lastHint map[uint64]uint8
+	wmNext   int64
+
 	rate   float64
 	ticker *netsim.Ticker
 
@@ -330,6 +340,18 @@ func New(eng *netsim.Engine, cfg Config, sink Sink) *Cache {
 	c.priority = newFIFO(cfg.QueueCapacity)
 	c.credit = c.cfg.BenignWeight
 	return c
+}
+
+// SetJournal attaches a decision-journal recorder; ingest then records
+// hint verdict flips and backlog high-watermark bands. Call on the
+// engine/runner goroutine (the recorder is single-producer, and the
+// cache runs on one goroutine).
+func (c *Cache) SetJournal(rec *journal.Recorder) {
+	c.jrec = rec
+	if rec != nil && c.lastHint == nil {
+		c.lastHint = make(map[uint64]uint8, 64)
+		c.wmNext = 64
+	}
 }
 
 // SetHinter installs the attribution classifier splitting ingest into
@@ -409,6 +431,15 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 	e := entry{origin: origin, pkt: *p, inPort: inPort, arrived: c.eng.Now()}
 	if c.hinter != nil {
 		e.hint = c.hinter.Hint(origin, inPort, p)
+		if c.jrec != nil {
+			k := origin<<16 | uint64(inPort)
+			if old, ok := c.lastHint[k]; !ok {
+				c.lastHint[k] = e.hint
+			} else if old != e.hint {
+				c.jrec.Record(journal.KindVerdictFlip, e.hint, 0, origin, inPort, float64(old), 0, 0)
+				c.lastHint[k] = e.hint
+			}
+		}
 	}
 	if c.rules != nil && c.rules.Peek(p, inPort) != nil {
 		c.priority.push(e)
@@ -425,6 +456,10 @@ func (c *Cache) Ingest(origin uint64, pkt netpkt.Packet) {
 func (c *Cache) noteBacklog() {
 	if n := int64(c.Backlog()); n > c.maxBacklog.Value() {
 		c.maxBacklog.Set(n)
+		if c.jrec != nil && n >= c.wmNext {
+			c.jrec.Record(journal.KindWatermark, 0, 0, 0, 0, float64(n), 0, 0)
+			c.wmNext = n * 2
+		}
 	}
 }
 

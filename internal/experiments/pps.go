@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/openflow"
 	"floodguard/internal/rtc"
@@ -49,6 +50,9 @@ type PPSConfig struct {
 	// LatencySample stamps one packet in N for the latency quantiles
 	// (default rtc.DefaultLatencySample).
 	LatencySample int
+	// Journal arms the decision journal on the engine (sharded mode
+	// only) — the forensics-overhead measurement flag.
+	Journal bool
 }
 
 func (c *PPSConfig) normalize() {
@@ -118,6 +122,9 @@ func RunPPS(cfg PPSConfig) (*PPSResult, error) {
 		ReplayPPS:     10000,
 		Window:        50 * time.Millisecond,
 		LatencySample: cfg.LatencySample,
+	}
+	if cfg.Journal && cfg.Mode == PPSSharded {
+		rcfg.Journal = journal.ForEngine(cfg.Shards)
 	}
 
 	var pipe pipeline

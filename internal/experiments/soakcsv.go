@@ -18,7 +18,7 @@ const soakHeader = "window,sim_ms,fsm,inj_benign,inj_attack," +
 	"enqueued,emitted,dropped_benign,dropped_suspect,backlog,suspect_backlog,max_backlog," +
 	"replayed,benign_replayed,attack_replayed,benign_loss," +
 	"blamed_ports,tracked_ports,tracked_sources,sample_total,micro_entries,table_rules," +
-	"replay_wait_p99_ms,violations"
+	"replay_wait_p99_ms,violations,slo"
 
 // WriteSoakCSV emits the per-window soak rows.
 func WriteSoakCSV(w io.Writer, rows []soak.WindowStats) error {
@@ -28,13 +28,13 @@ func WriteSoakCSV(w io.Writer, rows []soak.WindowStats) error {
 	for i := range rows {
 		r := &rows[i]
 		if _, err := fmt.Fprintf(w,
-			"%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
+			"%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%.3f,%d,%s\n",
 			r.Window, r.SimMillis, r.FSM, r.InjBenign, r.InjAttack,
 			r.Processed, r.Forwarded, r.Misses, r.RingDrops,
 			r.Enqueued, r.Emitted, r.DroppedBenign, r.DroppedSuspect, r.Backlog, r.SuspectBacklog, r.MaxBacklog,
 			r.Replayed, r.BenignReplayed, r.AttackReplayed, r.BenignLoss,
 			r.BlamedPorts, r.TrackedPorts, r.TrackedSources, r.SampleTotal, r.MicroEntries, r.TableRules,
-			r.ReplayWaitP99Millis, r.Violations); err != nil {
+			r.ReplayWaitP99Millis, r.Violations, r.SLO); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,209 @@
+// JSONL flight-recorder dump format. One JSON object per line, typed
+// by a "type" field: a leading "meta" line (run identity, recorder
+// layout, SLO index map, drop count, dump trigger), then "event"
+// lines in the canonical (Window, Rec, Seq) order, then "violation"
+// lines, then "metric" lines sorted by name. Nothing in the format
+// depends on wall-clock time or map iteration order, so a seeded run
+// renders byte-identically.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpVersion is bumped on any breaking change to the line schema.
+const DumpVersion = 1
+
+// Meta is the dump's leading line.
+type Meta struct {
+	Type    string   `json:"type"` // "meta"
+	Version int      `json:"version"`
+	Seed    int64    `json:"seed"`
+	Shards  int      `json:"shards"`
+	Windows int      `json:"windows"`
+	Trigger string   `json:"trigger,omitempty"` // "violation" or "complete"
+	SLOs    []string `json:"slos,omitempty"`    // KindSLO Aux index -> objective name
+	Dropped uint64   `json:"dropped_events"`
+}
+
+// EventRecord is the wire form of Event.
+type EventRecord struct {
+	Type   string  `json:"type"` // "event"
+	Seq    uint64  `json:"seq"`
+	Window int     `json:"window"`
+	Rec    int     `json:"rec"`
+	Kind   string  `json:"kind"`
+	Code   int     `json:"code"`
+	Aux    int     `json:"aux"`
+	DPID   uint64  `json:"dpid"`
+	Port   int     `json:"port"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	C      float64 `json:"c"`
+}
+
+// ViolationRecord carries one soak invariant violation verbatim.
+type ViolationRecord struct {
+	Type      string `json:"type"` // "violation"
+	Window    int    `json:"window"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// MetricRecord is one final-snapshot scalar.
+type MetricRecord struct {
+	Type  string  `json:"type"` // "metric"
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Dump is a parsed flight-recorder artifact.
+type Dump struct {
+	Meta       Meta
+	Events     []Event
+	Violations []ViolationRecord
+	Metrics    []MetricRecord
+}
+
+// Writer renders dump lines. Construct with NewWriter, emit the meta
+// line first, then events/violations/metrics, then Flush.
+type Writer struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+func (w *Writer) line(v any) {
+	if w.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		w.err = err
+		return
+	}
+	if _, err := w.bw.Write(b); err != nil {
+		w.err = err
+		return
+	}
+	w.err = w.bw.WriteByte('\n')
+}
+
+func (w *Writer) Meta(m Meta) {
+	m.Type = "meta"
+	m.Version = DumpVersion
+	w.line(m)
+}
+
+func (w *Writer) Event(ev Event) {
+	w.line(EventRecord{
+		Type:   "event",
+		Seq:    ev.Seq,
+		Window: int(ev.Window),
+		Rec:    int(ev.Rec),
+		Kind:   ev.Kind.String(),
+		Code:   int(ev.Code),
+		Aux:    int(ev.Aux),
+		DPID:   ev.DPID,
+		Port:   int(ev.Port),
+		A:      ev.A,
+		B:      ev.B,
+		C:      ev.C,
+	})
+}
+
+func (w *Writer) Violation(window int, invariant, detail string) {
+	w.line(ViolationRecord{Type: "violation", Window: window, Invariant: invariant, Detail: detail})
+}
+
+// Metrics emits the map sorted by name (determinism).
+func (w *Writer) Metrics(m map[string]float64) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w.line(MetricRecord{Type: "metric", Name: n, Value: m[n]})
+	}
+}
+
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// ReadDump parses a JSONL dump. Unknown line types are skipped
+// (forward compatibility); malformed JSON is an error.
+func ReadDump(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("journal dump line %d: %w", lineNo, err)
+		}
+		switch probe.Type {
+		case "meta":
+			if err := json.Unmarshal(raw, &d.Meta); err != nil {
+				return nil, fmt.Errorf("journal dump line %d (meta): %w", lineNo, err)
+			}
+		case "event":
+			var er EventRecord
+			if err := json.Unmarshal(raw, &er); err != nil {
+				return nil, fmt.Errorf("journal dump line %d (event): %w", lineNo, err)
+			}
+			k, _ := ParseKind(er.Kind)
+			d.Events = append(d.Events, Event{
+				Seq:    er.Seq,
+				Window: int32(er.Window),
+				Rec:    uint8(er.Rec),
+				Kind:   k,
+				Code:   uint8(er.Code),
+				Aux:    uint8(er.Aux),
+				Port:   uint16(er.Port),
+				DPID:   er.DPID,
+				A:      er.A,
+				B:      er.B,
+				C:      er.C,
+			})
+		case "violation":
+			var vr ViolationRecord
+			if err := json.Unmarshal(raw, &vr); err != nil {
+				return nil, fmt.Errorf("journal dump line %d (violation): %w", lineNo, err)
+			}
+			d.Violations = append(d.Violations, vr)
+		case "metric":
+			var mr MetricRecord
+			if err := json.Unmarshal(raw, &mr); err != nil {
+				return nil, fmt.Errorf("journal dump line %d (metric): %w", lineNo, err)
+			}
+			d.Metrics = append(d.Metrics, mr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d.Meta.Type == "" {
+		return nil, fmt.Errorf("journal dump: missing meta line")
+	}
+	return d, nil
+}

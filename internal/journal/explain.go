@@ -1,0 +1,181 @@
+// Explain renders a per-port evidence chain out of a dump: the
+// suspect windows where CUSUM accumulated, the blame verdict with its
+// excursion, the migration action, the calm run, and the heal — the
+// question "why was port 7 migrated, and when did it recover?"
+// answered from the artifact alone.
+package journal
+
+import (
+	"fmt"
+	"io"
+)
+
+// fsmNames mirrors core.FSMState numbering (1-based). Kept local so
+// the journal package stays import-free of core (core records into
+// the journal, not the other way round).
+var fsmNames = [...]string{"?", "idle", "init", "defense", "finish", "degraded"}
+
+func fsmName(code uint8) string {
+	if int(code) < len(fsmNames) {
+		return fsmNames[code]
+	}
+	return fmt.Sprintf("state(%d)", code)
+}
+
+var hintNames = [...]string{"none", "benign", "suspect"}
+
+func hintName(code uint8) string {
+	if int(code) < len(hintNames) {
+		return hintNames[code]
+	}
+	return fmt.Sprintf("hint(%d)", code)
+}
+
+var sloStates = [...]string{"ok", "warn", "page"}
+
+// SLOStateName maps a KindSLO code to its display name.
+func SLOStateName(code uint8) string {
+	if int(code) < len(sloStates) {
+		return sloStates[code]
+	}
+	return fmt.Sprintf("state(%d)", code)
+}
+
+// portKinds are the kinds whose Port field names a switch port (as
+// opposed to a shard id), i.e. the kinds --explain follows.
+func portKind(k Kind) bool {
+	switch k {
+	case KindSuspect, KindBlame, KindHeal, KindMigrate, KindUnmigrate, KindVerdictFlip:
+		return true
+	}
+	return false
+}
+
+// FormatEvent renders one event as a stable single line of text.
+func FormatEvent(ev Event) string {
+	head := fmt.Sprintf("w%-4d rec=%d seq=%-5d %-12s", ev.Window, ev.Rec, ev.Seq, ev.Kind)
+	switch ev.Kind {
+	case KindFSM:
+		return fmt.Sprintf("%s %s -> %s  rate_ewma=%.1fpps backlog=%.0f migr_rate=%.1fpps",
+			head, fsmName(ev.Aux), fsmName(ev.Code), ev.A, ev.B, ev.C)
+	case KindSuspect:
+		return fmt.Sprintf("%s dpid=%d port=%d rate=%.1fpps ewma=%.1fpps cusum=%.0f%% of threshold",
+			head, ev.DPID, ev.Port, ev.A, ev.B, ev.C*100)
+	case KindBlame:
+		return fmt.Sprintf("%s dpid=%d port=%d rate=%.1fpps ewma=%.1fpps excursion=%.1fpps",
+			head, ev.DPID, ev.Port, ev.A, ev.B, ev.C)
+	case KindHeal:
+		return fmt.Sprintf("%s dpid=%d port=%d calm_windows=%.0f last_blamed_rate=%.1fpps ewma=%.1fpps",
+			head, ev.DPID, ev.Port, ev.A, ev.B, ev.C)
+	case KindMigrate, KindUnmigrate:
+		return fmt.Sprintf("%s dpid=%d port=%d", head, ev.DPID, ev.Port)
+	case KindVerdictFlip:
+		return fmt.Sprintf("%s dpid=%d port=%d %s -> %s",
+			head, ev.DPID, ev.Port, hintName(uint8(ev.A)), hintName(ev.Code))
+	case KindWatermark:
+		return fmt.Sprintf("%s backlog=%.0f", head, ev.A)
+	case KindChaos:
+		switch ev.Code {
+		case 1:
+			return head + " cache outage begins"
+		case 2:
+			return head + " cache outage ends"
+		case 3:
+			return fmt.Sprintf("%s flow churn (%.0f flows rekeyed)", head, ev.A)
+		}
+		return fmt.Sprintf("%s code=%d a=%.1f", head, ev.Code, ev.A)
+	case KindShardFlush:
+		return fmt.Sprintf("%s shard=%d processed=%.0f misses=%.0f ring_drops=%.0f",
+			head, ev.Port, ev.A, ev.B, ev.C)
+	case KindRingDrop:
+		return fmt.Sprintf("%s port=%d cumulative_drops=%.0f", head, ev.Port, ev.A)
+	case KindViolation:
+		return fmt.Sprintf("%s index=%.0f", head, ev.A)
+	case KindSLO:
+		return fmt.Sprintf("%s objective=%d state=%s burn_short=%.2fx burn_long=%.2fx",
+			head, ev.Aux, SLOStateName(ev.Code), ev.A, ev.B)
+	}
+	return fmt.Sprintf("%s code=%d dpid=%d port=%d a=%.3f b=%.3f c=%.3f",
+		head, ev.Code, ev.DPID, ev.Port, ev.A, ev.B, ev.C)
+}
+
+// Explain writes the evidence chain for one port. It walks the dump's
+// events (already in canonical order), keeps the kinds whose Port
+// field names a switch port, and annotates the phases: first suspect
+// window, blame, migration, heal. Long suspect runs are elided in the
+// middle so a slow-burn attack stays readable.
+func Explain(w io.Writer, d *Dump, port uint16) error {
+	var chain []Event
+	for _, ev := range d.Events {
+		if ev.Port == port && portKind(ev.Kind) {
+			chain = append(chain, ev)
+		}
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("no decision events for port %d in this dump (try plain `fganalyze journal` to list ports)", port)
+	}
+
+	firstSuspect, blameW, migrateW, healW := -1, -1, -1, -1
+	for _, ev := range chain {
+		switch ev.Kind {
+		case KindSuspect:
+			if firstSuspect < 0 {
+				firstSuspect = int(ev.Window)
+			}
+		case KindBlame:
+			if blameW < 0 {
+				blameW = int(ev.Window)
+			}
+		case KindMigrate:
+			if migrateW < 0 {
+				migrateW = int(ev.Window)
+			}
+		case KindHeal:
+			healW = int(ev.Window)
+		}
+	}
+
+	fmt.Fprintf(w, "evidence chain for port %d (%d events)\n", port, len(chain))
+	phase := func(name string, win int) {
+		if win >= 0 {
+			fmt.Fprintf(w, "  %-14s window %d\n", name, win)
+		} else {
+			fmt.Fprintf(w, "  %-14s (none recorded)\n", name)
+		}
+	}
+	phase("first suspect", firstSuspect)
+	phase("blamed", blameW)
+	phase("migrated", migrateW)
+	phase("healed", healW)
+	if blameW >= 0 && firstSuspect >= 0 {
+		fmt.Fprintf(w, "  detection took %d window(s) of accumulating evidence\n", blameW-firstSuspect+1)
+	}
+	fmt.Fprintln(w)
+
+	// Elide the middle of long same-kind runs (slow attacks emit one
+	// suspect event per window for hundreds of windows).
+	const keepHead, keepTail = 8, 4
+	i := 0
+	for i < len(chain) {
+		j := i
+		for j < len(chain) && chain[j].Kind == chain[i].Kind {
+			j++
+		}
+		run := chain[i:j]
+		if len(run) <= keepHead+keepTail+1 {
+			for _, ev := range run {
+				fmt.Fprintln(w, "  "+FormatEvent(ev))
+			}
+		} else {
+			for _, ev := range run[:keepHead] {
+				fmt.Fprintln(w, "  "+FormatEvent(ev))
+			}
+			fmt.Fprintf(w, "  ... %d more %s events elided ...\n", len(run)-keepHead-keepTail, run[0].Kind)
+			for _, ev := range run[len(run)-keepTail:] {
+				fmt.Fprintln(w, "  "+FormatEvent(ev))
+			}
+		}
+		i = j
+	}
+	return nil
+}

@@ -32,6 +32,7 @@ import (
 	"floodguard/internal/attrib"
 	"floodguard/internal/dpcache"
 	"floodguard/internal/flowtable"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/openflow"
@@ -107,6 +108,14 @@ type Config struct {
 	// to the controller path, with its virtual-time queue residency.
 	// Called on the cache-stage goroutine.
 	ReplayObserver func(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
+	// Journal, when set, receives decision events. It must be built with
+	// journal.ForEngine(Shards): each shard goroutine takes its own
+	// recorder slot (flush barriers, sampled handoff-ring drops), the
+	// cache stage takes the cache slot (verdict flips, watermarks), and
+	// attribution takes its slot (suspect/blame/heal evidence). The cache
+	// loop doubles as the journal's drain consumer while the engine runs;
+	// after Stop the harness may Drain/Events it freely.
+	Journal *journal.Journal
 }
 
 // DefaultLatencySample is the conventional 1-in-N latency stamp rate.
@@ -161,6 +170,10 @@ type Shard struct {
 	misses     atomic.Uint64
 	cacheDrops atomic.Uint64
 	flushes    atomic.Uint64
+
+	// jrec is this shard's journal recorder (nil when no journal is
+	// attached; Record on nil is a no-op).
+	jrec *journal.Recorder
 
 	lat latHist
 }
@@ -255,6 +268,8 @@ func New(cfg Config) *Engine {
 		ProcessingDelay: 0,
 	}, replaySink{n: &e.replayed, obs: cfg.ReplayObserver})
 	e.cache.SetHinter(e.attr)
+	e.cache.SetJournal(cfg.Journal.CacheRec())
+	e.attr.SetJournal(cfg.Journal.AttribRec())
 	e.shards = make([]*Shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &Shard{
@@ -264,10 +279,14 @@ func New(cfg Config) *Engine {
 			toCache: spsc.New[CacheItem](cfg.CacheRingCapacity),
 			mc:      flowtable.NewMicroCache(cfg.MicroSize),
 			obs:     e.attr.NewShardObserver(),
+			jrec:    cfg.Journal.ShardRec(i),
 		}
 	}
 	return e
 }
+
+// Journal returns the attached decision journal (nil when disabled).
+func (e *Engine) Journal() *journal.Journal { return e.cfg.Journal }
 
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return len(e.shards) }
@@ -442,7 +461,7 @@ func (s *Shard) run() {
 		n := s.in.PopBatchWait(batch)
 		if n == 0 {
 			s.obs.Flush() // final merge before the ring goes away
-			s.flushes.Add(1)
+			s.noteFlush(dpid)
 			return
 		}
 		now := time.Now()
@@ -450,14 +469,14 @@ func (s *Shard) run() {
 			if batch[i].Flush {
 				// In-band window barrier: merge everything popped so far.
 				s.obs.Flush()
-				s.flushes.Add(1)
+				s.noteFlush(dpid)
 				continue
 			}
 			s.processOne(&batch[i], now, dpid)
 		}
 		if !manual && now.After(nextFlush) {
 			s.obs.Flush()
-			s.flushes.Add(1)
+			s.noteFlush(dpid)
 			nextFlush = now.Add(window)
 		}
 	}
@@ -486,12 +505,26 @@ func (s *Shard) processOne(it *Item, now time.Time, dpid uint64) {
 		tagged := *p
 		tagged.NwTOS = dpcache.EncodeInPortTOS(it.InPort)
 		if !s.toCache.Push(CacheItem{Origin: dpid, Pkt: tagged}) {
-			s.cacheDrops.Add(1)
+			d := s.cacheDrops.Add(1)
+			// Power-of-two sampled: a sustained overload journals
+			// O(log drops) events, not one per packet.
+			if d&(d-1) == 0 {
+				s.jrec.Record(journal.KindRingDrop, 0, 0, dpid, it.InPort, float64(d), 0, 0)
+			}
 		}
 	}
 	if it.IngressNanos != 0 {
 		s.lat.observe(now.Sub(time.Unix(0, it.IngressNanos)))
 	}
+}
+
+// noteFlush counts a window-barrier merge and journals the shard's
+// cumulative counters at the barrier — the per-shard heartbeat a dump
+// reader uses to align shard progress with control-plane decisions.
+func (s *Shard) noteFlush(dpid uint64) {
+	s.flushes.Add(1)
+	s.jrec.Record(journal.KindShardFlush, 0, 0, dpid, uint16(s.id),
+		float64(s.processed.Load()), float64(s.misses.Load()), float64(s.cacheDrops.Load()))
 }
 
 // cacheLoop is the cache-stage goroutine: it drains every shard's
@@ -509,6 +542,7 @@ func (e *Engine) cacheLoop() {
 	start := time.Now()
 	lastRoll := start
 	batch := make([]CacheItem, 256)
+	drainTick := 0
 	for {
 		drained := 0
 		alive := false
@@ -526,9 +560,18 @@ func (e *Engine) cacheLoop() {
 		e.sim.RunUntil(netsim.Epoch.Add(now.Sub(start)))
 		if now.Sub(lastRoll) >= e.cfg.Window {
 			e.attr.Roll(now.Sub(lastRoll))
+			e.cfg.Journal.AdvanceWindow()
 			lastRoll = now
 		}
+		// Throttled drain: polling every recorder ring touches cache
+		// lines the shard producers own, so the consumer visits them at
+		// a coarse cadence (decision events are orders of magnitude
+		// rarer than packets; the 2048-slot rings have ample slack).
+		if drainTick++; drainTick&63 == 0 {
+			e.cfg.Journal.Drain()
+		}
 		if !alive {
+			e.cfg.Journal.Drain()
 			e.cache.Stop()
 			return
 		}
@@ -574,6 +617,10 @@ func (e *Engine) manualCacheLoop() {
 			e.sim.RunUntil(netsim.Epoch.Add(time.Duration(target)))
 			e.simDone.Store(target)
 		}
+		// The cache loop is the journal's single drain consumer while
+		// the engine runs; retention is FIFO per recorder, so drain
+		// timing cannot change what a dump retains.
+		e.cfg.Journal.Drain()
 		if !alive {
 			e.cache.Stop()
 			return

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"floodguard/internal/telemetry"
 )
 
 // Profile names an attacker behaviour.
@@ -114,6 +116,15 @@ type Config struct {
 	// when > 0 (the differential tier pins it high so hint verdicts
 	// reduce to port blame, which both pipelines compute identically).
 	HeavyHitterFrac float64
+	// Journal arms the decision journal and flight recorder on the
+	// Engine pipeline (ignored under Baseline, which has no journal
+	// hooks); the run's JSONL dump comes back in Result.JournalDump.
+	// Deliberately not a scenario key: the CLI owns the artifact path,
+	// so it sets this directly.
+	Journal bool
+	// Registry, when set, receives the SLO health engine's state and
+	// burn-rate gauges (the existing Prometheus/JSON surface).
+	Registry *telemetry.Registry
 }
 
 // Normalize applies defaults and derived values in place.

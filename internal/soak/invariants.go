@@ -31,6 +31,12 @@ type checker struct {
 	aboveSince []int // per attacker: start of current above-floor-unblamed streak (-1 none)
 	everBlamed []bool
 	drainBy    int // window by which the benign backlog must have drained (-1 none)
+
+	// Detect-SLO inputs, refreshed by each check() call: how many
+	// non-slow attackers exist, and how many of them are past their
+	// detection deadline this window.
+	eligible   int
+	overdueNow int
 }
 
 func newChecker(cfg *Config, atks []*attacker, plan []windowChaos, floorPPS float64, healWindows, topK, microBudget int) *checker {
@@ -48,6 +54,11 @@ func newChecker(cfg *Config, atks []*attacker, plan []windowChaos, floorPPS floa
 	}
 	for i := range c.aboveSince {
 		c.aboveSince[i] = -1
+	}
+	for _, a := range atks {
+		if a.profile != ProfileSlow {
+			c.eligible++
+		}
 	}
 	return c
 }
@@ -79,6 +90,7 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 	add := func(inv, format string, args ...any) {
 		out = append(out, Violation{Window: w, Invariant: inv, Detail: fmt.Sprintf(format, args...)})
 	}
+	c.overdueNow = 0
 
 	// --- Conservation: every packet is accounted for at every seam. ---
 	if ws.Processed != ws.CumInjBenign+ws.CumInjAttack {
@@ -166,6 +178,7 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 		case c.aboveSince[i] < 0:
 			c.aboveSince[i] = w
 		case w-c.aboveSince[i]+1 > c.cfg.DetectWindows:
+			c.overdueNow++
 			add("liveness", "%s port %d above the blame floor for %d windows without blame",
 				a.profile, a.port, w-c.aboveSince[i]+1)
 		}

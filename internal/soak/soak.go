@@ -1,6 +1,7 @@
 package soak
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/bits"
@@ -9,9 +10,11 @@ import (
 
 	"floodguard/internal/attrib"
 	"floodguard/internal/dpcache"
+	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/openflow"
 	"floodguard/internal/rtc"
+	"floodguard/internal/telemetry"
 )
 
 // WindowStats is one window's accounting row — the per-window CSV
@@ -50,6 +53,7 @@ type WindowStats struct {
 	AttackReplayed uint64
 
 	BenignLoss float64 // cumulative ground-truth benign loss fraction
+	BenignLost uint64  // cumulative ground-truth benign packets lost
 
 	BlamedPorts    int
 	TrackedPorts   int
@@ -60,6 +64,9 @@ type WindowStats struct {
 
 	ReplayWaitP99Millis float64
 	Violations          int
+	// SLO is the worst objective state of the window's SLO evaluation
+	// ("ok", "warn" or "page").
+	SLO string
 }
 
 // Result is one soak run's outcome.
@@ -73,6 +80,12 @@ type Result struct {
 	MaxMemFrac    float64 // worst occupancy/budget ratio seen
 	Detected      bool    // every above-floor attacker blamed at least once
 	Elapsed       time.Duration
+
+	// JournalDump is the flight-recorder JSONL artifact (Config.Journal
+	// runs only): meta line, retained decision events in canonical
+	// order, every invariant violation, and a final metrics snapshot.
+	// Deterministic: same seed, same bytes.
+	JournalDump []byte
 }
 
 // pipeline is the manual-mode surface shared by rtc.Engine and
@@ -186,6 +199,10 @@ func Run(cfg Config) (*Result, error) {
 	started := time.Now()
 
 	tally := &replayTally{}
+	var jnl *journal.Journal
+	if cfg.Journal && !cfg.Baseline {
+		jnl = journal.ForEngine(cfg.Shards)
+	}
 	rcfg := rtc.Config{
 		Shards:            cfg.Shards,
 		MicroSize:         soakMicroSize,
@@ -197,6 +214,7 @@ func Run(cfg Config) (*Result, error) {
 		Attrib:            attribConfigFor(&cfg),
 		Manual:            true,
 		ReplayObserver:    tally.observe,
+		Journal:           jnl,
 	}
 	var pipe pipeline
 	var eng *rtc.Engine
@@ -236,12 +254,43 @@ func Run(cfg Config) (*Result, error) {
 	var slots []uint8
 	outage := false
 
+	// Control-plane journal recorder (all methods nil-safe when the
+	// journal is off): chaos faults, migration decisions, violations and
+	// SLO flips recorded by this harness goroutine.
+	jctl := jnl.ControlRec()
+	migrated := make(map[uint16]bool)
+
+	// SLO health engine: three declarative objectives evaluated every
+	// window with multi-window burn rates (see telemetry.Objective).
+	health := telemetry.NewHealth()
+	sloObjs := []*telemetry.ObjectiveState{
+		// Share of this run's cold benign packets lost per window; the
+		// budget reuses the invariant ceiling so "SLO pages" and
+		// "invariant trips" describe the same contract at two horizons.
+		health.Add(telemetry.Objective{Name: "benign-loss", Target: cfg.BenignLossCeiling}),
+		// Fraction of above-floor attackers past their detection
+		// deadline: any overdue attacker burns 50x, so detection-latency
+		// misses page within a few windows.
+		health.Add(telemetry.Objective{Name: "detect", Target: 0.02, ShortWindows: 4, LongWindows: 16}),
+		// Replay-queue p99 residency beyond one full window counts the
+		// window bad; budget is a quarter of windows (chaos outages may
+		// burn it transiently without paging).
+		health.Add(telemetry.Objective{Name: "replay-p99", Target: 0.25}),
+	}
+	if cfg.Registry != nil {
+		health.Register(cfg.Registry, "fg_soak")
+	}
+	sloPrev := make([]telemetry.SLOState, len(sloObjs))
+	var prevLost, prevMissInj uint64
+
 	fail := func(err error) (*Result, error) {
 		pipe.Stop()
 		return nil, err
 	}
 
 	for w := 0; w < windows; w++ {
+		jnl.SetWindow(w)
+
 		// Chaos, applied at the barrier while the pipeline is quiescent:
 		// rule churn (generation bump every shard must revalidate) and
 		// replay outages for the coming window.
@@ -255,6 +304,7 @@ func Run(cfg Config) (*Result, error) {
 			if err := pipe.Apply(hotFlowMod(gen, f)); err != nil {
 				return fail(fmt.Errorf("soak: churn re-add flow %d: %w", f, err))
 			}
+			jctl.Record(journal.KindChaos, 3, 0, 1, uint16(f), 1, 0, 0)
 		}
 		if plan[w].Outage != outage {
 			outage = plan[w].Outage
@@ -264,6 +314,11 @@ func Run(cfg Config) (*Result, error) {
 			}
 			c := pipe.Cache()
 			pipe.RunOnCache(func() { c.SetRate(rate) })
+			code := uint8(2)
+			if outage {
+				code = 1
+			}
+			jctl.Record(journal.KindChaos, code, 0, 1, 0, 0, 0, 0)
 		}
 
 		// Offered load for this window: whole benign packets via a
@@ -377,6 +432,17 @@ func Run(cfg Config) (*Result, error) {
 			attackerBlamed[i] = false
 		}
 		for _, v := range verdicts {
+			// Selective-migration analog of the controller path: the
+			// first blame diverts the port's cold traffic to the suspect
+			// queue (migrate); heal restores it (unmigrate). Verdict
+			// order is deterministic, so so is the event stream.
+			if v.Suspect && !migrated[v.Port] {
+				migrated[v.Port] = true
+				jctl.Record(journal.KindMigrate, 0, 0, 1, v.Port, 0, 0, 0)
+			} else if v.Healed && migrated[v.Port] {
+				delete(migrated, v.Port)
+				jctl.Record(journal.KindUnmigrate, 0, 0, 1, v.Port, 0, 0, 0)
+			}
 			if !v.Suspect {
 				continue
 			}
@@ -404,7 +470,39 @@ func Run(cfg Config) (*Result, error) {
 
 		vs := chk.check(w, &ws, attackerBlamed, benignBlamed, attackerInj, benignBacklog)
 		ws.Violations = len(vs)
+		for i := range vs {
+			jctl.Record(journal.KindViolation, 0, 0, 0, 0, float64(len(res.Violations)+i), 0, 0)
+		}
 		res.Violations = append(res.Violations, vs...)
+
+		// SLO evaluation: each objective observes this window's bad/total
+		// pair; the worst resulting state labels the window row, and any
+		// per-objective state change is journalled with its burn rates.
+		badLoss := float64(int64(ws.BenignLost) - int64(prevLost))
+		totLoss := float64(ws.CumBenignMissInj - prevMissInj)
+		prevLost, prevMissInj = ws.BenignLost, ws.CumBenignMissInj
+		p99Bad := 0.0
+		if ws.ReplayWaitP99Millis > float64(cfg.Window.Milliseconds()) {
+			p99Bad = 1
+		}
+		obs := [...][2]float64{
+			{badLoss, totLoss},
+			{float64(chk.overdueNow), float64(chk.eligible)},
+			{p99Bad, 1},
+		}
+		worst := telemetry.SLOOk
+		for i, o := range sloObjs {
+			st := o.Observe(obs[i][0], obs[i][1])
+			if st != sloPrev[i] {
+				short, long := o.Burns()
+				jctl.Record(journal.KindSLO, uint8(st), uint8(i), 0, 0, short, long, 0)
+				sloPrev[i] = st
+			}
+			if st > worst {
+				worst = st
+			}
+		}
+		ws.SLO = worst.String()
 		res.Windows = append(res.Windows, ws)
 
 		frac := memFrac(&ws, &cfg, len(atks), microBudget)
@@ -419,8 +517,82 @@ func Run(cfg Config) (*Result, error) {
 		res.BenignLoss = res.Windows[n-1].BenignLoss
 	}
 	res.Detected = chk.detectionConfirmed()
+
+	if jnl != nil {
+		// Final drain after Stop: the cache loop (the running consumer)
+		// is gone, so the harness takes over — a sequential handoff the
+		// SPSC contract permits — and renders the flight-recorder dump.
+		jnl.Drain()
+		trigger := "complete"
+		if len(res.Violations) > 0 {
+			trigger = "violation"
+		}
+		dump, err := renderDump(jnl, &cfg, res, health.Names(), trigger)
+		if err != nil {
+			return nil, fmt.Errorf("soak: render journal dump: %w", err)
+		}
+		res.JournalDump = dump
+	}
+
 	res.Elapsed = time.Since(started)
 	return res, nil
+}
+
+// renderDump serialises the flight recorder into the JSONL artifact:
+// meta, retained events in canonical order, every violation, and a
+// final metrics snapshot. Nothing here touches the wall clock, so a
+// seeded run renders byte-identically.
+func renderDump(jnl *journal.Journal, cfg *Config, res *Result, slos []string, trigger string) ([]byte, error) {
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+	w.Meta(journal.Meta{
+		Seed:    int64(cfg.Seed),
+		Shards:  cfg.Shards,
+		Windows: len(res.Windows),
+		Trigger: trigger,
+		SLOs:    slos,
+		Dropped: jnl.Dropped(),
+	})
+	for _, ev := range jnl.Events() {
+		w.Event(ev)
+	}
+	for _, v := range res.Violations {
+		w.Violation(v.Window, v.Invariant, v.Detail)
+	}
+	last := WindowStats{}
+	if n := len(res.Windows); n > 0 {
+		last = res.Windows[n-1]
+	}
+	detected := 0.0
+	if res.Detected {
+		detected = 1
+	}
+	w.Metrics(map[string]float64{
+		"processed":       float64(last.Processed),
+		"forwarded":       float64(last.Forwarded),
+		"misses":          float64(last.Misses),
+		"enqueued":        float64(last.Enqueued),
+		"emitted":         float64(last.Emitted),
+		"dropped_benign":  float64(last.DroppedBenign),
+		"dropped_suspect": float64(last.DroppedSuspect),
+		"backlog":         float64(last.Backlog),
+		"max_backlog":     float64(last.MaxBacklog),
+		"replayed":        float64(last.Replayed),
+		"benign_replayed": float64(last.BenignReplayed),
+		"attack_replayed": float64(last.AttackReplayed),
+		"benign_loss":     res.BenignLoss,
+		"benign_lost":     float64(last.BenignLost),
+		"max_mem_frac":    res.MaxMemFrac,
+		"distinct_flows":  float64(res.DistinctFlows),
+		"blamed_ports":    float64(last.BlamedPorts),
+		"tracked_ports":   float64(last.TrackedPorts),
+		"violations":      float64(len(res.Violations)),
+		"detected":        detected,
+	})
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // hotFlowMod builds the exact-match flow_mod for benign hot flow f.
@@ -477,6 +649,7 @@ func collectWindow(w int, cfg *Config, pipe pipeline, eng *rtc.Engine, gen *beni
 		lost := int64(ws.CumBenignMissInj) - int64(ws.BenignReplayed) - int64(benignWaiting)
 		if lost > 0 {
 			ws.BenignLoss = float64(lost) / float64(ws.CumBenignMissInj)
+			ws.BenignLost = uint64(lost)
 		}
 	}
 	return ws

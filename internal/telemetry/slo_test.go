@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOBurnRateStates(t *testing.T) {
+	h := NewHealth()
+	// 1% budget, short span 4, long span 12, warn 1x, page 4x.
+	o := h.Add(Objective{Name: "benign-loss", Target: 0.01, ShortWindows: 4, LongWindows: 12})
+
+	// Clean traffic: stays ok.
+	for i := 0; i < 20; i++ {
+		if st := o.Observe(0, 1000); st != SLOOk {
+			t.Fatalf("clean window %d: state %v, want ok", i, st)
+		}
+	}
+
+	// Sustained heavy badness (10% bad = 10x burn): must page once
+	// both spans see it.
+	var st SLOState
+	for i := 0; i < 12; i++ {
+		st = o.Observe(100, 1000)
+	}
+	if st != SLOPage {
+		t.Fatalf("sustained 10x burn: state %v, want page", st)
+	}
+	short, long := o.Burns()
+	if short < 4 || long < 4 {
+		t.Fatalf("burns (%.1f, %.1f) should both exceed the page threshold", short, long)
+	}
+
+	// Recovery: short window cools first (page -> warn), then the
+	// long window drains (-> ok).
+	sawWarn := false
+	for i := 0; i < 30; i++ {
+		st = o.Observe(0, 1000)
+		if st == SLOWarn {
+			sawWarn = true
+		}
+	}
+	if !sawWarn {
+		t.Fatal("recovery should pass through warn while the long window drains")
+	}
+	if st != SLOOk {
+		t.Fatalf("after full recovery: state %v, want ok", st)
+	}
+}
+
+func TestSLOSingleBadWindowDoesNotPage(t *testing.T) {
+	h := NewHealth()
+	o := h.Add(Objective{Name: "detect", Target: 0.02, ShortWindows: 6, LongWindows: 36})
+	for i := 0; i < 36; i++ {
+		o.Observe(0, 10)
+	}
+	// One terrible window: 100% bad = 50x burn on that window alone.
+	st := o.Observe(10, 10)
+	if st == SLOPage {
+		t.Fatal("a single bad window must not page (long window still cold)")
+	}
+}
+
+func TestSLOEmptyWindowCarriesNoEvidence(t *testing.T) {
+	h := NewHealth()
+	o := h.Add(Objective{Name: "x", Target: 0.01, ShortWindows: 2, LongWindows: 4})
+	for i := 0; i < 10; i++ {
+		if st := o.Observe(0, 0); st != SLOOk {
+			t.Fatalf("empty windows must stay ok, got %v", st)
+		}
+	}
+}
+
+func TestSLOOverallAndRegister(t *testing.T) {
+	h := NewHealth()
+	a := h.Add(Objective{Name: "benign-loss", Target: 0.01, ShortWindows: 2, LongWindows: 2})
+	b := h.Add(Objective{Name: "replay-p99", Target: 0.25, ShortWindows: 2, LongWindows: 2})
+	for i := 0; i < 2; i++ {
+		a.Observe(500, 1000) // 50x burn -> page
+		b.Observe(0, 1)
+	}
+	if h.Overall() != SLOPage {
+		t.Fatalf("overall %v, want page", h.Overall())
+	}
+	if names := h.Names(); len(names) != 2 || names[0] != "benign-loss" {
+		t.Fatalf("names %v", names)
+	}
+
+	r := NewRegistry()
+	h.Register(r, "fg_soak")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fg_soak_slo_benign_loss_state 2",
+		"fg_soak_slo_overall_state 2",
+		"fg_soak_slo_replay_p99_burn_short 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
