@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 bench-json8 cover check fuzz soak-short ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 cover check fuzz soak-short ci
 
 all: build test
 
@@ -90,7 +90,7 @@ bench-json6:
 	$(GO) test -bench='ShardPerPacket|RingHandoff' -benchtime=10000x -benchmem -run=^$$ ./internal/rtc/ | tee -a bench6.txt
 	$(GO) test -bench=CacheReplay -benchtime=10000x -benchmem -run=^$$ ./internal/dpcache/ | tee -a bench6.txt
 	$(GO) test -bench=ConcurrentShardHit -benchtime=10000x -benchmem -run=^$$ ./internal/flowtable/ | tee -a bench6.txt
-	$(GO) test -bench=SustainedPPS -benchtime=1x -run=^$$ ./internal/experiments/ | tee -a bench6.txt
+	$(GO) test -bench='SustainedPPS$$' -benchtime=1x -run=^$$ ./internal/experiments/ | tee -a bench6.txt
 	$(GO) run ./cmd/benchjson -in bench6.txt -out BENCH_6.json \
 		-gate 'BenchmarkRingPushPop(-|$$):allocs_per_op<=0' \
 		-gate 'BenchmarkRingBatch64(-|$$):allocs_per_op<=0' \
@@ -134,6 +134,27 @@ bench-json8:
 		-gate 'BenchmarkJournalShardBody/journal-on(-|$$):allocs_per_op<=0' \
 		-gate 'BenchmarkJournalShardBody/journal-on(-|$$):mutexwaits<=0' \
 		-gate 'BenchmarkJournalPPSDelta(-|$$):pps_ratio>=0.98'
+
+# The PR-9 lock-free rule-application tier rendered as BENCH_9.json:
+# the shard body under in-band rule churn (0 allocs AND 0 mutex-profile
+# contention while flow_mods delete and re-add a served rule every 64
+# packets — the witness that Apply never makes the serving path take a
+# writer lock), plus the mixed lookup+Apply macro benchmark: sustained
+# pps with 1000 flow_mods/s of churn, writer-lock arm vs the
+# shard-partitioned engine. The pps floor, p99 ceiling, and flow_mod
+# floor are generous for slow CI boxes; the >=1.5x churn speedup
+# self-asserts inside the macro bench only on machines with >=4 CPUs.
+bench-json9:
+	@rm -f bench9.txt
+	$(GO) test -bench=ShardChurnBody -benchtime=200000x -benchmem -run=^$$ ./internal/rtc/ | tee -a bench9.txt
+	$(GO) test -bench=SustainedPPSChurn -benchtime=1x -run=^$$ ./internal/experiments/ | tee -a bench9.txt
+	$(GO) run ./cmd/benchjson -in bench9.txt -out BENCH_9.json \
+		-gate 'BenchmarkShardChurnBody(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkShardChurnBody(-|$$):mutexwaits<=0' \
+		-gate 'BenchmarkShardChurnBody(-|$$):flowmods>=1' \
+		-gate 'BenchmarkSustainedPPSChurn/mode=sharded(-|$$):pps>=50000' \
+		-gate 'BenchmarkSustainedPPSChurn/mode=sharded(-|$$):p99ms<=250' \
+		-gate 'BenchmarkSustainedPPSChurn/mode=sharded(-|$$):flowmods>=100'
 
 # The deterministic tier-A soak on its own, in short mode — the
 # seconds-scale smoke ci runs on every push.

@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 0xF100D, "flap schedule seed for chaos and the soak generators")
 	flaps := flag.Int("flaps", 8, "sideband outages for chaos")
 	shards := flag.Int("shards", 1, "parallel shards for sweep (merged output is shard-count invariant) and pps; >1 also applies to soak")
+	flowModRate := flag.Float64("flowmod-rate", 0, "rule-churn flow_mods per second applied during pps (0 = none)")
 	duration := flag.Duration("duration", 5*time.Second, "simulated soak length")
 	flows := flag.Int("flows", 100_000, "benign distinct-flow population for soak")
 	profile := flag.String("profile", "all", "soak attacker profile: ramp, pulse, rotate, slow, or all")
@@ -98,7 +99,7 @@ func main() {
 	}
 
 	if err := run(flag.Arg(0), *trials, *iters, *seed, *flaps, *shards,
-		*duration, *flows, *profile, *scenario); err != nil {
+		*duration, *flows, *profile, *scenario, *flowModRate); err != nil {
 		fmt.Fprintln(os.Stderr, "fgsim:", err)
 		os.Exit(1)
 	}
@@ -135,7 +136,7 @@ flags:`)
 }
 
 func run(name string, trials, iters int, seed int64, flaps, shards int,
-	duration time.Duration, flows int, profile, scenario string) error {
+	duration time.Duration, flows int, profile, scenario string, flowModRate float64) error {
 	switch name {
 	case "sec2-baseline":
 		return sec2()
@@ -160,7 +161,7 @@ func run(name string, trials, iters int, seed int64, flaps, shards int,
 	case "sweep":
 		return sweep(shards)
 	case "pps":
-		return pps(seed, shards)
+		return pps(seed, shards, flowModRate)
 	case "soak":
 		return soakRun(seed, shards, duration, flows, profile, scenario)
 	case "all":
@@ -299,13 +300,19 @@ func sweep(shards int) error {
 	return nil
 }
 
-func pps(seed int64, shards int) error {
+// pps runs the sustained-pps macro benchmark across the three
+// pipelines: the channel-hop baseline, the run-to-completion engine
+// over the legacy writer-locked table, and the shard-partitioned
+// engine. -flowmod-rate adds rule churn while traffic runs — the
+// scenario separating the locked and partitioned arms.
+func pps(seed int64, shards int, flowModRate float64) error {
 	var results []*experiments.PPSResult
-	for _, mode := range []experiments.PPSMode{experiments.PPSChannels, experiments.PPSSharded} {
+	for _, mode := range []experiments.PPSMode{experiments.PPSChannels, experiments.PPSLocked, experiments.PPSSharded} {
 		r, err := experiments.RunPPS(experiments.PPSConfig{
-			Mode:   mode,
-			Shards: shards,
-			Seed:   seed,
+			Mode:        mode,
+			Shards:      shards,
+			Seed:        seed,
+			FlowModRate: flowModRate,
 		})
 		if err != nil {
 			return err
@@ -318,8 +325,9 @@ func pps(seed int64, shards int) error {
 	if asCSV {
 		return experiments.WritePPSCSV(os.Stdout, results)
 	}
-	ratio := results[1].SustainedPPS / results[0].SustainedPPS
-	fmt.Fprintf(os.Stdout, "sharded/channels speedup: %.2fx\n", ratio)
+	sharded := results[len(results)-1]
+	fmt.Fprintf(os.Stdout, "sharded/channels speedup: %.2fx\n", sharded.SustainedPPS/results[0].SustainedPPS)
+	fmt.Fprintf(os.Stdout, "sharded/locked   speedup: %.2fx\n", sharded.SustainedPPS/results[1].SustainedPPS)
 	return nil
 }
 

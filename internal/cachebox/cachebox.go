@@ -91,8 +91,10 @@ type Box struct {
 	// (one shim session pushes, the runner-side drain ticker pops).
 	ingestMu    sync.Mutex
 	ingestRings []*spsc.Ring[ingestItem]
-	// ingestBatch is drain scratch, touched only on the runner goroutine.
-	ingestBatch [256]ingestItem
+	// ingestBatch and ingestScratch are drain scratch, touched only on
+	// the runner goroutine.
+	ingestBatch   [256]ingestItem
+	ingestScratch []*spsc.Ring[ingestItem]
 
 	// trace is written on the runner goroutine (Instrument marshals the
 	// assignment) and read only by boxSink.CacheEmit, which also runs
@@ -272,12 +274,19 @@ func (b *Box) ingestLoop(conn net.Conn) {
 
 // drainIngest runs on the runner goroutine: it sweeps every session
 // ring into the cache in batches and retires rings whose session has
-// closed and fully drained.
+// closed and fully drained. ingestMu is held only to snapshot and to
+// compact the ring list — never across the drain itself, so a shim
+// session dialing in mid-sweep (Register under the same lock) is not
+// stalled behind cache ingest work. The sweep needs no lock: drainIngest
+// is the rings' sole consumer, and it always runs on the runner.
 func (b *Box) drainIngest() {
 	b.ingestMu.Lock()
-	defer b.ingestMu.Unlock()
-	kept := b.ingestRings[:0]
-	for _, ring := range b.ingestRings {
+	rings := append(b.ingestScratch[:0], b.ingestRings...)
+	b.ingestMu.Unlock()
+	b.ingestScratch = rings
+
+	retired := false
+	for _, ring := range rings {
 		for {
 			n := ring.PopBatch(b.ingestBatch[:])
 			for i := 0; i < n; i++ {
@@ -288,7 +297,17 @@ func (b *Box) drainIngest() {
 			}
 		}
 		if ring.Closed() && ring.Len() == 0 {
-			continue // session over, nothing left to pop
+			retired = true // session over, nothing left to pop
+		}
+	}
+	if !retired {
+		return
+	}
+	b.ingestMu.Lock()
+	kept := b.ingestRings[:0]
+	for _, ring := range b.ingestRings {
+		if ring.Closed() && ring.Len() == 0 {
+			continue
 		}
 		kept = append(kept, ring)
 	}
@@ -296,6 +315,7 @@ func (b *Box) drainIngest() {
 		b.ingestRings[i] = nil
 	}
 	b.ingestRings = kept
+	b.ingestMu.Unlock()
 }
 
 func (b *Box) statsLoop() {

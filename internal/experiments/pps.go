@@ -24,8 +24,13 @@ import (
 type PPSMode string
 
 const (
-	// PPSSharded is the run-to-completion engine.
+	// PPSSharded is the run-to-completion engine with shard-owned table
+	// partitions: lookups and in-band rule application take no locks.
 	PPSSharded PPSMode = "sharded"
+	// PPSLocked is the run-to-completion engine over the legacy shared
+	// table: every flow_mod takes the table-wide writer lock that stalls
+	// all shards' stale-path lookups — the churn comparison arm.
+	PPSLocked PPSMode = "locked"
 	// PPSChannels is the channel-hop baseline.
 	PPSChannels PPSMode = "channels"
 )
@@ -53,6 +58,13 @@ type PPSConfig struct {
 	// Journal arms the decision journal on the engine (sharded mode
 	// only) — the forensics-overhead measurement flag.
 	Journal bool
+	// FlowModRate applies rule churn while traffic runs: this many
+	// flow_mods per second, alternately strict-deleting and re-adding
+	// installed benign flows round-robin across the producers' ports
+	// (0 = no churn). The mixed lookup+Apply scenario is where a
+	// writer-locked table collapses and shard-owned application does
+	// not.
+	FlowModRate float64
 }
 
 func (c *PPSConfig) normalize() {
@@ -100,6 +112,9 @@ type PPSResult struct {
 	CacheDrop uint64 // dpcache queue overflow drops
 	Backlog   int    // cache backlog at stop
 
+	FlowMods    uint64 // rule churn mods applied during the run
+	FlowModErrs uint64 // churn mods rejected (backpressure/timeout)
+
 	SustainedPPS float64 // processed / duration
 	OfferedPPS   float64
 	P50, P99     time.Duration
@@ -131,6 +146,10 @@ func RunPPS(cfg PPSConfig) (*PPSResult, error) {
 	var eng *rtc.Engine
 	switch cfg.Mode {
 	case PPSSharded:
+		eng = rtc.New(rcfg)
+		pipe = eng
+	case PPSLocked:
+		rcfg.SharedTable = true
 		eng = rtc.New(rcfg)
 		pipe = eng
 	case PPSChannels:
@@ -177,6 +196,55 @@ func RunPPS(cfg PPSConfig) (*PPSResult, error) {
 
 	pipe.Start()
 	deadline := time.Now().Add(cfg.Duration)
+
+	// Rule churn: one control-plane goroutine strict-deletes and
+	// re-adds installed benign flows at FlowModRate while the producers
+	// hammer the pipeline — the mixed lookup+Apply scenario. Every mod
+	// pins in_port, so in sharded mode it routes to exactly one shard's
+	// control ring; in locked/channels mode it takes the writer lock.
+	var flowMods, flowModErrs uint64
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if cfg.FlowModRate > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			interval := time.Duration(float64(time.Second) / cfg.FlowModRate)
+			if interval < 10*time.Microsecond {
+				interval = 10 * time.Microsecond
+			}
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			n := 0
+			for {
+				select {
+				case <-stopChurn:
+					return
+				case <-tick.C:
+					p := producers[n%len(producers)]
+					pkt := p.benign[(n/(2*len(producers)))%len(p.benign)]
+					mod := openflow.FlowMod{
+						Match:    openflow.ExactFrom(&pkt, p.port),
+						Priority: 100,
+						Actions:  []openflow.Action{openflow.Output(2)},
+					}
+					if (n/len(producers))%2 == 0 {
+						mod.Command = openflow.FlowDeleteStrict
+						mod.OutPort = openflow.PortNone // no out_port filter
+					} else {
+						mod.Command = openflow.FlowAdd
+					}
+					if err := pipe.Apply(mod); err != nil {
+						flowModErrs++
+					} else {
+						flowMods++
+					}
+					n++
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for i, p := range producers {
 		wg.Add(1)
@@ -212,6 +280,8 @@ func RunPPS(cfg PPSConfig) (*PPSResult, error) {
 		}(i, p)
 	}
 	wg.Wait()
+	close(stopChurn)
+	churnWG.Wait()
 	pipe.Stop()
 
 	snap := pipe.Snapshot()
@@ -228,6 +298,9 @@ func RunPPS(cfg PPSConfig) (*PPSResult, error) {
 		Backlog:   snap.Cache.Backlog,
 		P50:       snap.P50,
 		P99:       snap.P99,
+
+		FlowMods:    flowMods,
+		FlowModErrs: flowModErrs,
 	}
 	for _, p := range producers {
 		res.Offered += p.offered
@@ -248,20 +321,23 @@ func (r *PPSResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "  latency    p50=%v p99=%v\n", r.P50, r.P99)
 	fmt.Fprintf(w, "  forwarded  %d  migrated %d  ring-drops %d\n", r.Forwarded, r.Misses, r.RingDrops)
 	fmt.Fprintf(w, "  cache      replayed %d  dropped %d  backlog %d\n", r.Replayed, r.CacheDrop, r.Backlog)
+	if r.FlowMods+r.FlowModErrs > 0 {
+		fmt.Fprintf(w, "  churn      flowmods %d  errors %d\n", r.FlowMods, r.FlowModErrs)
+	}
 }
 
 // WriteCSV emits one row per result:
 // mode,shards,duration_s,offered_pps,sustained_pps,p50_us,p99_us,
-// forwarded,migrated,ring_drops,replayed,cache_dropped,backlog.
+// forwarded,migrated,ring_drops,replayed,cache_dropped,backlog,flowmods.
 func WritePPSCSV(w io.Writer, rs []*PPSResult) error {
-	if _, err := fmt.Fprintln(w, "mode,shards,duration_s,offered_pps,sustained_pps,p50_us,p99_us,forwarded,migrated,ring_drops,replayed,cache_dropped,backlog"); err != nil {
+	if _, err := fmt.Fprintln(w, "mode,shards,duration_s,offered_pps,sustained_pps,p50_us,p99_us,forwarded,migrated,ring_drops,replayed,cache_dropped,backlog,flowmods"); err != nil {
 		return err
 	}
 	for _, r := range rs {
-		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.0f,%.0f,%.1f,%.1f,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.3f,%.0f,%.0f,%.1f,%.1f,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Mode, r.Shards, r.Duration.Seconds(), r.OfferedPPS, r.SustainedPPS,
 			float64(r.P50.Nanoseconds())/1e3, float64(r.P99.Nanoseconds())/1e3,
-			r.Forwarded, r.Misses, r.RingDrops, r.Replayed, r.CacheDrop, r.Backlog); err != nil {
+			r.Forwarded, r.Misses, r.RingDrops, r.Replayed, r.CacheDrop, r.Backlog, r.FlowMods); err != nil {
 			return err
 		}
 	}

@@ -51,6 +51,35 @@ func TestRunPPSChannels(t *testing.T) {
 	checkPPS(t, shortPPS(t, PPSChannels))
 }
 
+func TestRunPPSLocked(t *testing.T) {
+	checkPPS(t, shortPPS(t, PPSLocked))
+}
+
+// TestRunPPSChurnAppliesFlowMods drives every arm with rule churn on
+// and requires the conservation contract to survive it — plus proof
+// that the churn actually ran (mods applied, none erroring).
+func TestRunPPSChurnAppliesFlowMods(t *testing.T) {
+	for _, mode := range []PPSMode{PPSSharded, PPSLocked, PPSChannels} {
+		r, err := RunPPS(PPSConfig{
+			Mode:        mode,
+			Shards:      2,
+			Duration:    80 * time.Millisecond,
+			Seed:        7,
+			FlowModRate: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPPS(t, r)
+		if r.FlowMods == 0 {
+			t.Errorf("%s: churn applied no flow_mods", mode)
+		}
+		if r.FlowModErrs != 0 {
+			t.Errorf("%s: %d flow_mod errors", mode, r.FlowModErrs)
+		}
+	}
+}
+
 func TestRunPPSRejectsUnknownMode(t *testing.T) {
 	if _, err := RunPPS(PPSConfig{Mode: "bogus"}); err == nil {
 		t.Fatal("expected error for unknown mode")
@@ -105,6 +134,60 @@ func BenchmarkSustainedPPS(b *testing.B) {
 		b.Logf("sharded/channels sustained-pps ratio: %.2fx (NumCPU=%d)", ratio, runtime.NumCPU())
 		if runtime.NumCPU() >= 4 && ratio < 2.0 {
 			b.Fatalf("sharded engine only %.2fx over channel baseline on %d CPUs (want >=2x)",
+				ratio, runtime.NumCPU())
+		}
+	}
+}
+
+// BenchmarkSustainedPPSChurn is the mixed lookup+Apply macro benchmark:
+// the same whole-pipeline sustained run, but with a control-plane
+// goroutine strict-deleting and re-adding installed rules at 1000
+// flow_mods/s while the producers hammer the serving path. The locked
+// arm routes every mod through the table's writer lock (every reader
+// stalls behind it); the sharded arm delivers each mod in-band to its
+// owning shard's control ring, so the other shards never even see the
+// churn. BENCH_9.json gates the sharded arm's pps floor, p99 ceiling,
+// and applied-flow_mod floor. Run with -benchtime=1x.
+func BenchmarkSustainedPPSChurn(b *testing.B) {
+	duration := 500 * time.Millisecond
+	if testing.Short() {
+		duration = 100 * time.Millisecond
+	}
+	const churnRate = 1000
+	results := map[PPSMode]*PPSResult{}
+	for _, mode := range []PPSMode{PPSLocked, PPSSharded} {
+		b.Run(fmt.Sprintf("mode=%s", mode), func(b *testing.B) {
+			var last *PPSResult
+			for i := 0; i < b.N; i++ {
+				r, err := RunPPS(PPSConfig{
+					Mode:        mode,
+					Duration:    duration,
+					Seed:        7,
+					FlowModRate: churnRate,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			results[mode] = last
+			if last.FlowModErrs != 0 {
+				b.Fatalf("%s: %d flow_mod errors under churn", mode, last.FlowModErrs)
+			}
+			b.ReportMetric(last.SustainedPPS, "pps")
+			b.ReportMetric(float64(last.P99.Nanoseconds())/1e6, "p99ms")
+			b.ReportMetric(float64(last.FlowMods), "flowmods")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+	// Writer-lock contention needs real cores to show: with >= 4 CPUs
+	// the lock-free serving path must clear 1.5x the locked arm while
+	// rules churn. Smaller boxes report the ratio without asserting.
+	if lk, sh := results[PPSLocked], results[PPSSharded]; lk != nil && sh != nil {
+		ratio := sh.SustainedPPS / lk.SustainedPPS
+		b.Logf("sharded/locked churn-pps ratio: %.2fx (NumCPU=%d)", ratio, runtime.NumCPU())
+		if runtime.NumCPU() >= 4 && ratio < 1.5 {
+			b.Fatalf("partitioned engine only %.2fx over the writer-lock arm under churn on %d CPUs (want >=1.5x)",
 				ratio, runtime.NumCPU())
 		}
 	}

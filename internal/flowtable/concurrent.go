@@ -102,8 +102,13 @@ type MicroCacheStats struct {
 	// Revalidations counts stale results proven still valid by replaying
 	// the snapshotted mutation ring outside the lock.
 	Revalidations uint64
-	Resets        uint64 // whole-cache resets on capacity overflow
-	Entries       int
+	// ReplaySkips counts snapshotted mutations the replay discarded
+	// without a Matches() walk because they were pinned to an ingress
+	// port outside the cache's shard-ownership domain (see SetOwner) —
+	// the wasted cross-shard work the ownership check eliminates.
+	ReplaySkips uint64
+	Resets      uint64 // whole-cache resets on capacity overflow
+	Entries     int
 }
 
 // MicroCache is a shard-local exact-match lookup cache over a Concurrent
@@ -113,6 +118,13 @@ type MicroCacheStats struct {
 type MicroCache struct {
 	m   map[microKey]microEntry
 	max int
+
+	// owner/nshards pin the cache to a shard-ownership domain: when
+	// nshards > 0, every lookup through this cache carries a port with
+	// port%nshards == owner, so mutation replay can discard any logged
+	// mutation pinned to a foreign port without consulting the packet.
+	owner   int
+	nshards int
 
 	// scratch receives the mutation-ring snapshot taken under the read
 	// lock; the replay against the packet runs on it after the lock is
@@ -130,6 +142,20 @@ func NewMicroCache(max int) *MicroCache {
 		max = DefaultMicroflowSize
 	}
 	return &MicroCache{m: make(map[microKey]microEntry, 64), max: max}
+}
+
+// SetOwner declares that this cache only ever serves lookups for ports
+// in shard's ownership domain (port%nshards == shard). Mutation replay
+// then skips mutations pinned to foreign ports, counting each skip in
+// ReplaySkips. nshards <= 1 clears the domain (no skip possible). The
+// caller is responsible for the claim being true: a lookup for a
+// foreign port after SetOwner can return stale results.
+func (mc *MicroCache) SetOwner(shard, nshards int) {
+	if nshards <= 1 {
+		mc.owner, mc.nshards = 0, 0
+		return
+	}
+	mc.owner, mc.nshards = shard, nshards
 }
 
 // Stats returns the shard-local counters. Owner goroutine only.
@@ -171,6 +197,14 @@ func (c *Concurrent) Lookup(mc *MicroCache, p *netpkt.Packet, inPort uint16, now
 			if inWindow {
 				fresh := true
 				for i := 0; i < n; i++ {
+					// A mutation pinned to a port outside this cache's
+					// shard-ownership domain cannot affect any tuple this
+					// cache holds: skip the Matches() walk entirely.
+					if mc.nshards > 0 && mc.scratch[i].Wildcards&openflow.WildInPort == 0 &&
+						int(mc.scratch[i].InPort)%mc.nshards != mc.owner {
+						mc.stats.ReplaySkips++
+						continue
+					}
 					if mc.scratch[i].Matches(p, inPort) {
 						fresh = false
 						break

@@ -87,6 +87,83 @@ func TestConcurrentLookupCacheAndRevalidate(t *testing.T) {
 	}
 }
 
+// TestConcurrentReplaySkipsForeignPorts pins the shard-ownership fast
+// path in stale-hit revalidation: once SetOwner declares the cache's
+// port domain, a logged mutation pinned to a foreign port is discarded
+// without a Matches() walk (counted in ReplaySkips), while mutations on
+// owned ports and in_port-wildcarded mutations still replay fully.
+func TestConcurrentReplaySkipsForeignPorts(t *testing.T) {
+	c := NewConcurrent(0)
+	mc := NewMicroCache(0)
+	mc.SetOwner(0, 2) // this cache serves even ports only
+	now := time.Now()
+
+	g := netpkt.NewSpoofGen(2, netpkt.FloodUDP, 0)
+	hit := g.Next()
+	foreign := g.Next()
+
+	if _, err := c.Apply(exactModFor(&hit, 2, 3, 10), now); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(mc, &hit, 2, now, 64); e == nil {
+		t.Fatal("expected match")
+	}
+
+	// Mutation pinned to port 1 (odd: foreign domain): the revalidation
+	// must skip it outright and keep the cached entry fresh.
+	if _, err := c.Apply(exactModFor(&foreign, 1, 4, 10), now); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(mc, &hit, 2, now, 64); e == nil {
+		t.Fatal("expected match after foreign-port mutation")
+	}
+	st := mc.Stats()
+	if st.ReplaySkips != 1 {
+		t.Fatalf("foreign-port mutation not skipped: %+v", st)
+	}
+	if st.Revalidations != 1 || st.Misses != 1 {
+		t.Fatalf("skip must still count as a revalidated hit: %+v", st)
+	}
+
+	// Mutation pinned to an owned port (4: even) replays with a real
+	// Matches() walk — no new skip, but still a revalidation.
+	if _, err := c.Apply(exactModFor(&foreign, 4, 4, 10), now); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(mc, &hit, 2, now, 64); e == nil {
+		t.Fatal("expected match after owned-port mutation")
+	}
+	st = mc.Stats()
+	if st.ReplaySkips != 1 {
+		t.Fatalf("owned-port mutation wrongly skipped: %+v", st)
+	}
+	if st.Revalidations != 2 {
+		t.Fatalf("owned-port mutation should revalidate: %+v", st)
+	}
+
+	// An in_port-wildcarded delete of the cached rule reaches every
+	// domain: it must NOT be skipped, and the rescan must see the miss.
+	del := openflow.FlowMod{
+		Match:   openflow.ExactFrom(&hit, 2),
+		Command: openflow.FlowDelete, Priority: 10,
+		OutPort: openflow.PortNone,
+	}
+	del.Match.Wildcards |= openflow.WildInPort
+	if _, err := c.Apply(del, now); err != nil {
+		t.Fatal(err)
+	}
+	if e := c.Lookup(mc, &hit, 2, now, 64); e != nil {
+		t.Fatal("skip logic served a rule deleted by a broadcast mutation")
+	}
+	st = mc.Stats()
+	if st.ReplaySkips != 1 {
+		t.Fatalf("wildcarded mutation wrongly skipped: %+v", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("broadcast delete should force a rescan: %+v", st)
+	}
+}
+
 func TestConcurrentRingOverflowForcesRescan(t *testing.T) {
 	c := NewConcurrent(0)
 	mc := NewMicroCache(0)
@@ -186,6 +263,14 @@ func TestConcurrentRaceSoak(t *testing.T) {
 		if i%200 == 0 {
 			c.Expire(now)
 		}
+	}
+	// The churner may outrun reader startup; keep the table live until
+	// the readers have demonstrably scanned it.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Lookups == 0; {
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
 	}
 	close(stop)
 	wg.Wait()

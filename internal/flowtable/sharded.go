@@ -1,0 +1,197 @@
+// Shard-partitioned flow table for the run-to-completion engine: the
+// rule list is split by the same port%N ownership the rtc shards use for
+// packets, so each partition is a plain single-goroutine Table — with
+// its embedded microflow cache re-enabled — owned outright by one shard.
+// Lookup and rule application on a partition take zero locks; the only
+// cross-shard traffic a mutation causes is the owning partition's
+// generation bump, so rule churn on one port no longer invalidates (or
+// even touches) any other shard's cached lookups.
+//
+// Soundness of single-partition lookup: a packet arriving on port p can
+// only match a rule whose in_port is either wildcarded or exactly p.
+// Port-pinned rules live in partition p%N, and in_port-wildcarded rules
+// are broadcast into every partition, so partition p%N sees every rule
+// that could match. Rules pinned to a *different* port that happen to
+// share the partition fail the in_port comparison and cannot shadow the
+// winner. Relative rule order is preserved per partition (each Apply
+// lands in partition-application order), so priority ties break exactly
+// as they would in one global table.
+//
+// Routing soundness for mutations follows from Covers: a delete or
+// modify pinned to in_port=p can only affect rules that are themselves
+// pinned to p (a rule with a different or wildcarded in_port is not
+// covered), so applying it to partition p%N alone reaches every rule it
+// could touch. A mutation with in_port wildcarded may affect rules in
+// any partition and is broadcast.
+//
+// Divergences from one global table, by construction: a broadcast rule
+// is physically present in every partition (Len/RuleCount count the
+// copies; a broadcast delete reports one Removed per partition), and a
+// capacity bound is enforced per partition rather than globally.
+package flowtable
+
+import (
+	"time"
+
+	"floodguard/internal/openflow"
+	"floodguard/internal/telemetry"
+)
+
+// Sharded is a flow table partitioned by in_port%N shard ownership.
+// The aggregate methods (RuleCount, Stats, Register) read only atomics
+// and are safe from any goroutine; everything touching a partition's
+// rule list or microflow cache (Apply, Lookup via Partition) is subject
+// to that partition's single-owner contract.
+type Sharded struct {
+	parts []*Table
+}
+
+// NewSharded returns n partitions bounded to capacity rules in
+// aggregate (0 = unbounded; the bound is split evenly, rounded up, per
+// partition). microSize bounds each partition's embedded microflow
+// cache (<= 0 keeps the flowtable default).
+func NewSharded(n, capacity, microSize int) *Sharded {
+	if n <= 0 {
+		n = 1
+	}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	s := &Sharded{parts: make([]*Table, n)}
+	for i := range s.parts {
+		t := New(per)
+		if microSize > 0 {
+			t.SetMicroflowSize(microSize)
+		}
+		s.parts[i] = t
+	}
+	return s
+}
+
+// N returns the partition count.
+func (s *Sharded) N() int { return len(s.parts) }
+
+// Partition returns partition i. Single-owner: only the owning shard
+// goroutine (or a quiescent harness) may call its mutating methods.
+func (s *Sharded) Partition(i int) *Table { return s.parts[i] }
+
+// PartitionFor returns the partition owning ingress port p — the one a
+// lookup for a packet arriving on p must consult.
+func (s *Sharded) PartitionFor(inPort uint16) *Table {
+	return s.parts[int(inPort)%len(s.parts)]
+}
+
+// Owner routes a flow_mod match: (partition, true) when the match pins
+// in_port to one port, (0, false) when in_port is wildcarded and the
+// mutation must broadcast to every partition.
+func (s *Sharded) Owner(m *openflow.Match) (int, bool) {
+	if m.Wildcards&openflow.WildInPort != 0 {
+		return 0, false
+	}
+	return int(m.InPort) % len(s.parts), true
+}
+
+// Apply executes a flow_mod against its owning partition, or against
+// every partition when the match wildcards in_port. The caller must be
+// the sole goroutine touching the affected partitions (setup phase, a
+// test, or the rtc control-ring path where each partition's owner shard
+// applies its own copy). A broadcast returns the concatenated Removed
+// sets and the first error.
+func (s *Sharded) Apply(m openflow.FlowMod, now time.Time) ([]Removed, error) {
+	if i, owned := s.Owner(&m.Match); owned {
+		return s.parts[i].Apply(m, now)
+	}
+	var removed []Removed
+	var firstErr error
+	for _, t := range s.parts {
+		r, err := t.Apply(m, now)
+		removed = append(removed, r...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return removed, firstErr
+}
+
+// Expire sweeps every partition. Same ownership contract as Apply.
+func (s *Sharded) Expire(now time.Time) []Removed {
+	var removed []Removed
+	for _, t := range s.parts {
+		removed = append(removed, t.Expire(now)...)
+	}
+	return removed
+}
+
+// Len sums the partition rule lists (broadcast rules count once per
+// partition). Quiescent callers only; live readers use RuleCount.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, t := range s.parts {
+		n += t.Len()
+	}
+	return n
+}
+
+// RuleCount sums the partitions' mutation-point rule-count mirrors —
+// safe from any goroutine.
+func (s *Sharded) RuleCount() int {
+	n := 0
+	for _, t := range s.parts {
+		n += t.RuleCount()
+	}
+	return n
+}
+
+// Capacity returns the aggregate rule capacity (0 = unbounded).
+func (s *Sharded) Capacity() int {
+	if s.parts[0].Capacity() == 0 {
+		return 0
+	}
+	return s.parts[0].Capacity() * len(s.parts)
+}
+
+// Stats sums the partition counter snapshots (atomics only).
+func (s *Sharded) Stats() Stats {
+	var sum Stats
+	for _, t := range s.parts {
+		st := t.Stats()
+		sum.Lookups += st.Lookups
+		sum.Matched += st.Matched
+		sum.MicroflowHits += st.MicroflowHits
+		sum.MicroflowMisses += st.MicroflowMisses
+		sum.MicroflowEntries += st.MicroflowEntries
+		sum.Invalidations += st.Invalidations
+		sum.Revalidations += st.Revalidations
+	}
+	return sum
+}
+
+// Register attaches aggregate counters to reg under the given prefix.
+// Every series is a pull-through sum over the partitions' atomics.
+func (s *Sharded) Register(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	sum := func(f func(Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, t := range s.parts {
+				n += f(t.Stats())
+			}
+			return n
+		}
+	}
+	reg.CounterFunc(prefix+"_lookups_total", "Flow table lookups.", sum(func(st Stats) uint64 { return st.Lookups }))
+	reg.CounterFunc(prefix+"_matched_total", "Lookups that found a rule.", sum(func(st Stats) uint64 { return st.Matched }))
+	reg.CounterFunc(prefix+"_microflow_hits_total", "Lookups served by a partition's microflow cache.", sum(func(st Stats) uint64 { return st.MicroflowHits }))
+	reg.CounterFunc(prefix+"_microflow_misses_total", "Lookups that fell through to a priority scan.", sum(func(st Stats) uint64 { return st.MicroflowMisses }))
+	reg.CounterFunc(prefix+"_microflow_invalidations_total", "Whole-cache microflow invalidations across partitions.", sum(func(st Stats) uint64 { return st.Invalidations }))
+	reg.CounterFunc(prefix+"_microflow_revalidations_total", "Stale microflow entries retained after mutation-log replay.", sum(func(st Stats) uint64 { return st.Revalidations }))
+	reg.GaugeFunc(prefix+"_rules", "Installed flow rules summed over partitions (broadcast rules count once per partition).", func() float64 {
+		return float64(s.RuleCount())
+	})
+	reg.GaugeFunc(prefix+"_partitions", "Flow table partition count.", func() float64 {
+		return float64(len(s.parts))
+	})
+}

@@ -264,8 +264,11 @@ func (m *Match) normalized() Match {
 	return n
 }
 
-// Equal reports whether two matches are logically identical.
-func (m *Match) Equal(o *Match) bool { return m.Key() == o.Key() }
+// Equal reports whether two matches are logically identical. It
+// compares the normalized structs directly — no string building — so
+// strict flow_mod application stays allocation-free on the shard's
+// in-band control path.
+func (m *Match) Equal(o *Match) bool { return m.normalized() == o.normalized() }
 
 // String renders only the concrete (non-wildcarded) fields.
 func (m *Match) String() string {

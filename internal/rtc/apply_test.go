@@ -1,0 +1,269 @@
+package rtc
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"floodguard/internal/flowtable"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
+)
+
+// TestApplyRoutesToOwningShard pins the in-band routing contract on a
+// running engine: a concrete-in_port mod is applied by exactly the
+// owning shard, a wildcard-in_port mod by every shard (one physical
+// copy per partition), and Apply returns only after the table reflects
+// the mutation.
+func TestApplyRoutesToOwningShard(t *testing.T) {
+	e := New(testEngineConfig(4))
+	e.Start()
+	defer e.Stop()
+
+	g := netpkt.NewSpoofGen(7, netpkt.FloodUDP, 0)
+	pkt := g.Next()
+	for port := uint16(1); port <= 8; port++ {
+		if err := e.Apply(exactMod(&pkt, port, 2)); err != nil {
+			t.Fatalf("apply port %d: %v", port, err)
+		}
+	}
+	if got := e.TableRules(); got != 8 {
+		t.Fatalf("rules after 8 concrete mods = %d, want 8", got)
+	}
+	s := e.Snapshot()
+	for i, st := range s.Shards {
+		if st.Applied != 2 { // ports i and i+4 both own shard i
+			t.Errorf("shard %d applied %d mods, want 2", i, st.Applied)
+		}
+		if st.ApplyErrs != 0 {
+			t.Errorf("shard %d apply errors: %d", i, st.ApplyErrs)
+		}
+	}
+
+	// Wildcarded in_port: one control event per shard, one copy per
+	// partition, so the summed rule count grows by the shard count.
+	wild := openflow.FlowMod{
+		Match:    openflow.ExactFrom(&pkt, 1),
+		Command:  openflow.FlowAdd,
+		Priority: 50,
+		Actions:  []openflow.Action{openflow.Output(3)},
+	}
+	wild.Match.Wildcards |= openflow.WildInPort
+	if err := e.Apply(wild); err != nil {
+		t.Fatalf("broadcast apply: %v", err)
+	}
+	if got := e.TableRules(); got != 8+4 {
+		t.Fatalf("rules after broadcast = %d, want 12", got)
+	}
+	for i, st := range e.Snapshot().Shards {
+		if st.Applied != 3 {
+			t.Errorf("shard %d applied %d mods after broadcast, want 3", i, st.Applied)
+		}
+	}
+
+}
+
+// TestApplyErrorRoundTrip pins that a shard's application error (here
+// ErrTableFull from a capacity-bounded partition) travels back through
+// the synchronous ack to the Apply caller.
+func TestApplyErrorRoundTrip(t *testing.T) {
+	cfg := testEngineConfig(2)
+	cfg.TableCapacity = 2 // one slot per partition
+	e := New(cfg)
+	e.Start()
+	defer e.Stop()
+
+	g := netpkt.NewSpoofGen(17, netpkt.FloodUDP, 0)
+	first, second := g.Next(), g.Next()
+	if err := e.Apply(exactMod(&first, 1, 2)); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	err := e.Apply(exactMod(&second, 1, 2)) // same shard, partition full
+	if !errors.Is(err, flowtable.ErrTableFull) {
+		t.Fatalf("overfull add = %v, want ErrTableFull", err)
+	}
+	if errs := e.Snapshot().Shards[1].ApplyErrs; errs != 1 {
+		t.Fatalf("shard apply error counter = %d, want 1", errs)
+	}
+}
+
+// TestApplyBackpressureOnFullRing pins the bounded-wait contract: when
+// a shard's control ring stays full for the whole ApplyTimeout, both
+// Apply and ApplyAsync fail with ErrApplyBackpressure instead of
+// blocking forever. The shard goroutine is deliberately not running
+// (started is forced on) so nothing drains the ring.
+func TestApplyBackpressureOnFullRing(t *testing.T) {
+	cfg := testEngineConfig(1)
+	cfg.CtrlRingCapacity = 4
+	cfg.ApplyTimeout = 20 * time.Millisecond
+	e := New(cfg)
+	e.started.Store(true) // ring path without a consumer
+
+	g := netpkt.NewSpoofGen(9, netpkt.FloodUDP, 0)
+	pkt := g.Next()
+	for i := 0; i < cfg.CtrlRingCapacity; i++ {
+		if err := e.ApplyAsync(exactMod(&pkt, uint16(i+1), 2)); err != nil {
+			t.Fatalf("enqueue %d on an empty ring: %v", i, err)
+		}
+	}
+	if err := e.ApplyAsync(exactMod(&pkt, 99, 2)); !errors.Is(err, ErrApplyBackpressure) {
+		t.Fatalf("ApplyAsync on a full ring = %v, want ErrApplyBackpressure", err)
+	}
+	if err := e.Apply(exactMod(&pkt, 99, 2)); !errors.Is(err, ErrApplyBackpressure) {
+		t.Fatalf("Apply on a full ring = %v, want ErrApplyBackpressure", err)
+	}
+
+	// Draining the ring (as the shard loop does at batch tops and Flush
+	// sentinels) applies the parked events and unblocks the path.
+	e.shards[0].drainCtrl(time.Now())
+	if got := e.TableRules(); got != cfg.CtrlRingCapacity {
+		t.Fatalf("rules after drain = %d, want %d", got, cfg.CtrlRingCapacity)
+	}
+	if err := e.ApplyAsync(exactMod(&pkt, 99, 2)); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	e.shards[0].drainCtrl(time.Now())
+	e.started.Store(false)
+}
+
+// TestApplyTimeoutOnStalledShard pins the other bound: the event
+// enqueues fine, but no shard acknowledges within ApplyTimeout.
+func TestApplyTimeoutOnStalledShard(t *testing.T) {
+	cfg := testEngineConfig(1)
+	cfg.ApplyTimeout = 20 * time.Millisecond
+	e := New(cfg)
+	e.started.Store(true) // enqueue succeeds, nobody acks
+
+	g := netpkt.NewSpoofGen(11, netpkt.FloodUDP, 0)
+	pkt := g.Next()
+	if err := e.Apply(exactMod(&pkt, 1, 2)); !errors.Is(err, ErrApplyTimeout) {
+		t.Fatalf("Apply against a stalled shard = %v, want ErrApplyTimeout", err)
+	}
+	e.shards[0].drainCtrl(time.Now())
+	e.started.Store(false)
+}
+
+// TestApplyChurnRace soaks the partitioned engine's full concurrency
+// surface under the race detector: per-shard packet producers, a
+// control-plane goroutine churning rules through Apply (including
+// broadcasts), and a scraper reading Snapshot/TableRules/TableStats —
+// all at once. Conservation must still hold when the dust settles.
+func TestApplyChurnRace(t *testing.T) {
+	e := New(testEngineConfig(4))
+	e.Start()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var accepted atomic.Uint64
+
+	for sh := 0; sh < e.Shards(); sh++ {
+		port := uint16(sh)
+		if port == 0 {
+			port = uint16(e.Shards()) // port 0 unused; shard 0 owns port N
+		}
+		wg.Add(1)
+		go func(shard int, port uint16) {
+			defer wg.Done()
+			g := netpkt.NewSpoofGen(int64(300+shard), netpkt.FloodMixed, 0)
+			ring := e.Shard(shard).Ring()
+			for !stop.Load() {
+				if ring.Push(Item{Pkt: g.Next(), InPort: port}) {
+					accepted.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(sh, port)
+	}
+
+	wg.Add(1)
+	go func() { // control plane: sustained delete/re-add churn
+		defer wg.Done()
+		g := netpkt.NewSpoofGen(23, netpkt.FloodUDP, 0)
+		flows := make([]netpkt.Packet, 8)
+		for i := range flows {
+			flows[i] = g.Next()
+		}
+		for n := 0; !stop.Load(); n++ {
+			pkt := flows[n%len(flows)]
+			port := uint16(1 + n%e.Shards())
+			mod := exactMod(&pkt, port, 2)
+			if n%16 == 15 { // occasional broadcast
+				mod.Match.Wildcards |= openflow.WildInPort
+			}
+			if n%2 == 1 {
+				mod.Command = openflow.FlowDeleteStrict
+				mod.OutPort = openflow.PortNone
+			}
+			if err := e.Apply(mod); err != nil {
+				t.Errorf("churn apply %d: %v", n, err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // scraper: live reads against the serving path
+		defer wg.Done()
+		for !stop.Load() {
+			s := e.Snapshot()
+			if s.Forwarded+s.Misses != s.Processed {
+				t.Errorf("live conservation: fwd %d + miss %d != proc %d",
+					s.Forwarded, s.Misses, s.Processed)
+				return
+			}
+			_ = e.TableRules()
+			_ = e.TableStats()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	e.Stop()
+
+	s := e.Snapshot()
+	if s.Processed != accepted.Load() {
+		t.Fatalf("processed %d, accepted %d", s.Processed, accepted.Load())
+	}
+	if s.Forwarded+s.Misses != s.Processed {
+		t.Fatalf("conservation broken: fwd %d + miss %d != proc %d",
+			s.Forwarded, s.Misses, s.Processed)
+	}
+	var applied uint64
+	for _, st := range s.Shards {
+		applied += st.Applied
+	}
+	if applied == 0 {
+		t.Fatal("no flow_mods applied — churn never ran")
+	}
+}
+
+// TestApplyQuiescentInline pins the pre-Start/post-Stop fast path: the
+// caller owns the partitions, so the mod applies inline with no ring.
+func TestApplyQuiescentInline(t *testing.T) {
+	e := New(testEngineConfig(2))
+	g := netpkt.NewSpoofGen(13, netpkt.FloodUDP, 0)
+	pkt := g.Next()
+	if err := e.Apply(exactMod(&pkt, 1, 2)); err != nil {
+		t.Fatalf("quiescent apply: %v", err)
+	}
+	if got := e.TableRules(); got != 1 {
+		t.Fatalf("rules after quiescent apply = %d, want 1", got)
+	}
+	e.Start()
+	e.Stop()
+	del := exactMod(&pkt, 1, 2)
+	del.Command = openflow.FlowDeleteStrict
+	del.OutPort = openflow.PortNone
+	if err := e.Apply(del); err != nil {
+		t.Fatalf("post-Stop apply: %v", err)
+	}
+	if got := e.TableRules(); got != 0 {
+		t.Fatalf("rules after post-Stop delete = %d, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"floodguard/internal/netpkt"
+	"floodguard/internal/openflow"
 )
 
 // mutexWaits sums the contention event counts of the runtime mutex
@@ -68,7 +69,7 @@ func BenchmarkShardPerPacket(b *testing.B) {
 		defer close(scraped)
 		for !stop.Load() {
 			_ = e.Snapshot()
-			_ = e.Table().Stats()
+			_ = e.TableStats()
 			time.Sleep(100 * time.Microsecond)
 		}
 	}()
@@ -94,6 +95,102 @@ func BenchmarkShardPerPacket(b *testing.B) {
 	b.ReportMetric(float64(waits), "mutexwaits")
 	if got := s.processed.Load(); got == 0 {
 		b.Fatal("no packets processed")
+	}
+}
+
+// BenchmarkShardChurnBody measures the shard body under rule churn: the
+// same warm 3:1 packet mix as BenchmarkShardPerPacket, but every 64
+// packets a strict-delete/re-add pair for a served benign flow arrives
+// in-band through the shard's control ring (ApplyAsync + drainCtrl, the
+// exact path a running engine takes at batch tops). The embedded
+// partition cache revalidates across the generation bumps instead of
+// rescanning, and the loop must stay at 0 allocs/op and register zero
+// mutex-profile contention while a concurrent scraper reads
+// Snapshot/TableStats — the tentpole claim that rule application never
+// makes the serving path take a writer lock.
+func BenchmarkShardChurnBody(b *testing.B) {
+	e := New(Config{Shards: 1, CacheRingCapacity: 8192})
+	s := e.Shard(0)
+	const port = 1
+
+	bg := netpkt.NewSpoofGen(1, netpkt.FloodUDP, 0)
+	sg := netpkt.NewSpoofGen(2, netpkt.FloodMixed, 0)
+	items := make([]Item, 64)
+	var churnPkt netpkt.Packet
+	for i := range items {
+		if i%4 != 0 {
+			p := bg.Next()
+			if err := e.Apply(exactMod(&p, port, 2)); err != nil {
+				b.Fatal(err)
+			}
+			items[i] = Item{Pkt: p, InPort: port}
+			churnPkt = p
+		} else {
+			items[i] = Item{Pkt: sg.Next(), InPort: port}
+		}
+	}
+	// The churn pair, prebuilt so the loop allocates nothing: one flow
+	// torn down and re-installed over and over.
+	del := exactMod(&churnPkt, port, 2)
+	del.Command = openflow.FlowDeleteStrict
+	del.OutPort = openflow.PortNone
+	add := exactMod(&churnPkt, port, 2)
+
+	now := time.Now()
+	drain := make([]CacheItem, 256)
+	for i := range items {
+		s.processOne(&items[i], now, 1)
+	}
+	for s.toCache.PopBatch(drain) > 0 {
+	}
+
+	var stop atomic.Bool
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for !stop.Load() {
+			_ = e.Snapshot()
+			_ = e.TableStats()
+			_ = e.TableRules()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	prev := runtime.SetMutexProfileFraction(1)
+	before := mutexWaits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.processOne(&items[i&63], now, 1)
+		if i&63 == 63 {
+			// In-band rule churn, exactly as the running shard loop
+			// drains it at the top of each batch.
+			if err := e.ApplyAsync(del); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.ApplyAsync(add); err != nil {
+				b.Fatal(err)
+			}
+			s.drainCtrl(now)
+		}
+		if i&1023 == 0 {
+			for s.toCache.PopBatch(drain) > 0 {
+			}
+		}
+	}
+	b.StopTimer()
+	waits := mutexWaits() - before
+	runtime.SetMutexProfileFraction(prev)
+	stop.Store(true)
+	<-scraped
+	b.ReportMetric(float64(waits), "mutexwaits")
+	applied := s.applied.Load()
+	b.ReportMetric(float64(applied), "flowmods")
+	if b.N >= 64 && applied == 0 {
+		b.Fatal("churn never applied")
+	}
+	if errs := s.applyErrs.Load(); errs != 0 {
+		b.Fatalf("%d apply errors during churn", errs)
 	}
 }
 

@@ -35,7 +35,6 @@ import (
 	"floodguard/internal/journal"
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
-	"floodguard/internal/openflow"
 	"floodguard/internal/spsc"
 	"floodguard/internal/telemetry"
 )
@@ -67,6 +66,21 @@ type Config struct {
 	// Shards is the run-to-completion shard count (<= 0 picks
 	// GOMAXPROCS). Port p belongs to shard p % Shards.
 	Shards int
+	// SharedTable routes lookups and rule application through one
+	// Concurrent table behind a writer lock, fronted by shard-local
+	// MicroCaches — the pre-partitioning architecture, kept as the
+	// measurable comparison arm for tests and the churn benchmark. The
+	// default (false) gives each shard its own flowtable partition:
+	// lookups take zero locks and flow_mods apply in-band on the owning
+	// shard (see Apply in apply.go).
+	SharedTable bool
+	// CtrlRingCapacity sizes each shard's in-band control ring, the
+	// flow_mod path into a running partitioned engine (default 256).
+	CtrlRingCapacity int
+	// ApplyTimeout bounds Apply/ApplyAsync: how long an enqueue may wait
+	// on a full control ring and how long Apply waits for shard
+	// acknowledgement (default 2s).
+	ApplyTimeout time.Duration
 	// DPID identifies the datapath in attribution and cache accounting
 	// (default 1).
 	DPID uint64
@@ -149,6 +163,12 @@ func (c *Config) normalize() {
 	if c.Batch <= 0 {
 		c.Batch = 256
 	}
+	if c.CtrlRingCapacity <= 0 {
+		c.CtrlRingCapacity = 256
+	}
+	if c.ApplyTimeout <= 0 {
+		c.ApplyTimeout = 2 * time.Second
+	}
 }
 
 // Shard is one run-to-completion worker: it owns its ingress ring, its
@@ -162,6 +182,17 @@ type Shard struct {
 	in      *spsc.Ring[Item]
 	toCache *spsc.Ring[CacheItem]
 
+	// part is the shard-owned flow table partition (nil in SharedTable
+	// mode): lookups and in-band rule application touch only it, with
+	// its embedded microflow cache — zero locks on the packet path.
+	part *flowtable.Table
+	// ctrl is the in-band flow_mod ring into this shard (nil in
+	// SharedTable mode); ctrlMu serializes control-plane producers.
+	ctrl   *spsc.Ring[ctrlEvent]
+	ctrlMu sync.Mutex
+
+	// mc is the shard-local cache over the shared writer-locked table —
+	// SharedTable mode only (nil otherwise).
 	mc  *flowtable.MicroCache
 	obs *attrib.ShardObserver
 
@@ -170,6 +201,8 @@ type Shard struct {
 	misses     atomic.Uint64
 	cacheDrops atomic.Uint64
 	flushes    atomic.Uint64
+	applied    atomic.Uint64
+	applyErrs  atomic.Uint64
 
 	// jrec is this shard's journal recorder (nil when no journal is
 	// attached; Record on nil is a no-op).
@@ -182,13 +215,20 @@ type Shard struct {
 // may push to it (the SPSC contract).
 func (s *Shard) Ring() *spsc.Ring[Item] { return s.in }
 
-// ShardStats is one shard's counter snapshot.
+// ShardStats is one shard's counter snapshot. Micro reports the
+// shard's lookup-cache behaviour in both architectures: the partition's
+// embedded microflow cache (partitioned mode) or the shard-local
+// MicroCache over the shared table (SharedTable mode). Applied and
+// ApplyErrs count in-band flow_mods the shard executed (partitioned
+// mode only).
 type ShardStats struct {
 	Processed  uint64
 	Forwarded  uint64
 	Misses     uint64
 	CacheDrops uint64
 	Flushes    uint64
+	Applied    uint64
+	ApplyErrs  uint64
 	Micro      flowtable.MicroCacheStats
 }
 
@@ -210,8 +250,11 @@ type Snapshot struct {
 
 // Engine is the sharded run-to-completion pipeline.
 type Engine struct {
-	cfg    Config
-	table  *flowtable.Concurrent
+	cfg Config
+	// parts is the shard-partitioned flow table (default); shared is the
+	// legacy writer-locked table (SharedTable mode). Exactly one is set.
+	parts  *flowtable.Sharded
+	shared *flowtable.Concurrent
 	attr   *attrib.Attributor
 	shards []*Shard
 
@@ -231,7 +274,8 @@ type Engine struct {
 
 	wgShards sync.WaitGroup
 	wgCache  sync.WaitGroup
-	started  bool
+	started  atomic.Bool
+	stopped  atomic.Bool
 }
 
 // replaySink counts cache deliveries — the packets FloodGuard would
@@ -254,11 +298,15 @@ func New(cfg Config) *Engine {
 	cfg.normalize()
 	e := &Engine{
 		cfg:       cfg,
-		table:     flowtable.NewConcurrent(cfg.TableCapacity),
 		attr:      attrib.New(cfg.Attrib),
 		sim:       netsim.NewEngine(),
 		ctrl:      make(chan func(), 16),
 		cacheGone: make(chan struct{}),
+	}
+	if cfg.SharedTable {
+		e.shared = flowtable.NewConcurrent(cfg.TableCapacity)
+	} else {
+		e.parts = flowtable.NewSharded(cfg.Shards, cfg.TableCapacity, cfg.MicroSize)
 	}
 	e.cache = dpcache.New(e.sim, dpcache.Config{
 		QueueCapacity:  cfg.QueueCapacity,
@@ -272,15 +320,24 @@ func New(cfg Config) *Engine {
 	e.attr.SetJournal(cfg.Journal.AttribRec())
 	e.shards = make([]*Shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = &Shard{
+		s := &Shard{
 			id:      i,
 			eng:     e,
 			in:      spsc.New[Item](cfg.RingCapacity),
 			toCache: spsc.New[CacheItem](cfg.CacheRingCapacity),
-			mc:      flowtable.NewMicroCache(cfg.MicroSize),
 			obs:     e.attr.NewShardObserver(),
 			jrec:    cfg.Journal.ShardRec(i),
 		}
+		if cfg.SharedTable {
+			s.mc = flowtable.NewMicroCache(cfg.MicroSize)
+			// Producers partition ports by shard, so mutation replay may
+			// skip mutations pinned to foreign ports.
+			s.mc.SetOwner(i, cfg.Shards)
+		} else {
+			s.part = e.parts.Partition(i)
+			s.ctrl = spsc.New[ctrlEvent](cfg.CtrlRingCapacity)
+		}
+		e.shards[i] = s
 	}
 	return e
 }
@@ -297,10 +354,24 @@ func (e *Engine) ShardFor(port uint16) int { return int(port) % len(e.shards) }
 // Shard returns shard i.
 func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
 
-// Table exposes the shared flow table for rule management; mutations
-// are safe from any goroutine (they take the table's write lock, which
-// the shard hot path never holds).
-func (e *Engine) Table() *flowtable.Concurrent { return e.table }
+// TableRules returns the installed rule count (summed over partitions
+// in the default engine; broadcast rules count once per partition).
+// Safe from any goroutine — it reads mutation-point mirrors.
+func (e *Engine) TableRules() int {
+	if e.shared != nil {
+		return e.shared.RuleCount()
+	}
+	return e.parts.RuleCount()
+}
+
+// TableStats returns the flow table counter snapshot, summed over
+// partitions in the default engine (atomics only — safe live).
+func (e *Engine) TableStats() flowtable.Stats {
+	if e.shared != nil {
+		return e.shared.Stats()
+	}
+	return e.parts.Stats()
+}
 
 // Attributor exposes the shared attribution engine (verdict reads).
 func (e *Engine) Attributor() *attrib.Attributor { return e.attr }
@@ -309,12 +380,6 @@ func (e *Engine) Attributor() *attrib.Attributor { return e.attr }
 // goroutine: mutate it (SetRate, rule table) only from RunOnCache
 // closures while the engine runs, or freely after Stop.
 func (e *Engine) Cache() *dpcache.Cache { return e.cache }
-
-// Apply installs a flow_mod into the shared table.
-func (e *Engine) Apply(m openflow.FlowMod) error {
-	_, err := e.table.Apply(m, time.Now())
-	return err
-}
 
 // Inject pushes one packet to its owning shard's ring, returning false
 // when the ring is full. Single external producer only — concurrent
@@ -331,10 +396,9 @@ func (e *Engine) InjectItem(it Item) bool {
 
 // Start launches the shard and cache-stage goroutines.
 func (e *Engine) Start() {
-	if e.started {
+	if !e.started.CompareAndSwap(false, true) {
 		return
 	}
-	e.started = true
 	e.cache.Start()
 	for _, s := range e.shards {
 		e.wgShards.Add(1)
@@ -344,11 +408,13 @@ func (e *Engine) Start() {
 	go e.cacheLoop()
 }
 
-// Stop closes the ingress rings, waits for the shards to drain and
-// flush their final attribution deltas, then waits for the cache stage
-// to drain the handoff rings. The engine cannot be restarted.
+// Stop closes the ingress rings, waits for the shards to drain (each
+// applies any queued control events before exiting, so no Apply caller
+// is left waiting), flush their final attribution deltas, then waits
+// for the cache stage to drain the handoff rings. The engine cannot be
+// restarted; Apply on a stopped engine applies inline.
 func (e *Engine) Stop() {
-	if !e.started {
+	if !e.started.Load() || e.stopped.Load() {
 		return
 	}
 	for _, s := range e.shards {
@@ -356,6 +422,7 @@ func (e *Engine) Stop() {
 	}
 	e.wgShards.Wait()
 	e.wgCache.Wait()
+	e.stopped.Store(true)
 	if !e.cfg.Manual {
 		e.attr.Roll(e.cfg.Window) // close the last detection window
 	}
@@ -435,20 +502,43 @@ func (e *Engine) CacheStats() dpcache.Stats { return e.cache.Stats() }
 // the controller path.
 func (e *Engine) ReplayedTotal() uint64 { return e.replayed.Load() }
 
-// MicroEntries sums the shard microflow cache occupancy. The per-shard
-// maps are owned by the shard goroutines, so call this only while the
-// shards are quiescent (a manual-mode barrier, or after Stop).
+// MicroEntries sums the shard microflow cache occupancy — the
+// partitions' embedded caches, or the shard MicroCaches in SharedTable
+// mode. Call it only while the shards are quiescent (a manual-mode
+// barrier, or after Stop).
 func (e *Engine) MicroEntries() int {
 	n := 0
 	for _, s := range e.shards {
-		n += s.mc.Stats().Entries
+		if s.part != nil {
+			n += s.part.Stats().MicroflowEntries
+		} else {
+			n += s.mc.Stats().Entries
+		}
 	}
 	return n
 }
 
-// run is the shard loop: batched pop from the ingress ring, then each
-// packet end-to-end. One time.Now per batch serves lookup stamps and
-// the window-boundary check.
+// microStats reports the shard's lookup-cache counters in either
+// architecture, normalized to the MicroCacheStats shape.
+func (s *Shard) microStats() flowtable.MicroCacheStats {
+	if s.part == nil {
+		return s.mc.Stats()
+	}
+	st := s.part.Stats()
+	return flowtable.MicroCacheStats{
+		Hits:          st.MicroflowHits,
+		Misses:        st.MicroflowMisses,
+		Revalidations: st.Revalidations,
+		Resets:        st.Invalidations,
+		Entries:       st.MicroflowEntries,
+	}
+}
+
+// run is the shard loop: drain any in-band control events, then a
+// batched pop from the ingress ring and each packet end-to-end. One
+// time.Now per batch serves lookup stamps and the window-boundary
+// check. An idle shard parks in Wait; Apply wakes it through the
+// ingress ring so queued flow_mods never wait on traffic.
 func (s *Shard) run() {
 	defer s.eng.wgShards.Done()
 	defer s.toCache.Close()
@@ -458,16 +548,36 @@ func (s *Shard) run() {
 	nextFlush := time.Now().Add(window)
 	dpid := s.eng.cfg.DPID
 	for {
-		n := s.in.PopBatchWait(batch)
+		if s.ctrl != nil && s.ctrl.Len() > 0 {
+			s.drainCtrl(time.Now())
+		}
+		n := s.in.PopBatch(batch)
 		if n == 0 {
-			s.obs.Flush() // final merge before the ring goes away
-			s.noteFlush(dpid)
-			return
+			if s.in.Closed() {
+				if s.in.Len() > 0 {
+					continue // pushed between the pop and the close flag
+				}
+				if s.ctrl != nil {
+					// Apply any straggling control events so no Apply
+					// caller is left waiting on its ack.
+					s.drainCtrl(time.Now())
+				}
+				s.obs.Flush() // final merge before the ring goes away
+				s.noteFlush(dpid)
+				return
+			}
+			s.in.Wait()
+			continue
 		}
 		now := time.Now()
 		for i := 0; i < n; i++ {
 			if batch[i].Flush {
-				// In-band window barrier: merge everything popped so far.
+				// In-band window barrier: converge pending rule mutations
+				// (the broadcast guarantee), then merge everything popped
+				// so far.
+				if s.ctrl != nil {
+					s.drainCtrl(now)
+				}
 				s.obs.Flush()
 				s.noteFlush(dpid)
 				continue
@@ -492,7 +602,14 @@ func (s *Shard) processOne(it *Item, now time.Time, dpid uint64) {
 	// the class downstream — the run-to-completion contract is that every
 	// layer's per-packet work happens on this goroutine.
 	_ = dpcache.Classify(p)
-	entry := s.eng.table.Lookup(s.mc, p, it.InPort, now, p.WireLen())
+	var entry *flowtable.Entry
+	if s.part != nil {
+		// Shard-owned partition: no locks at all, embedded microflow
+		// cache, generation stamps private to this shard.
+		entry = s.part.Lookup(p, it.InPort, now, p.WireLen())
+	} else {
+		entry = s.eng.shared.Lookup(s.mc, p, it.InPort, now, p.WireLen())
+	}
 	s.processed.Add(1)
 	if entry != nil {
 		// Forwarded: in a hardware datapath the actions would be executed
@@ -644,7 +761,9 @@ func (e *Engine) Snapshot() Snapshot {
 			Misses:     s.misses.Load(),
 			CacheDrops: s.cacheDrops.Load(),
 			Flushes:    s.flushes.Load(),
-			Micro:      s.mc.Stats(),
+			Applied:    s.applied.Load(),
+			ApplyErrs:  s.applyErrs.Load(),
+			Micro:      s.microStats(),
 		}
 		snap.Shards[i] = st
 		snap.Processed += st.Processed
@@ -679,7 +798,13 @@ func (e *Engine) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets handed to the cache stage.", sum(func(s *Shard) uint64 { return s.misses.Load() }))
 	reg.CounterFunc(prefix+"_cache_ring_drops_total", "Misses dropped because the shard→cache ring was full.", sum(func(s *Shard) uint64 { return s.cacheDrops.Load() }))
 	reg.CounterFunc(prefix+"_replayed_total", "Packets replayed to the controller by the cache stage.", e.replayed.Load)
-	e.table.Register(reg, prefix+"_table")
+	reg.CounterFunc(prefix+"_flowmods_applied_total", "In-band flow_mods executed by the shards.", sum(func(s *Shard) uint64 { return s.applied.Load() }))
+	reg.CounterFunc(prefix+"_flowmod_errors_total", "In-band flow_mods that failed to apply.", sum(func(s *Shard) uint64 { return s.applyErrs.Load() }))
+	if e.shared != nil {
+		e.shared.Register(reg, prefix+"_table")
+	} else {
+		e.parts.Register(reg, prefix+"_table")
+	}
 	e.cache.Register(reg, prefix+"_cache")
 	e.attr.Register(reg, prefix+"_attrib")
 }

@@ -8,6 +8,7 @@ package rtswitch
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,19 +23,20 @@ import (
 type PortFunc func(pkt netpkt.Packet)
 
 // Switch is a real-time OpenFlow switch connected to a controller over
-// TCP. The datapath (Inject) and the control plane (the controller
-// message loop) synchronise only through the concurrent flow table:
-// lookups run under a dedicated lookup mutex with a shard-style
-// microflow cache, so a controller stats scrape or buffer operation
-// never stalls packet forwarding.
+// TCP. The flow table is partitioned by in_port%N shard ownership
+// (flowtable.Sharded) with one small mutex per partition: an Inject
+// locks only the ingress port's partition — whose embedded microflow
+// cache makes the warm path a map probe — and a flow_mod locks only the
+// partition owning its match (each partition in turn for an in_port
+// wildcard), so rule application never takes a table-wide writer lock
+// and never stalls forwarding on other ports. Controller stats scrapes
+// read mutation-point mirrors and atomics, touching no partition lock.
 type Switch struct {
 	dpid  uint64
-	table *flowtable.Concurrent
-
-	// lmu serialises datapath lookups over the single microflow cache
-	// (Inject is safe from any goroutine; the cache is not).
-	lmu sync.Mutex
-	mc  *flowtable.MicroCache
+	parts *flowtable.Sharded
+	// locks[i] guards partition i: its rule list and its embedded
+	// microflow cache. Padded so two partitions never share a line.
+	locks []partitionLock
 
 	mu      sync.Mutex // control plane: ports, buffer, conn, xid
 	ports   map[uint16]PortFunc
@@ -60,12 +62,22 @@ type bufEntry struct {
 	inPort uint16
 }
 
+// partitionLock is one partition's lookup/mutation mutex, padded to a
+// cache line so neighbouring partitions never false-share.
+type partitionLock struct {
+	mu sync.Mutex
+	_  [56]byte
+}
+
 // Config parameterises a switch.
 type Config struct {
 	DPID        uint64
-	TableSize   int // 0 = unbounded
+	TableSize   int // aggregate rule bound, split across partitions; 0 = unbounded
 	BufferSlots int // default 256
 	MissSendLen int // packet_in payload cap for buffered misses; default 128
+	// Shards is the flow table partition count (in_port%Shards
+	// ownership, one lock per partition); <= 0 picks GOMAXPROCS.
+	Shards int
 }
 
 // New creates a disconnected switch.
@@ -76,10 +88,13 @@ func New(cfg Config) *Switch {
 	if cfg.MissSendLen == 0 {
 		cfg.MissSendLen = 128
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	return &Switch{
 		dpid:        cfg.DPID,
-		table:       flowtable.NewConcurrent(cfg.TableSize),
-		mc:          flowtable.NewMicroCache(0),
+		parts:       flowtable.NewSharded(cfg.Shards, cfg.TableSize, 0),
+		locks:       make([]partitionLock, cfg.Shards),
 		ports:       make(map[uint16]PortFunc),
 		noFlood:     make(map[uint16]bool),
 		buffer:      make(map[uint32]bufEntry),
@@ -164,7 +179,7 @@ func (s *Switch) handle(f openflow.Framed) {
 			Ports:      ports,
 		})
 	case openflow.FlowMod:
-		_, err := s.table.Apply(m, time.Now())
+		err := s.applyMod(m)
 		var release *bufEntry
 		if err == nil && m.Command == openflow.FlowAdd && m.BufferID != openflow.NoBuffer {
 			s.mu.Lock()
@@ -205,13 +220,14 @@ func (s *Switch) handle(f openflow.Framed) {
 		s.mu.Lock()
 		bufUsed := uint32(len(s.buffer))
 		s.mu.Unlock()
+		st := s.parts.Stats()
 		s.send(openflow.StatsReply{Table: openflow.TableStats{
-			ActiveRules:  uint32(s.table.Len()),
-			MaxRules:     uint32(s.table.Capacity()),
+			ActiveRules:  uint32(s.parts.RuleCount()),
+			MaxRules:     uint32(s.parts.Capacity()),
 			BufferUsed:   bufUsed,
 			BufferSize:   uint32(s.bufferSlots),
-			LookupCount:  s.table.Lookups(),
-			MatchedCount: s.table.Matched(),
+			LookupCount:  st.Lookups,
+			MatchedCount: st.Matched,
 		}})
 	}
 }
@@ -220,14 +236,16 @@ func (s *Switch) handle(f openflow.Framed) {
 // goroutine.
 func (s *Switch) Inject(pkt netpkt.Packet, inPort uint16) {
 	// The hit path never materialises the frame: byte accounting only
-	// needs the computed wire length. The lookup runs under the dedicated
-	// lookup mutex — a bounded critical section that never overlaps with
-	// control-plane work on s.mu — and a warm microflow hit inside it
-	// touches no table lock at all.
+	// needs the computed wire length. The lookup locks only the ingress
+	// port's partition — a bounded critical section that never overlaps
+	// with control-plane work on s.mu, nor with lookups or rule
+	// mutations on any other partition — and a warm hit inside it is an
+	// exact-match probe of the partition's embedded microflow cache.
 	frameLen := pkt.WireLen()
-	s.lmu.Lock()
-	entry := s.table.Lookup(s.mc, &pkt, inPort, time.Now(), frameLen)
-	s.lmu.Unlock()
+	i := int(inPort) % s.parts.N()
+	s.locks[i].mu.Lock()
+	entry := s.parts.Partition(i).Lookup(&pkt, inPort, time.Now(), frameLen)
+	s.locks[i].mu.Unlock()
 	if entry != nil {
 		s.forwarded.Add(1)
 		s.apply(pkt, inPort, entry.SharedActions())
@@ -303,9 +321,34 @@ func (s *Switch) apply(pkt netpkt.Packet, inPort uint16, actions []openflow.Acti
 	}
 }
 
+// applyMod executes a flow_mod against its owning partition — or every
+// partition in turn when the match wildcards in_port — holding only one
+// partition lock at a time. There is no table-wide writer lock: rule
+// application on one port's partition proceeds concurrently with
+// forwarding on every other.
+func (s *Switch) applyMod(m openflow.FlowMod) error {
+	now := time.Now()
+	if i, owned := s.parts.Owner(&m.Match); owned {
+		s.locks[i].mu.Lock()
+		defer s.locks[i].mu.Unlock()
+		_, err := s.parts.Partition(i).Apply(m, now)
+		return err
+	}
+	var firstErr error
+	for i := 0; i < s.parts.N(); i++ {
+		s.locks[i].mu.Lock()
+		_, err := s.parts.Partition(i).Apply(m, now)
+		s.locks[i].mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Stats returns (packet_ins, misses, forwarded, rules).
 func (s *Switch) Stats() (packetIns, misses, forwarded uint64, rules int) {
-	return s.packetIns.Load(), s.misses.Load(), s.forwarded.Load(), s.table.Len()
+	return s.packetIns.Load(), s.misses.Load(), s.forwarded.Load(), s.parts.RuleCount()
 }
 
 // Instrument attaches the switch's counters to reg under the given
@@ -324,12 +367,14 @@ func (s *Switch) Instrument(reg *telemetry.Registry, prefix string) {
 		defer s.mu.Unlock()
 		return float64(len(s.buffer))
 	})
-	s.table.Register(reg, prefix+"_table")
+	s.parts.Register(reg, prefix+"_table")
 }
 
-// Rules returns the number of installed flow rules.
+// Rules returns the number of installed flow rules (a broadcast rule
+// counts once per partition), from the mutation-point mirrors — safe
+// from any goroutine.
 func (s *Switch) Rules() int {
-	return s.table.Len()
+	return s.parts.RuleCount()
 }
 
 // Close disconnects from the controller and waits for the message loop.

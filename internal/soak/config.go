@@ -109,6 +109,12 @@ type Config struct {
 	// DrainSlackWindows bounds how many windows a chaos-degraded backlog
 	// may take to drain after the outage ends (default 8).
 	DrainSlackWindows int
+	// FlowModsPerWindow applies rule churn at every window barrier: this
+	// many hot flows, round-robin, are strict-deleted and immediately
+	// re-added (two flow_mods each), exercising shard-owned in-band rule
+	// application — or the baseline's locked path — under sustained
+	// traffic. Capped to HotFlows by Normalize; 0 = no churn.
+	FlowModsPerWindow int
 	// Baseline drives rtc.Baseline instead of rtc.Engine — the
 	// differential-comparison mode.
 	Baseline bool
@@ -176,6 +182,12 @@ func (c *Config) Normalize() {
 	}
 	if c.BenignLossCeiling <= 0 {
 		c.BenignLossCeiling = 0.01
+	}
+	if c.FlowModsPerWindow < 0 {
+		c.FlowModsPerWindow = 0
+	}
+	if c.FlowModsPerWindow > c.HotFlows {
+		c.FlowModsPerWindow = c.HotFlows
 	}
 	if c.DetectWindows <= 0 {
 		c.DetectWindows = 12
@@ -335,6 +347,12 @@ func applyScenarioKey(c *Config, key, val string) error {
 			return err
 		}
 		c.QueueCapacity = n
+	case "flowmods":
+		n, err := parseNonNegativeInt(key, val)
+		if err != nil {
+			return err
+		}
+		c.FlowModsPerWindow = n
 	case "chaos":
 		switch val {
 		case "on", "true", "1":
@@ -373,7 +391,7 @@ func scenarioKeys() []string {
 		"seed", "duration", "window", "flows", "hot_flows", "ports",
 		"shards", "profile", "benign_pps", "attack_factor", "zipf_share",
 		"zipf_s", "replay_pps", "queue_capacity", "chaos", "loss_ceiling",
-		"baseline",
+		"baseline", "flowmods",
 	}
 	sort.Strings(ks)
 	return ks
@@ -420,6 +438,17 @@ func parsePositiveInt(key, val string) (int, error) {
 	}
 	if n <= 0 {
 		return 0, fmt.Errorf("soak: %s=%d must be positive", key, n)
+	}
+	return n, nil
+}
+
+func parseNonNegativeInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, fmt.Errorf("soak: %s=%q: %v", key, val, err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("soak: %s=%d must be non-negative", key, n)
 	}
 	return n, nil
 }

@@ -29,6 +29,11 @@ func diffCfg(shards int) soak.Config {
 		BenignPPS:       20_000,
 		Chaos:           true,
 		HeavyHitterFrac: 0.99,
+		// Barrier rule churn rides along so the differential also covers
+		// the shard-owned apply path: the engine routes each flow_mod to
+		// its owning shard's control ring, the baseline takes the lock,
+		// and both must land on identical per-window stats.
+		FlowModsPerWindow: 16,
 	}
 }
 

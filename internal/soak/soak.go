@@ -298,6 +298,7 @@ func Run(cfg Config) (*Result, error) {
 			f := w % cfg.HotFlows
 			del := hotFlowMod(gen, f)
 			del.Command = openflow.FlowDeleteStrict
+			del.OutPort = openflow.PortNone // no out_port filter: really delete
 			if err := pipe.Apply(del); err != nil {
 				return fail(fmt.Errorf("soak: churn delete flow %d: %w", f, err))
 			}
@@ -305,6 +306,26 @@ func Run(cfg Config) (*Result, error) {
 				return fail(fmt.Errorf("soak: churn re-add flow %d: %w", f, err))
 			}
 			jctl.Record(journal.KindChaos, 3, 0, 1, uint16(f), 1, 0, 0)
+		}
+
+		// Scenario-driven rule churn, distinct from the chaos single-flow
+		// bump above: FlowModsPerWindow hot flows are strict-deleted and
+		// re-installed at every barrier, round-robin over the zipf head.
+		// This drives the shard-owned apply path (in-band control events
+		// in Engine mode, the writer lock in Baseline) at a sustained
+		// rate while the invariant catalog keeps asserting; both modes
+		// see the identical flow_mod sequence so the differential holds.
+		for i := 0; i < cfg.FlowModsPerWindow; i++ {
+			f := (w*cfg.FlowModsPerWindow + i) % cfg.HotFlows
+			del := hotFlowMod(gen, f)
+			del.Command = openflow.FlowDeleteStrict
+			del.OutPort = openflow.PortNone // no out_port filter: really delete
+			if err := pipe.Apply(del); err != nil {
+				return fail(fmt.Errorf("soak: flowmod churn delete flow %d: %w", f, err))
+			}
+			if err := pipe.Apply(hotFlowMod(gen, f)); err != nil {
+				return fail(fmt.Errorf("soak: flowmod churn re-add flow %d: %w", f, err))
+			}
 		}
 		if plan[w].Outage != outage {
 			outage = plan[w].Outage
@@ -638,7 +659,7 @@ func collectWindow(w int, cfg *Config, pipe pipeline, eng *rtc.Engine, gen *beni
 	}
 	if eng != nil {
 		ws.MicroEntries = eng.MicroEntries()
-		ws.TableRules = eng.Table().Len()
+		ws.TableRules = eng.TableRules()
 	} else {
 		ws.TableRules = cfg.HotFlows
 	}

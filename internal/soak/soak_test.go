@@ -109,20 +109,57 @@ func TestSoakAllProfilesWithChaos(t *testing.T) {
 	}
 }
 
+// TestSoakFlowModChurn runs the tier-A soak with sustained barrier
+// churn — 32 hot flows strict-deleted and re-installed every window via
+// the shard-owned apply path — and demands the same clean invariant
+// sheet: conservation at every seam and the benign-loss ceiling must
+// survive rules being torn down and rebuilt under load, in both the
+// partitioned Engine and the locked Baseline.
+func TestSoakFlowModChurn(t *testing.T) {
+	for _, baseline := range []bool{false, true} {
+		baseline := baseline
+		name := "engine"
+		if baseline {
+			name = "baseline"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tierACfg(ProfileAll)
+			cfg.FlowModsPerWindow = 32
+			cfg.Baseline = baseline
+			res := mustRun(t, cfg)
+			if !res.Detected {
+				t.Errorf("above-floor attackers were never blamed under churn")
+			}
+			last := res.Windows[len(res.Windows)-1]
+			if last.Processed == 0 || last.Misses == 0 {
+				t.Errorf("degenerate churn run: processed=%d misses=%d", last.Processed, last.Misses)
+			}
+			// Every deleted rule was re-installed, so the table must end
+			// at full strength: churn must not leak or lose rules.
+			if last.TableRules != cfg.HotFlows {
+				t.Errorf("table rules after churn = %d, want %d", last.TableRules, cfg.HotFlows)
+			}
+		})
+	}
+}
+
 // TestSoakScenarioRoundTrip pins the parser on a representative string.
 func TestSoakScenarioRoundTrip(t *testing.T) {
-	cfg, err := ParseScenario("profile=rotate,duration=3s,window=50ms,flows=1000,ports=4,seed=0x7,chaos=on,benign_pps=8000")
+	cfg, err := ParseScenario("profile=rotate,duration=3s,window=50ms,flows=1000,ports=4,seed=0x7,chaos=on,benign_pps=8000,flowmods=16")
 	if err != nil {
 		t.Fatalf("ParseScenario: %v", err)
 	}
 	if cfg.Profile != ProfileRotate || cfg.Duration != 3*time.Second || cfg.Window != 50*time.Millisecond ||
-		cfg.Flows != 1000 || cfg.Ports != 4 || cfg.Seed != 7 || !cfg.Chaos || cfg.BenignPPS != 8000 {
+		cfg.Flows != 1000 || cfg.Ports != 4 || cfg.Seed != 7 || !cfg.Chaos || cfg.BenignPPS != 8000 ||
+		cfg.FlowModsPerWindow != 16 {
 		t.Fatalf("ParseScenario round-trip mismatch: %+v", cfg)
 	}
 	for _, bad := range []string{
 		"duration=-5s", "window=0s", "benign_pps=-1", "benign_pps=nan",
 		"flows=0", "ports=200", "profile=nope", "garbage", "chaos=maybe",
 		"duration=50ms,window=1s", "zipf_s=0.5", "loss_ceiling=2",
+		"flowmods=-1", "flowmods=x",
 	} {
 		if _, err := ParseScenario(bad); err == nil {
 			t.Errorf("ParseScenario(%q) accepted a malformed scenario", bad)

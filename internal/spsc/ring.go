@@ -161,6 +161,45 @@ func (r *Ring[T]) PopBatchWait(dst []T) int {
 	}
 }
 
+// Wait blocks the consumer until the ring is plausibly non-empty, the
+// ring is closed, or an out-of-band Wake arrives. It busy-polls briefly
+// before parking, exactly like PopBatchWait, but leaves the popping to
+// the caller — the shape a consumer needs when it multiplexes this ring
+// with other work (e.g. an in-band control queue) and must re-check that
+// work after every wakeup. Spurious returns are allowed. Consumer only.
+func (r *Ring[T]) Wait() {
+	for i := 0; i < popSpins; i++ {
+		if r.Len() > 0 || r.closed.Load() {
+			return
+		}
+		if i%8 == 7 {
+			runtime.Gosched()
+		}
+	}
+	// Park: raise the flag, re-check (the producer may have published
+	// between the last poll and the flag), then block on the poke.
+	r.parked.Store(true)
+	if r.Len() > 0 || r.closed.Load() {
+		r.parked.Store(false)
+		return
+	}
+	<-r.wake
+	r.parked.Store(false)
+}
+
+// Wake pokes a parked (or about-to-park) consumer from any goroutine.
+// Unlike the producer's publish path it does not require the SPSC
+// producer role: a control plane uses it to rouse a consumer idling in
+// Wait or PopBatchWait so it notices out-of-band work. The one-slot
+// wake channel makes a Wake that races the park latch at worst a
+// spurious wakeup, never a lost one.
+func (r *Ring[T]) Wake() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
 // notify pokes a parked consumer. The flag check keeps the cost of the
 // un-parked common case to one uncontended atomic load.
 func (r *Ring[T]) notify() {
