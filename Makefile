@@ -3,7 +3,7 @@ GO ?= go
 # a real hunt: make fuzz FUZZTIME=10m).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 cover check fuzz soak-short ci
+.PHONY: all build test race vet bench bench-all bench-telemetry bench-json bench-json5 bench-json6 bench-json7 bench-json8 bench-json9 bench-json10 cover check fuzz soak-short ci
 
 all: build test
 
@@ -156,6 +156,21 @@ bench-json9:
 		-gate 'BenchmarkSustainedPPSChurn/mode=sharded(-|$$):p99ms<=250' \
 		-gate 'BenchmarkSustainedPPSChurn/mode=sharded(-|$$):flowmods>=100'
 
+# The PR-10 SYN-proxy tier rendered as BENCH_10.json: the stateless
+# cookie encode/validate and the sharded connection-table lookup all sit
+# on the per-SYN data-plane path, so each carries a 0 allocs/op budget;
+# the full guard Process (parse + verdict + table walk) must stay
+# allocation-free too.
+bench-json10:
+	@rm -f bench10.txt
+	$(GO) test -bench='CookieEncode|CookieValidate|ConnTableLookup|GuardProcess' \
+		-benchtime=10000x -benchmem -run=^$$ ./internal/tcpguard/ | tee bench10.txt
+	$(GO) run ./cmd/benchjson -in bench10.txt -out BENCH_10.json \
+		-gate 'BenchmarkCookieEncode(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkCookieValidate(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkConnTableLookup(-|$$):allocs_per_op<=0' \
+		-gate 'BenchmarkGuardProcess(-|$$):allocs_per_op<=0'
+
 # The deterministic tier-A soak on its own, in short mode — the
 # seconds-scale smoke ci runs on every push.
 soak-short:
@@ -173,7 +188,8 @@ check: build vet test race
 # written to the package's testdata/fuzz/ and replays as a plain test
 # case from then on.
 fuzz:
-	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netpkt/ -run '^$$' -fuzz FuzzTCP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzRead -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/dpcproto/ -run '^$$' -fuzz FuzzReplayHintRoundTrip -fuzztime $(FUZZTIME)

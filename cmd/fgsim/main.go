@@ -8,7 +8,7 @@
 //	fgsim <experiment> [flags]
 //
 // Experiments: sec2-baseline, fig10, fig11, fig12, fig13, tab3, tab4,
-// compare, chaos, attrib, sweep, pps, soak, all
+// compare, chaos, attrib, sweep, pps, soak, synflood, all
 package main
 
 import (
@@ -129,6 +129,8 @@ experiments:
   pps             sustained-pps macro benchmark: sharded engine vs channel baseline
   soak            adversarial soak: zipfian flows + adaptive attackers + chaos,
                   invariants asserted every window (-duration/-flows/-profile/-scenario)
+  synflood        TCP SYN-flood sweep: benign handshake completion and controller
+                  packet_ins with the SYN-proxy tier off vs on at each attack rate
   all             run everything in paper order
 
 flags:`)
@@ -164,6 +166,8 @@ func run(name string, trials, iters int, seed int64, flaps, shards int,
 		return pps(seed, shards, flowModRate)
 	case "soak":
 		return soakRun(seed, shards, duration, flows, profile, scenario)
+	case "synflood":
+		return synflood(seed)
 	case "all":
 		for _, fn := range []func() error{
 			sec2, fig10, fig11, fig12,
@@ -384,6 +388,21 @@ func soakRun(seed int64, shards int, duration time.Duration, flows int, profile,
 		}
 		return fmt.Errorf("soak: %d invariant violations", n)
 	}
+	return nil
+}
+
+// synflood runs the TCP tier's off-vs-on sweep; the -seed flag keys
+// every cell, so two runs with the same seed emit byte-identical CSV
+// (the CI determinism smoke compares the bytes).
+func synflood(seed int64) error {
+	r, err := experiments.RunSynFlood(seed)
+	if err != nil {
+		return err
+	}
+	if asCSV {
+		return r.WriteCSV(os.Stdout)
+	}
+	r.Print(os.Stdout)
 	return nil
 }
 

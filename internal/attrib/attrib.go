@@ -71,6 +71,18 @@ type Config struct {
 	// DecayEveryWindows halves the sketches every N Roll calls, giving
 	// source estimates an exponential horizon (default 8).
 	DecayEveryWindows int
+
+	// TCPMaxSources bounds the per-source TCP handshake-evidence table
+	// fed by the tcpguard tier (default 1024). Exceeding sources are
+	// pruned lowest-SYN-count-first at each Roll.
+	TCPMaxSources int
+	// TCPMinSyns is the minimum cumulative SYNs (or invalid segments)
+	// from one source before its handshake record can brand it an
+	// offender (default 16).
+	TCPMinSyns uint64
+	// TCPCompletionFrac is the completion ratio below which a source
+	// with enough SYNs is an offender: acks < frac × syns (default 0.1).
+	TCPCompletionFrac float64
 }
 
 // DefaultConfig returns the documented defaults.
@@ -87,6 +99,9 @@ func DefaultConfig() Config {
 		HeavyHitterFrac:   0.25,
 		MinSampleTotal:    64,
 		DecayEveryWindows: 8,
+		TCPMaxSources:     1024,
+		TCPMinSyns:        16,
+		TCPCompletionFrac: 0.1,
 	}
 }
 
@@ -124,6 +139,15 @@ func (c *Config) normalize() {
 	}
 	if c.DecayEveryWindows <= 0 {
 		c.DecayEveryWindows = d.DecayEveryWindows
+	}
+	if c.TCPMaxSources <= 0 {
+		c.TCPMaxSources = d.TCPMaxSources
+	}
+	if c.TCPMinSyns == 0 {
+		c.TCPMinSyns = d.TCPMinSyns
+	}
+	if c.TCPCompletionFrac <= 0 || c.TCPCompletionFrac > 1 || math.IsNaN(c.TCPCompletionFrac) {
+		c.TCPCompletionFrac = d.TCPCompletionFrac
 	}
 }
 
@@ -192,6 +216,11 @@ type Attributor struct {
 	// contract.
 	jrec *journal.Recorder
 
+	// tcpSrc is the bounded per-source handshake-evidence table, fed by
+	// tcpguard verdicts through the shard observers' Flush merges.
+	// Guarded by mu; pruned and re-judged at Roll.
+	tcpSrc map[uint64]*tcpEvidence
+
 	windows    int
 	anyBlamed  bool // snapshot of "some port blamed" for the source gate
 	blamedN    telemetry.Gauge
@@ -204,10 +233,11 @@ type Attributor struct {
 func New(cfg Config) *Attributor {
 	cfg.normalize()
 	return &Attributor{
-		cfg:   cfg,
-		ports: make(map[uint64]*portState),
-		srcs:  sketch.NewCountMin(cfg.SketchRows, cfg.SketchCols, cfg.Seed),
-		hot:   sketch.NewSpaceSaving(cfg.TopK),
+		cfg:    cfg,
+		ports:  make(map[uint64]*portState),
+		srcs:   sketch.NewCountMin(cfg.SketchRows, cfg.SketchCols, cfg.Seed),
+		hot:    sketch.NewSpaceSaving(cfg.TopK),
+		tcpSrc: make(map[uint64]*tcpEvidence),
 	}
 }
 
@@ -347,6 +377,7 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 		a.srcs.Decay()
 		a.hot.Decay()
 	}
+	a.rollTCPLocked()
 	return verdicts
 }
 
@@ -356,12 +387,25 @@ func (a *Attributor) Roll(window time.Duration) []Verdict {
 // gate keeps a lone benign talker (100% of a quiet stream) from being
 // branded a heavy hitter outside attacks.
 func (a *Attributor) Hint(origin uint64, inPort uint16, pkt *netpkt.Packet) uint8 {
+	var tcpOffender bool
 	a.mu.Lock()
 	ps := a.ports[portKey(origin, inPort)]
 	portBlamed := ps != nil && ps.blamed
 	anyBlamed := a.anyBlamed
+	if pkt != nil && len(a.tcpSrc) > 0 && pkt.IsIP() {
+		if ev := a.tcpSrc[uint64(pkt.NwSrc)]; ev != nil {
+			tcpOffender = ev.offender
+		}
+	}
 	a.mu.Unlock()
 	if portBlamed {
+		return dpcache.HintSuspect
+	}
+	if tcpOffender {
+		// Handshake evidence stands on its own: a source whose SYNs never
+		// turn into valid ACKs is suspect even before any port-level rate
+		// excursion accumulates.
+		a.srcSuspect.Inc()
 		return dpcache.HintSuspect
 	}
 	if anyBlamed && pkt != nil && pkt.IsIP() {

@@ -1,0 +1,212 @@
+package attrib
+
+import (
+	"sort"
+
+	"floodguard/internal/journal"
+	"floodguard/internal/netpkt"
+	"floodguard/internal/tcpguard"
+)
+
+// TCP handshake evidence: the tcpguard tier reports per-source verdicts
+// (SYN answered, completion, cookie failure, malformed segment) through
+// the shard observers; this file accumulates them into a bounded
+// per-source table and turns "4k SYNs, 0 valid ACKs" into a suspect
+// verdict and a journal evidence trail. The table decays on the same
+// cadence as the frequency sketches so offenders heal once they stop.
+
+// tcpEvidence is one source's cumulative handshake record.
+type tcpEvidence struct {
+	syns      uint64
+	acks      uint64
+	fails     uint64
+	malformed uint64
+	port      uint16 // last ingress port, for the journal trail
+	offender  bool   // judged at Roll
+	journaled bool   // evidence event emitted since last state change
+}
+
+// TCPEvidence is the exported view of one source's handshake record.
+type TCPEvidence struct {
+	Syns        uint64
+	Completions uint64
+	CookieFails uint64
+	Malformed   uint64
+	Offender    bool
+}
+
+// tcpEvidenceJournalCap bounds how many offender evidence events one
+// Roll may emit (worst offenders first), keeping the journal's FIFO
+// retention useful under rotating-source floods.
+const tcpEvidenceJournalCap = 8
+
+// mergeTCPLocked folds one shard's flushed delta into the table.
+// Caller holds a.mu. The table may transiently exceed TCPMaxSources
+// between Rolls; pruning happens only at Roll so that eviction order
+// never depends on Go map iteration order.
+func (a *Attributor) mergeTCPLocked(src uint64, port uint16, syns, acks, fails, malformed uint64) {
+	ev := a.tcpSrc[src]
+	if ev == nil {
+		ev = &tcpEvidence{}
+		a.tcpSrc[src] = ev
+	}
+	ev.syns += syns
+	ev.acks += acks
+	ev.fails += fails
+	ev.malformed += malformed
+	ev.port = port
+}
+
+// rollTCPLocked re-judges offenders, emits journal evidence for the
+// worst of them, prunes the table back under its bound, and decays the
+// counters on the sketch cadence. Caller holds a.mu; called once per
+// Roll after the window counter advanced.
+func (a *Attributor) rollTCPLocked() {
+	if len(a.tcpSrc) == 0 {
+		return
+	}
+	// Deterministic order for judging, journalling, and pruning.
+	keys := make([]uint64, 0, len(a.tcpSrc))
+	for src := range a.tcpSrc {
+		keys = append(keys, src)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		x, y := a.tcpSrc[keys[i]], a.tcpSrc[keys[j]]
+		if x.syns != y.syns {
+			return x.syns > y.syns
+		}
+		return keys[i] < keys[j]
+	})
+
+	journaled := 0
+	for _, src := range keys {
+		ev := a.tcpSrc[src]
+		was := ev.offender
+		ev.offender = a.judgeTCP(ev)
+		if ev.offender != was {
+			ev.journaled = false
+		}
+		if ev.offender && !ev.journaled && journaled < tcpEvidenceJournalCap {
+			a.jrec.Record(journal.KindTCPEvidence, 0, 0, src, ev.port,
+				float64(ev.syns), float64(ev.acks), float64(ev.fails+ev.malformed))
+			ev.journaled = true
+			journaled++
+		}
+	}
+
+	// Prune: keep the TCPMaxSources worst (the sort above already ranks
+	// by SYN volume, which is what the bound protects against).
+	if len(keys) > a.cfg.TCPMaxSources {
+		for _, src := range keys[a.cfg.TCPMaxSources:] {
+			delete(a.tcpSrc, src)
+		}
+	}
+
+	if a.windows%a.cfg.DecayEveryWindows == 0 {
+		for src, ev := range a.tcpSrc {
+			ev.syns /= 2
+			ev.acks /= 2
+			ev.fails /= 2
+			ev.malformed /= 2
+			if ev.syns == 0 && ev.acks == 0 && ev.fails == 0 && ev.malformed == 0 {
+				delete(a.tcpSrc, src)
+			}
+		}
+	}
+}
+
+// judgeTCP decides whether a record brands its source an offender: a
+// SYN volume past the floor with almost no completions, or a floor's
+// worth of invalid (cookie-failing or malformed) segments.
+func (a *Attributor) judgeTCP(ev *tcpEvidence) bool {
+	if ev.syns >= a.cfg.TCPMinSyns &&
+		float64(ev.acks) < a.cfg.TCPCompletionFrac*float64(ev.syns) {
+		return true
+	}
+	return ev.fails >= a.cfg.TCPMinSyns || ev.malformed >= a.cfg.TCPMinSyns
+}
+
+// TCPSourceEvidence returns the handshake record for one source.
+func (a *Attributor) TCPSourceEvidence(src netpkt.IPv4) TCPEvidence {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ev := a.tcpSrc[uint64(src)]
+	if ev == nil {
+		return TCPEvidence{}
+	}
+	return TCPEvidence{
+		Syns:        ev.syns,
+		Completions: ev.acks,
+		CookieFails: ev.fails,
+		Malformed:   ev.malformed,
+		Offender:    ev.offender,
+	}
+}
+
+// TCPTrackedSources returns the evidence-table occupancy (bounded by
+// Config.TCPMaxSources at every Roll barrier).
+func (a *Attributor) TCPTrackedSources() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.tcpSrc)
+}
+
+// TCPOffenders returns how many sources are currently judged offenders.
+func (a *Attributor) TCPOffenders() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ev := range a.tcpSrc {
+		if ev.offender {
+			n++
+		}
+	}
+	return n
+}
+
+// tcpDelta is one shard observer's window-local accumulation for one
+// source.
+type tcpDelta struct {
+	syns      uint32
+	acks      uint32
+	fails     uint32
+	malformed uint32
+	port      uint16
+}
+
+// TCPVerdict implements tcpguard.Observer for ShardObserver: verdicts
+// accumulate shard-locally (single-writer, no locks) and merge into the
+// attributor at the next Flush barrier.
+func (o *ShardObserver) TCPVerdict(dpid uint64, inPort uint16, src netpkt.IPv4, v tcpguard.Verdict) {
+	d := o.tcp[uint64(src)]
+	if d == nil {
+		d = &tcpDelta{}
+		o.tcp[uint64(src)] = d
+	}
+	switch v {
+	case tcpguard.VerdictSyn:
+		d.syns++
+	case tcpguard.VerdictCompletion:
+		d.acks++
+	case tcpguard.VerdictCookieFail:
+		d.fails++
+	case tcpguard.VerdictMalformedFlags, tcpguard.VerdictMalformedOffset, tcpguard.VerdictMalformedOptions:
+		d.malformed++
+	default:
+		return
+	}
+	d.port = inPort
+}
+
+// flushTCPLocked merges and resets the shard-local TCP deltas. Caller
+// holds a.mu (Flush).
+func (o *ShardObserver) flushTCPLocked() {
+	if len(o.tcp) == 0 {
+		return
+	}
+	for src, d := range o.tcp {
+		o.a.mergeTCPLocked(src, d.port,
+			uint64(d.syns), uint64(d.acks), uint64(d.fails), uint64(d.malformed))
+		delete(o.tcp, src)
+	}
+}

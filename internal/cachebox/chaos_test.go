@@ -73,8 +73,8 @@ func TestBoxReplaysAcrossAgentFlaps(t *testing.T) {
 	}
 
 	box, ingestAddr, err := Start(Config{
-		DialAgent:   dial,
-		AgentRedial: dpcproto.RedialOptions{Backoff: fastBackoff()},
+		DialAgent:     dial,
+		AgentRedial:   dpcproto.RedialOptions{Backoff: fastBackoff()},
 		IngestAddr:    "127.0.0.1:0",
 		Cache:         dpcache.Config{QueueCapacity: 1024, InitialRatePPS: 500},
 		StatsInterval: 25 * time.Millisecond,

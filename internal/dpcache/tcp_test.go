@@ -1,0 +1,69 @@
+package dpcache
+
+import (
+	"testing"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/netsim"
+	"floodguard/internal/tcpguard"
+)
+
+// TestTCPGuardTier pins the cache-tier contract: SYNs are answered at
+// the cache (cookie SYN-ACK, nothing enqueued, nothing replayed to the
+// controller), invalid ACKs are consumed, and only an ESTABLISHED
+// flow's packets enter the benign replay queues.
+func TestTCPGuardTier(t *testing.T) {
+	eng := netsim.NewEngine()
+	sink := &collect{}
+	c := New(eng, Config{QueueCapacity: 16, InitialRatePPS: 1000}, sink)
+	var synacks []netpkt.Packet
+	g := tcpguard.New(tcpguard.Config{Shards: 1, Secret: 0xF100D,
+		SynAck: func(_ uint64, _ uint16, sa netpkt.Packet) { synacks = append(synacks, sa) }})
+	c.SetTCPGuard(g)
+	c.Start()
+	defer c.Stop()
+
+	syn := tagged(netpkt.ProtoTCP, 3, 80)
+	syn.TCPFlags = netpkt.TCPSyn
+	syn.TCPSeq = 42
+	c.DeliverFromSwitch(syn)
+
+	st := c.Stats()
+	if st.CookieAnswered != 1 || st.Enqueued != 0 || st.Backlog != 0 {
+		t.Fatalf("after SYN: %+v", st)
+	}
+	if len(synacks) != 1 {
+		t.Fatalf("got %d SYN-ACKs, want 1", len(synacks))
+	}
+
+	// An ACK with a forged cookie is consumed, not queued.
+	bad := syn
+	bad.TCPFlags = netpkt.TCPAck
+	bad.TCPAck = synacks[0].TCPSeq + 2
+	c.DeliverFromSwitch(bad)
+	if st := c.Stats(); st.GuardDropped != 1 || st.Enqueued != 0 {
+		t.Fatalf("after forged ACK: %+v", st)
+	}
+
+	// The genuine completing ACK establishes and queues benign.
+	ack := syn
+	ack.TCPFlags = netpkt.TCPAck
+	ack.TCPSeq = synacks[0].TCPAck
+	ack.TCPAck = synacks[0].TCPSeq + 1
+	c.DeliverFromSwitch(ack)
+	st = c.Stats()
+	if st.Enqueued != 1 || st.Backlog != 1 || st.SuspectBacklog != 0 {
+		t.Fatalf("after valid ACK: %+v", st)
+	}
+	if gs := g.Stats(); gs.Established != 1 {
+		t.Fatalf("guard stats %+v", gs)
+	}
+
+	// Replay delivers the established flow's ACK to the controller; the
+	// SYN never reaches it.
+	eng.RunFor(10 * time.Millisecond) // > 1 service at 1000 pps
+	if len(sink.packets) != 1 || sink.packets[0].TCPFlags != netpkt.TCPAck {
+		t.Fatalf("controller saw %d packets (%+v)", len(sink.packets), sink.packets)
+	}
+}

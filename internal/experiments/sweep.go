@@ -45,10 +45,10 @@ type SweepJob struct {
 
 // SweepPoint is one finished cell.
 type SweepPoint struct {
-	Profile       string
-	Seed          int64
-	AttackPPS     float64
-	BaselineBits  float64
+	Profile        string
+	Seed           int64
+	AttackPPS      float64
+	BaselineBits   float64
 	FloodGuardBits float64
 }
 

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSynFloodSweep runs the full off-vs-on sweep and checks the
+// claims the writeup tabulates: with the tier on every benign
+// handshake completes, cookies are answered in the data plane, the
+// connection table stays under its fixed budget, and the controller
+// sees strictly fewer packet_ins than with the tier off at the same
+// rate; the CSV carries one row per (rate, tier) cell.
+func TestSynFloodSweep(t *testing.T) {
+	r, err := RunSynFlood(0xF100D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2*len(SynFloodRates) {
+		t.Fatalf("points = %d, want %d", len(r.Points), 2*len(SynFloodRates))
+	}
+	for i := 0; i < len(r.Points); i += 2 {
+		off, on := r.Points[i], r.Points[i+1]
+		if off.TierOn || !on.TierOn || off.AttackPPS != on.AttackPPS {
+			t.Fatalf("cell order broken at %d: %+v / %+v", i, off, on)
+		}
+		if on.CompletionPct() < 99 {
+			t.Errorf("@%.0f pps tier on: completion %.2f%% < 99%%", on.AttackPPS, on.CompletionPct())
+		}
+		if on.SynAcked == 0 {
+			t.Errorf("@%.0f pps tier on: no cookie SYN-ACKs answered", on.AttackPPS)
+		}
+		if on.ConnPeak > on.ConnCap || on.ConnCap == 0 {
+			t.Errorf("@%.0f pps tier on: conn peak %d vs cap %d", on.AttackPPS, on.ConnPeak, on.ConnCap)
+		}
+		if on.PacketIns >= off.PacketIns {
+			t.Errorf("@%.0f pps: tier on packet_ins %d not below tier off %d",
+				on.AttackPPS, on.PacketIns, off.PacketIns)
+		}
+		if off.SynAcked != 0 || off.ConnPeak != 0 {
+			t.Errorf("@%.0f pps tier off: guard counters nonzero: %+v", off.AttackPPS, off)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, sb.String())
+	if len(rows) != 1+len(r.Points) || rows[0][0] != "attack_pps" {
+		t.Fatalf("CSV rows = %d, header = %v", len(rows), rows[0])
+	}
+	if rows[2][1] != "on" || rows[2][4] != "100.00" {
+		t.Errorf("tier-on data row = %v", rows[2])
+	}
+}

@@ -45,10 +45,18 @@ func SLOStateName(code uint8) string {
 // opposed to a shard id), i.e. the kinds --explain follows.
 func portKind(k Kind) bool {
 	switch k {
-	case KindSuspect, KindBlame, KindHeal, KindMigrate, KindUnmigrate, KindVerdictFlip:
+	case KindSuspect, KindBlame, KindHeal, KindMigrate, KindUnmigrate, KindVerdictFlip,
+		KindTCPEvidence:
 		return true
 	}
 	return false
+}
+
+// ipv4Name renders a KindTCPEvidence source address (stored host-order
+// in the DPID slot) without pulling netpkt into the journal's import
+// graph.
+func ipv4Name(ip uint64) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
 
 // FormatEvent renders one event as a stable single line of text.
@@ -94,6 +102,11 @@ func FormatEvent(ev Event) string {
 	case KindSLO:
 		return fmt.Sprintf("%s objective=%d state=%s burn_short=%.2fx burn_long=%.2fx",
 			head, ev.Aux, SLOStateName(ev.Code), ev.A, ev.B)
+	case KindTCPCookie:
+		return fmt.Sprintf("%s port=%d cumulative_synacks=%.0f", head, ev.Port, ev.A)
+	case KindTCPEvidence:
+		return fmt.Sprintf("%s src=%s port=%d syns=%.0f valid_acks=%.0f invalid=%.0f",
+			head, ipv4Name(ev.DPID), ev.Port, ev.A, ev.B, ev.C)
 	}
 	return fmt.Sprintf("%s code=%d dpid=%d port=%d a=%.3f b=%.3f c=%.3f",
 		head, ev.Code, ev.DPID, ev.Port, ev.A, ev.B, ev.C)

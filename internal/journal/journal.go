@@ -100,6 +100,18 @@ const (
 	// line maps indices to names), A = short-window burn rate,
 	// B = long-window burn rate.
 	KindSLO
+
+	// KindTCPCookie: the TCP tier answered SYNs with cookie SYN-ACKs on
+	// a shard; sampled on power-of-two counts. Port = ingress port,
+	// A = cumulative SYN-ACKs answered on that shard.
+	KindTCPCookie
+
+	// KindTCPEvidence: per-source handshake evidence from attribution's
+	// window roll — a source whose SYNs are not turning into valid
+	// ACKs. DPID = source IPv4 (host order), Port = last ingress port,
+	// A = SYNs, B = completions, C = cookie failures + malformed, all
+	// cumulative at the roll.
+	KindTCPEvidence
 )
 
 var kindNames = [...]string{
@@ -117,6 +129,8 @@ var kindNames = [...]string{
 	KindRingDrop:    "ring_drop",
 	KindViolation:   "violation",
 	KindSLO:         "slo",
+	KindTCPCookie:   "tcp_cookie",
+	KindTCPEvidence: "tcp_evidence",
 }
 
 func (k Kind) String() string {

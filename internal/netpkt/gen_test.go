@@ -1,12 +1,15 @@
 package netpkt
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestSpoofGenDeterministic(t *testing.T) {
 	a := NewSpoofGen(42, FloodUDP, 64)
 	b := NewSpoofGen(42, FloodUDP, 64)
 	for i := 0; i < 100; i++ {
-		if pa, pb := a.Next(), b.Next(); pa != pb {
+		if pa, pb := a.Next(), b.Next(); !reflect.DeepEqual(pa, pb) {
 			t.Fatalf("packet %d: generators with same seed diverge: %v vs %v", i, pa, pb)
 		}
 	}

@@ -206,7 +206,9 @@ func DecodeIPv4(b []byte) (IPv4Header, []byte, error) {
 	return h, b[ihl:end], nil
 }
 
-// TCPHeader is a TCP header without options.
+// TCPHeader is a TCP header. Options holds the raw option bytes between
+// the fixed header and the payload; Encode pads them with zeros to the
+// 4-byte data-offset granularity and clamps them to MaxTCPOptionsLen.
 type TCPHeader struct {
 	SrcPort uint16
 	DstPort uint16
@@ -214,18 +216,37 @@ type TCPHeader struct {
 	Ack     uint32
 	Flags   uint8
 	Window  uint16
+	Options []byte
 }
 
 const tcpHeaderLen = 20
 
+// MaxTCPOptionsLen is the largest option block a TCP data offset can
+// express: (15-5)*4 bytes.
+const MaxTCPOptionsLen = 40
+
+// tcpOptionsWireLen returns the encoded (4-byte padded, clamped) length
+// of an option block of n raw bytes.
+func tcpOptionsWireLen(n int) int {
+	if n > MaxTCPOptionsLen {
+		n = MaxTCPOptionsLen
+	}
+	return (n + 3) &^ 3
+}
+
 // Encode appends the wire form of t (checksum left zero — the simulated
 // data plane does not verify L4 checksums) to b.
 func (t *TCPHeader) Encode(b []byte) []byte {
+	opts := t.Options
+	if len(opts) > MaxTCPOptionsLen {
+		opts = opts[:MaxTCPOptionsLen]
+	}
+	off := tcpHeaderLen + tcpOptionsWireLen(len(opts))
 	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
 	b = binary.BigEndian.AppendUint16(b, t.DstPort)
 	b = binary.BigEndian.AppendUint32(b, t.Seq)
 	b = binary.BigEndian.AppendUint32(b, t.Ack)
-	b = append(b, 5<<4, t.Flags)
+	b = append(b, uint8(off/4)<<4, t.Flags)
 	win := t.Window
 	if win == 0 {
 		win = 65535
@@ -233,10 +254,13 @@ func (t *TCPHeader) Encode(b []byte) []byte {
 	b = binary.BigEndian.AppendUint16(b, win)
 	b = binary.BigEndian.AppendUint16(b, 0) // checksum
 	b = binary.BigEndian.AppendUint16(b, 0) // urgent
-	return b
+	b = append(b, opts...)
+	return appendZeros(b, off-tcpHeaderLen-len(opts))
 }
 
-// DecodeTCP parses a TCP header and returns the payload.
+// DecodeTCP parses a TCP header and returns the payload. t.Options
+// aliases b's option region (empty stays nil); callers that outlive the
+// frame buffer must copy it.
 func DecodeTCP(b []byte) (TCPHeader, []byte, error) {
 	var t TCPHeader
 	if len(b) < tcpHeaderLen {
@@ -252,7 +276,35 @@ func DecodeTCP(b []byte) (TCPHeader, []byte, error) {
 	}
 	t.Flags = b[13]
 	t.Window = binary.BigEndian.Uint16(b[14:16])
+	if off > tcpHeaderLen {
+		t.Options = b[tcpHeaderLen:off]
+	}
 	return t, b[off:], nil
+}
+
+// ValidateTCPOptions walks a TCP option block as a kind/length TLV list
+// and reports the first structural defect: a length-bearing option that
+// claims fewer than 2 bytes or overruns the block. EOL (kind 0) ends the
+// walk; NOP (kind 1) has no length octet.
+func ValidateTCPOptions(opts []byte) error {
+	for i := 0; i < len(opts); {
+		switch opts[i] {
+		case 0: // EOL — remainder is padding
+			return nil
+		case 1: // NOP
+			i++
+		default:
+			if i+1 >= len(opts) {
+				return fmt.Errorf("tcp option kind %d at %d: %w", opts[i], i, ErrTruncated)
+			}
+			l := int(opts[i+1])
+			if l < 2 || i+l > len(opts) {
+				return fmt.Errorf("tcp option kind %d at %d: bad length %d", opts[i], i, l)
+			}
+			i += l
+		}
+	}
+	return nil
 }
 
 // UDPHeader is a UDP header.

@@ -32,8 +32,17 @@ type Packet struct {
 	TpSrc uint16
 	TpDst uint16
 
-	// TCPFlags is kept for the SYN-proxy comparison baseline (AvantGuard).
-	TCPFlags uint8
+	// TCP sequencing and options (valid when NwProto == ProtoTCP). The
+	// SYN-proxy tier needs the real seq/ack numbers to mint and validate
+	// stateless cookies, and the raw option bytes to judge structural
+	// validity. TCPOptions may alias the parsed frame and is nil on the
+	// packets the hot-path generators build; Marshal pads it to the
+	// 4-byte data-offset granularity, so a round-tripped packet carries
+	// the padded block.
+	TCPFlags   uint8
+	TCPSeq     uint32
+	TCPAck     uint32
+	TCPOptions []byte
 
 	// PayloadLen is the L4 payload length in bytes; the simulator tracks
 	// it for bandwidth accounting without carrying the bytes around.
@@ -90,7 +99,7 @@ func (p *Packet) WireLen() int {
 func (p *Packet) l4Len() int {
 	switch p.NwProto {
 	case ProtoTCP:
-		return tcpHeaderLen + p.PayloadLen
+		return tcpHeaderLen + tcpOptionsWireLen(len(p.TCPOptions)) + p.PayloadLen
 	case ProtoUDP:
 		return udpHeaderLen + p.PayloadLen
 	case ProtoICMP:
@@ -186,7 +195,11 @@ func (p *Packet) MarshalAppend(b []byte) []byte {
 		b = h.Encode(b, p.l4Len())
 		switch p.NwProto {
 		case ProtoTCP:
-			t := TCPHeader{SrcPort: p.TpSrc, DstPort: p.TpDst, Flags: p.TCPFlags}
+			t := TCPHeader{
+				SrcPort: p.TpSrc, DstPort: p.TpDst,
+				Seq: p.TCPSeq, Ack: p.TCPAck,
+				Flags: p.TCPFlags, Options: p.TCPOptions,
+			}
 			b = t.Encode(b)
 			b = appendZeros(b, p.PayloadLen)
 		case ProtoUDP:
@@ -261,6 +274,9 @@ func Parse(frame []byte) (Packet, error) {
 				p.TpSrc = t.SrcPort
 				p.TpDst = t.DstPort
 				p.TCPFlags = t.Flags
+				p.TCPSeq = t.Seq
+				p.TCPAck = t.Ack
+				p.TCPOptions = t.Options
 				p.PayloadLen = len(payload)
 			}
 		case ProtoUDP:

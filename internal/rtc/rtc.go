@@ -36,6 +36,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/netsim"
 	"floodguard/internal/spsc"
+	"floodguard/internal/tcpguard"
 	"floodguard/internal/telemetry"
 )
 
@@ -122,6 +123,14 @@ type Config struct {
 	// to the controller path, with its virtual-time queue residency.
 	// Called on the cache-stage goroutine.
 	ReplayObserver func(origin uint64, origInPort uint16, pkt netpkt.Packet, queued time.Duration)
+	// TCPGuard, when set, enables the SYN-proxy tier on the shard miss
+	// path: table-miss TCP segments run the stateless-cookie handshake
+	// before the cache handoff, so SYN floods are answered (and invalid
+	// ACKs consumed) without ever occupying cache queue space or reaching
+	// the controller. The Shards field is overridden with the engine's
+	// shard count so guard state partitions exactly like port ownership;
+	// handshake verdicts feed each shard's attribution observer.
+	TCPGuard *tcpguard.Config
 	// Journal, when set, receives decision events. It must be built with
 	// journal.ForEngine(Shards): each shard goroutine takes its own
 	// recorder slot (flush barriers, sampled handoff-ring drops), the
@@ -203,6 +212,8 @@ type Shard struct {
 	flushes    atomic.Uint64
 	applied    atomic.Uint64
 	applyErrs  atomic.Uint64
+	synAcked   atomic.Uint64
+	guardDrops atomic.Uint64
 
 	// jrec is this shard's journal recorder (nil when no journal is
 	// attached; Record on nil is a no-op).
@@ -229,7 +240,14 @@ type ShardStats struct {
 	Flushes    uint64
 	Applied    uint64
 	ApplyErrs  uint64
-	Micro      flowtable.MicroCacheStats
+	// SynAcked and GuardDropped count table-miss TCP segments the
+	// SYN-proxy tier consumed on this shard (cookie SYN-ACK answered /
+	// invalid segment dropped). Guard-consumed packets never enter the
+	// shard→cache ring: Misses = handed-to-cache + CacheDrops + SynAcked
+	// + GuardDropped.
+	SynAcked     uint64
+	GuardDropped uint64
+	Micro        flowtable.MicroCacheStats
 }
 
 // Snapshot is an engine-wide state snapshot: per-shard counters, their
@@ -237,10 +255,12 @@ type ShardStats struct {
 type Snapshot struct {
 	Shards []ShardStats
 
-	Processed  uint64
-	Forwarded  uint64
-	Misses     uint64
-	CacheDrops uint64
+	Processed    uint64
+	Forwarded    uint64
+	Misses       uint64
+	CacheDrops   uint64
+	SynAcked     uint64
+	GuardDropped uint64
 
 	P50, P99 time.Duration
 
@@ -256,6 +276,7 @@ type Engine struct {
 	parts  *flowtable.Sharded
 	shared *flowtable.Concurrent
 	attr   *attrib.Attributor
+	guard  *tcpguard.Guard
 	shards []*Shard
 
 	sim      *netsim.Engine
@@ -339,6 +360,16 @@ func New(cfg Config) *Engine {
 		}
 		e.shards[i] = s
 	}
+	if cfg.TCPGuard != nil {
+		// The guard partitions its connection tables exactly like port
+		// ownership: guard shard i is touched only by engine shard i.
+		gcfg := *cfg.TCPGuard
+		gcfg.Shards = cfg.Shards
+		e.guard = tcpguard.New(gcfg)
+		for i, s := range e.shards {
+			e.guard.SetShardObserver(i, s.obs)
+		}
+	}
 	return e
 }
 
@@ -375,6 +406,21 @@ func (e *Engine) TableStats() flowtable.Stats {
 
 // Attributor exposes the shared attribution engine (verdict reads).
 func (e *Engine) Attributor() *attrib.Attributor { return e.attr }
+
+// TCPGuard exposes the SYN-proxy tier (nil when disabled). Stats and
+// Window are safe live; per-connection introspection needs a shard
+// barrier.
+func (e *Engine) TCPGuard() *tcpguard.Guard { return e.guard }
+
+// GuardCounters sums the shard-level SYN-proxy accounting: cookie
+// SYN-ACKs answered and invalid segments dropped on the miss path.
+func (e *Engine) GuardCounters() (synAcked, guardDropped uint64) {
+	for _, s := range e.shards {
+		synAcked += s.synAcked.Load()
+		guardDropped += s.guardDrops.Load()
+	}
+	return
+}
 
 // Cache exposes the data plane cache. It is owned by the cache-stage
 // goroutine: mutate it (SetRate, rule table) only from RunOnCache
@@ -563,6 +609,7 @@ func (s *Shard) run() {
 					s.drainCtrl(time.Now())
 				}
 				s.obs.Flush() // final merge before the ring goes away
+				s.flushGuard()
 				s.noteFlush(dpid)
 				return
 			}
@@ -579,6 +626,7 @@ func (s *Shard) run() {
 					s.drainCtrl(now)
 				}
 				s.obs.Flush()
+				s.flushGuard()
 				s.noteFlush(dpid)
 				continue
 			}
@@ -586,6 +634,7 @@ func (s *Shard) run() {
 		}
 		if !manual && now.After(nextFlush) {
 			s.obs.Flush()
+			s.flushGuard()
 			s.noteFlush(dpid)
 			nextFlush = now.Add(window)
 		}
@@ -619,19 +668,56 @@ func (s *Shard) processOne(it *Item, now time.Time, dpid uint64) {
 	} else {
 		s.misses.Add(1)
 		s.obs.Observe(dpid, it.InPort, p)
-		tagged := *p
-		tagged.NwTOS = dpcache.EncodeInPortTOS(it.InPort)
-		if !s.toCache.Push(CacheItem{Origin: dpid, Pkt: tagged}) {
-			d := s.cacheDrops.Add(1)
-			// Power-of-two sampled: a sustained overload journals
-			// O(log drops) events, not one per packet.
-			if d&(d-1) == 0 {
-				s.jrec.Record(journal.KindRingDrop, 0, 0, dpid, it.InPort, float64(d), 0, 0)
+		if !s.guardConsumed(p, it.InPort, dpid) {
+			tagged := *p
+			tagged.NwTOS = dpcache.EncodeInPortTOS(it.InPort)
+			if !s.toCache.Push(CacheItem{Origin: dpid, Pkt: tagged}) {
+				d := s.cacheDrops.Add(1)
+				// Power-of-two sampled: a sustained overload journals
+				// O(log drops) events, not one per packet.
+				if d&(d-1) == 0 {
+					s.jrec.Record(journal.KindRingDrop, 0, 0, dpid, it.InPort, float64(d), 0, 0)
+				}
 			}
 		}
 	}
 	if it.IngressNanos != 0 {
 		s.lat.observe(now.Sub(time.Unix(0, it.IngressNanos)))
+	}
+}
+
+// guardConsumed runs the SYN-proxy tier on one table-miss packet,
+// still on the shard goroutine (the run-to-completion contract: the
+// guard's shard-i connection table is touched only here). It reports
+// whether the tier consumed the packet — answered its SYN with a
+// cookie SYN-ACK or dropped an invalid segment — in which case the
+// packet must not be handed to the cache.
+func (s *Shard) guardConsumed(p *netpkt.Packet, inPort uint16, dpid uint64) bool {
+	g := s.eng.guard
+	if g == nil || p.EthType != netpkt.EtherTypeIPv4 || p.NwProto != netpkt.ProtoTCP {
+		return false
+	}
+	switch g.Process(s.id, dpid, inPort, p) {
+	case tcpguard.ActionAnswer:
+		n := s.synAcked.Add(1)
+		// Power-of-two sampled, like ring drops: a SYN flood journals
+		// O(log answered) cookie events.
+		if n&(n-1) == 0 {
+			s.jrec.Record(journal.KindTCPCookie, 0, 0, dpid, inPort, float64(n), 0, 0)
+		}
+		return true
+	case tcpguard.ActionDrop:
+		s.guardDrops.Add(1)
+		return true
+	}
+	return false
+}
+
+// flushGuard sweeps the shard's guard connection table at the window
+// barrier (idle/closed eviction). Shard goroutine only.
+func (s *Shard) flushGuard() {
+	if g := s.eng.guard; g != nil {
+		g.FlushShard(s.id)
 	}
 }
 
@@ -678,6 +764,9 @@ func (e *Engine) cacheLoop() {
 		if now.Sub(lastRoll) >= e.cfg.Window {
 			e.attr.Roll(now.Sub(lastRoll))
 			e.cfg.Journal.AdvanceWindow()
+			if e.guard != nil {
+				e.guard.AdvanceWindow() // cookie window tracks the attrib window
+			}
 			lastRoll = now
 		}
 		// Throttled drain: polling every recorder ring touches cache
@@ -756,20 +845,24 @@ func (e *Engine) Snapshot() Snapshot {
 	snap.Shards = make([]ShardStats, len(e.shards))
 	for i, s := range e.shards {
 		st := ShardStats{
-			Processed:  s.processed.Load(),
-			Forwarded:  s.forwarded.Load(),
-			Misses:     s.misses.Load(),
-			CacheDrops: s.cacheDrops.Load(),
-			Flushes:    s.flushes.Load(),
-			Applied:    s.applied.Load(),
-			ApplyErrs:  s.applyErrs.Load(),
-			Micro:      s.microStats(),
+			Processed:    s.processed.Load(),
+			Forwarded:    s.forwarded.Load(),
+			Misses:       s.misses.Load(),
+			CacheDrops:   s.cacheDrops.Load(),
+			Flushes:      s.flushes.Load(),
+			Applied:      s.applied.Load(),
+			ApplyErrs:    s.applyErrs.Load(),
+			SynAcked:     s.synAcked.Load(),
+			GuardDropped: s.guardDrops.Load(),
+			Micro:        s.microStats(),
 		}
 		snap.Shards[i] = st
 		snap.Processed += st.Processed
 		snap.Forwarded += st.Forwarded
 		snap.Misses += st.Misses
 		snap.CacheDrops += st.CacheDrops
+		snap.SynAcked += st.SynAcked
+		snap.GuardDropped += st.GuardDropped
 		s.lat.addInto(&merged)
 	}
 	snap.P50 = latQuantile(&merged, 0.50)
@@ -798,6 +891,8 @@ func (e *Engine) Register(reg *telemetry.Registry, prefix string) {
 	reg.CounterFunc(prefix+"_missed_total", "Table-miss packets handed to the cache stage.", sum(func(s *Shard) uint64 { return s.misses.Load() }))
 	reg.CounterFunc(prefix+"_cache_ring_drops_total", "Misses dropped because the shard→cache ring was full.", sum(func(s *Shard) uint64 { return s.cacheDrops.Load() }))
 	reg.CounterFunc(prefix+"_replayed_total", "Packets replayed to the controller by the cache stage.", e.replayed.Load)
+	reg.CounterFunc(prefix+"_tcp_synacked_total", "Cookie SYN-ACKs answered by the shard SYN-proxy tier.", sum(func(s *Shard) uint64 { return s.synAcked.Load() }))
+	reg.CounterFunc(prefix+"_tcp_guard_dropped_total", "Invalid TCP segments dropped by the shard SYN-proxy tier.", sum(func(s *Shard) uint64 { return s.guardDrops.Load() }))
 	reg.CounterFunc(prefix+"_flowmods_applied_total", "In-band flow_mods executed by the shards.", sum(func(s *Shard) uint64 { return s.applied.Load() }))
 	reg.CounterFunc(prefix+"_flowmod_errors_total", "In-band flow_mods that failed to apply.", sum(func(s *Shard) uint64 { return s.applyErrs.Load() }))
 	if e.shared != nil {

@@ -1,0 +1,104 @@
+package rtc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"floodguard/internal/netpkt"
+	"floodguard/internal/tcpguard"
+)
+
+// TestEngineTCPGuardTier drives a SYN flood plus one legitimate
+// handshake through a guarded engine and pins the miss-path split:
+// every SYN is answered at the shard (conservation includes the
+// guard-consumed terms), the completing ACK reaches the cache, and the
+// flood source becomes an attribution offender.
+func TestEngineTCPGuardTier(t *testing.T) {
+	var mu sync.Mutex
+	var synacks []netpkt.Packet
+	cfg := testEngineConfig(1)
+	cfg.TCPGuard = &tcpguard.Config{
+		Secret: 0xF100D,
+		SynAck: func(_ uint64, _ uint16, sa netpkt.Packet) {
+			mu.Lock()
+			synacks = append(synacks, sa)
+			mu.Unlock()
+		},
+	}
+	e := New(cfg)
+	e.Start()
+
+	tcp := func(src netpkt.IPv4, sport uint16, flags uint8) netpkt.Packet {
+		return netpkt.Packet{
+			EthSrc:  netpkt.MustMAC("00:00:00:00:00:01"),
+			EthDst:  netpkt.MustMAC("00:00:00:00:00:02"),
+			EthType: netpkt.EtherTypeIPv4,
+			NwSrc:   src, NwDst: netpkt.MustIPv4("192.0.2.10"),
+			NwProto: netpkt.ProtoTCP, TpSrc: sport, TpDst: 80,
+			TCPFlags: flags,
+		}
+	}
+	atk := netpkt.MustIPv4("198.51.100.1")
+	client := netpkt.MustIPv4("203.0.113.5")
+	const floodSyns = 256
+	for i := 0; i < floodSyns; i++ {
+		p := tcp(atk, uint16(1024+i), netpkt.TCPSyn)
+		for !e.Inject(p, 1) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	// One legitimate handshake: SYN, then the cookie-completing ACK.
+	syn := tcp(client, 40000, netpkt.TCPSyn)
+	syn.TCPSeq = 7
+	for !e.Inject(syn, 1) {
+		time.Sleep(time.Microsecond)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var sa netpkt.Packet
+	for {
+		mu.Lock()
+		n := len(synacks)
+		if n > 0 {
+			sa = synacks[n-1] // the client's SYN-ACK is the last answered
+		}
+		mu.Unlock()
+		if n >= floodSyns+1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sa.TCPAck != syn.TCPSeq+1 {
+		t.Fatalf("last SYN-ACK acks %d, want %d", sa.TCPAck, syn.TCPSeq+1)
+	}
+	ack := tcp(client, 40000, netpkt.TCPAck)
+	ack.TCPSeq = sa.TCPAck
+	ack.TCPAck = sa.TCPSeq + 1
+	for !e.Inject(ack, 1) {
+		time.Sleep(time.Microsecond)
+	}
+	e.Stop()
+	e.Attributor().Roll(50 * time.Millisecond)
+
+	s := e.Snapshot()
+	if s.SynAcked != floodSyns+1 {
+		t.Fatalf("synAcked %d, want %d", s.SynAcked, floodSyns+1)
+	}
+	// Guard-consumed packets never reach the cache: only the completing
+	// ACK was handed off.
+	if got := s.Cache.Enqueued + s.CacheDrops; got != 1 {
+		t.Fatalf("cache saw %d packets, want 1 (the completing ACK)", got)
+	}
+	if s.Misses != s.Cache.Enqueued+s.CacheDrops+s.SynAcked+s.GuardDropped {
+		t.Fatalf("miss conservation broken: %+v", s)
+	}
+	if gs := e.TCPGuard().Stats(); gs.Established != 1 {
+		t.Fatalf("guard stats %+v, want 1 established", gs)
+	}
+	if ev := e.Attributor().TCPSourceEvidence(atk); !ev.Offender {
+		t.Fatalf("flood source not an offender: %+v", ev)
+	}
+	if ev := e.Attributor().TCPSourceEvidence(client); ev.Offender {
+		t.Fatalf("completing client judged offender: %+v", ev)
+	}
+}

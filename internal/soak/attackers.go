@@ -79,7 +79,46 @@ func buildAttackers(cfg *Config) []*attacker {
 		}
 		out = append(out, a)
 	}
+	// Rate-keyed TCP-tier attackers ride the ports above the roster.
+	// SynFlood runs the roster's attack span; the stealthy profiles run
+	// the whole run (their point is evidence accumulation, not rate).
+	base := uint16(cfg.Ports + 1 + len(out))
+	tcpProfiles := []struct {
+		p   Profile
+		pps float64
+	}{
+		{ProfileSynFlood, cfg.SynFloodPPS},
+		{ProfileSlowShake, cfg.SlowShakePPS},
+		{ProfileMalformed, cfg.MalformedPPS},
+	}
+	for _, tp := range tcpProfiles {
+		if tp.pps <= 0 {
+			continue
+		}
+		a := &attacker{
+			profile: tp.p,
+			port:    base,
+			peak:    tp.pps,
+			start:   tenth,
+			stop:    w - tenth,
+			srcBase: attackSrcBase + uint32(base)<<12,
+		}
+		if tp.p != ProfileSynFlood {
+			a.start = 0
+			a.stop = w
+		}
+		base++
+		out = append(out, a)
+	}
 	return out
+}
+
+// exemptFromDetection reports whether a profile is excluded from the
+// port-rate detection deadline: the slow DDoS stays below the rate
+// floor by design, and the stealthy TCP profiles are judged by
+// per-source handshake evidence, not port rate.
+func exemptFromDetection(p Profile) bool {
+	return p == ProfileSlow || p == ProfileSlowShake || p == ProfileMalformed
 }
 
 // rate returns the attacker's offered rate for window w, given whether
@@ -131,10 +170,20 @@ func (a *attacker) packetsFor(w int, blamed bool, window float64) int {
 	return n
 }
 
+// Malformed-segment templates the ProfileMalformed attacker cycles:
+// misaligned option bytes (an offset no valid header can express) and a
+// truncated option TLV (length byte below the two-byte minimum).
+var (
+	malformedMisaligned = []byte{1, 1, 1}
+	malformedBadTLV     = []byte{2, 1, 0, 0}
+)
+
 // packet emits the attacker's next SYN. The rotate profile moves to a
 // fresh source every window (dodging the heavy-hitter summary); the
 // others keep one fixed source. Destination fields cycle so every
-// packet is a distinct microflow (guaranteed table miss).
+// packet is a distinct microflow (guaranteed table miss). The malformed
+// profile cycles contradictory flags, misaligned option lengths, and
+// truncated option TLVs — each a distinct guard verdict.
 func (a *attacker) packet(w int) netpkt.Packet {
 	src := a.srcBase
 	if a.profile == ProfileRotate {
@@ -142,7 +191,7 @@ func (a *attacker) packet(w int) netpkt.Packet {
 	}
 	n := a.n
 	a.n++
-	return netpkt.Packet{
+	p := netpkt.Packet{
 		EthSrc:   netpkt.MAC{0x02, 0xaa, byte(a.port), byte(n >> 16), byte(n >> 8), byte(n)},
 		EthDst:   netpkt.MAC{0x02, 0x0b, 0x00, 0x00, 0x00, 0x02},
 		EthType:  netpkt.EtherTypeIPv4,
@@ -153,4 +202,15 @@ func (a *attacker) packet(w int) netpkt.Packet {
 		TpDst:    uint16(80),
 		TCPFlags: netpkt.TCPSyn,
 	}
+	if a.profile == ProfileMalformed {
+		switch n % 3 {
+		case 0:
+			p.TCPFlags = netpkt.TCPSyn | netpkt.TCPFin
+		case 1:
+			p.TCPOptions = malformedMisaligned
+		default:
+			p.TCPOptions = malformedBadTLV
+		}
+	}
+	return p
 }

@@ -47,6 +47,24 @@ const (
 	ProfileSlow Profile = "slow"
 	// ProfileAll runs all four concurrently.
 	ProfileAll Profile = "all"
+
+	// TCP-tier attacker profiles. These are not part of the profile=
+	// roster (ProfileAll composition is pinned by the determinism tier);
+	// they are armed by the synflood=/slowshake=/malformed= rate keys and
+	// ride on their own ports above the roster.
+	//
+	// ProfileSynFlood blasts pure SYNs at a fixed absolute rate — the
+	// classic state-exhaustion flood the SYN-proxy tier answers
+	// statelessly.
+	ProfileSynFlood Profile = "synflood"
+	// ProfileSlowShake sends low-rate SYNs from one fixed source and
+	// never completes a handshake: invisible to the port-rate detector
+	// by design, it must be caught by per-source handshake evidence.
+	ProfileSlowShake Profile = "slowshake"
+	// ProfileMalformed cycles invalid segments — contradictory flags,
+	// misaligned option lengths, truncated option TLVs — that the guard
+	// classifies and drops.
+	ProfileMalformed Profile = "malformed"
 )
 
 // Profiles lists the individually selectable attacker profiles.
@@ -128,6 +146,25 @@ type Config struct {
 	// Deliberately not a scenario key: the CLI owns the artifact path,
 	// so it sets this directly.
 	Journal bool
+	// TCPGuardOn arms the SYN-proxy tier on the engine's shard miss path
+	// (scenario key tcpguard=on). Rejected under Baseline, which has no
+	// guard hooks.
+	TCPGuardOn bool
+	// SynFloodPPS > 0 adds a ProfileSynFlood attacker at that absolute
+	// simulated rate (scenario key synflood=).
+	SynFloodPPS float64
+	// SlowShakePPS > 0 adds a ProfileSlowShake attacker (scenario key
+	// slowshake=).
+	SlowShakePPS float64
+	// MalformedPPS > 0 adds a ProfileMalformed attacker (scenario key
+	// malformed=).
+	MalformedPPS float64
+	// TCPConns is how many benign TCP connection attempts are offered per
+	// window (scenario key tcp_conns=): each is a SYN from the 172.16/12
+	// client plan, completed closed-loop at the barrier with the ACK the
+	// guard's cookie SYN-ACK asks for (tier on), or left to the replay
+	// path (tier off).
+	TCPConns int
 	// Registry, when set, receives the SLO health engine's state and
 	// burn-rate gauges (the existing Prometheus/JSON surface).
 	Registry *telemetry.Registry
@@ -380,6 +417,39 @@ func applyScenarioKey(c *Config, key, val string) error {
 		default:
 			return fmt.Errorf("soak: baseline=%q (want on/off)", val)
 		}
+	case "tcpguard":
+		switch val {
+		case "on", "true", "1":
+			c.TCPGuardOn = true
+		case "off", "false", "0":
+			c.TCPGuardOn = false
+		default:
+			return fmt.Errorf("soak: tcpguard=%q (want on/off)", val)
+		}
+	case "synflood":
+		f, err := parseNonNegativeFloat(key, val)
+		if err != nil {
+			return err
+		}
+		c.SynFloodPPS = f
+	case "slowshake":
+		f, err := parseNonNegativeFloat(key, val)
+		if err != nil {
+			return err
+		}
+		c.SlowShakePPS = f
+	case "malformed":
+		f, err := parseNonNegativeFloat(key, val)
+		if err != nil {
+			return err
+		}
+		c.MalformedPPS = f
+	case "tcp_conns":
+		n, err := parseNonNegativeInt(key, val)
+		if err != nil {
+			return err
+		}
+		c.TCPConns = n
 	default:
 		return fmt.Errorf("soak: unknown scenario key %q (known: %s)", key, strings.Join(scenarioKeys(), ","))
 	}
@@ -391,7 +461,8 @@ func scenarioKeys() []string {
 		"seed", "duration", "window", "flows", "hot_flows", "ports",
 		"shards", "profile", "benign_pps", "attack_factor", "zipf_share",
 		"zipf_s", "replay_pps", "queue_capacity", "chaos", "loss_ceiling",
-		"baseline", "flowmods",
+		"baseline", "flowmods", "tcpguard", "synflood", "slowshake",
+		"malformed", "tcp_conns",
 	}
 	sort.Strings(ks)
 	return ks
@@ -403,7 +474,10 @@ func (c *Config) Validate() error {
 	if c.Duration < c.Window {
 		return fmt.Errorf("soak: duration %v shorter than window %v", c.Duration, c.Window)
 	}
-	attackers := len(attackersFor(c.Profile))
+	if c.Baseline && c.TCPGuardOn {
+		return fmt.Errorf("soak: tcpguard=on requires the rtc engine (baseline has no guard hooks)")
+	}
+	attackers := len(attackersFor(c.Profile)) + c.tcpAttackers()
 	if c.Ports+attackers > maxPorts {
 		return fmt.Errorf("soak: %d benign ports + %d attacker ports exceed the TOS tag budget of %d", c.Ports, attackers, maxPorts)
 	}
@@ -413,11 +487,28 @@ func (c *Config) Validate() error {
 	if c.Flows > 1<<24 {
 		return fmt.Errorf("soak: %d flows exceed the 10.0.0.0/8 address plan (max %d)", c.Flows, 1<<24)
 	}
-	perWindow := (c.BenignPPS + float64(attackers)*c.AttackFactor*c.BenignPPS/float64(c.Ports)) * c.Window.Seconds()
+	perWindow := (c.BenignPPS+float64(attackers)*c.AttackFactor*c.BenignPPS/float64(c.Ports)+
+		c.SynFloodPPS+c.SlowShakePPS+c.MalformedPPS)*c.Window.Seconds() + 2*float64(c.TCPConns)
 	if perWindow > 50_000_000 {
 		return fmt.Errorf("soak: %.0f packets per window is past the harness bound", perWindow)
 	}
 	return nil
+}
+
+// tcpAttackers counts the rate-keyed TCP-tier attackers this config
+// arms.
+func (c *Config) tcpAttackers() int {
+	n := 0
+	if c.SynFloodPPS > 0 {
+		n++
+	}
+	if c.SlowShakePPS > 0 {
+		n++
+	}
+	if c.MalformedPPS > 0 {
+		n++
+	}
+	return n
 }
 
 func parsePositiveDuration(key, val string) (time.Duration, error) {
@@ -459,6 +550,17 @@ func parseInt64(key, val string) (int64, error) {
 		return 0, fmt.Errorf("soak: %s=%q: %v", key, val, err)
 	}
 	return n, nil
+}
+
+func parseNonNegativeFloat(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("soak: %s=%q: %v", key, val, err)
+	}
+	if !(f >= 0) || f > 1e15 {
+		return 0, fmt.Errorf("soak: %s=%v must be non-negative and finite", key, f)
+	}
+	return f, nil
 }
 
 func parsePositiveFloat(key, val string) (float64, error) {

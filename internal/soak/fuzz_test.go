@@ -22,6 +22,10 @@ func FuzzParseScenario(f *testing.F) {
 		"profile=nope", "garbage", "chaos=maybe", "duration=50ms,window=1s",
 		"zipf_s=0.5", "loss_ceiling=2", "seed=0xzz", "flows=99999999999999999999",
 		"=,=,=", "duration=1s,duration=2s", "benign_pps=1e300,window=1h,duration=1h",
+		"tcpguard=on,synflood=160,slowshake=5,malformed=10,tcp_conns=32",
+		"tcpguard=on,baseline=on", "tcpguard=maybe", "synflood=-1",
+		"slowshake=nan", "malformed=1e300", "tcp_conns=-2",
+		"profile=slow,tcpguard=on,tcp_conns=8,duration=1s,window=100ms",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -20,12 +20,12 @@ func (v Violation) String() string {
 // checker holds the soak invariant catalog and the cross-window state
 // the liveness checks need (blame streaks, drain deadlines).
 type checker struct {
-	cfg        *Config
-	atks       []*attacker
-	plan       []windowChaos
-	floorPPS   float64 // attribution blame floor (3x per-port benign rate)
-	healHor    int     // attrib heal windows + configured slack
-	topK       int
+	cfg         *Config
+	atks        []*attacker
+	plan        []windowChaos
+	floorPPS    float64 // attribution blame floor (3x per-port benign rate)
+	healHor     int     // attrib heal windows + configured slack
+	topK        int
 	microBudget int // shards x per-shard microcache size (0 = not checked)
 
 	aboveSince []int // per attacker: start of current above-floor-unblamed streak (-1 none)
@@ -56,7 +56,7 @@ func newChecker(cfg *Config, atks []*attacker, plan []windowChaos, floorPPS floa
 		c.aboveSince[i] = -1
 	}
 	for _, a := range atks {
-		if a.profile != ProfileSlow {
+		if !exemptFromDetection(a.profile) {
 			c.eligible++
 		}
 	}
@@ -93,8 +93,8 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 	c.overdueNow = 0
 
 	// --- Conservation: every packet is accounted for at every seam. ---
-	if ws.Processed != ws.CumInjBenign+ws.CumInjAttack {
-		add("conservation", "processed %d != injected %d", ws.Processed, ws.CumInjBenign+ws.CumInjAttack)
+	if ws.Processed != ws.CumInjBenign+ws.CumInjAttack+ws.CumInjTCP {
+		add("conservation", "processed %d != injected %d", ws.Processed, ws.CumInjBenign+ws.CumInjAttack+ws.CumInjTCP)
 	}
 	if ws.Forwarded+ws.Misses != ws.Processed {
 		add("conservation", "forwarded %d + misses %d != processed %d", ws.Forwarded, ws.Misses, ws.Processed)
@@ -102,8 +102,9 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 	if ws.RingDrops != 0 {
 		add("conservation", "ring drops %d != 0 (manual-mode backpressure breached)", ws.RingDrops)
 	}
-	if ws.Enqueued+ws.RingDrops != ws.Misses {
-		add("conservation", "enqueued %d + ring drops %d != misses %d", ws.Enqueued, ws.RingDrops, ws.Misses)
+	if ws.Enqueued+ws.RingDrops+ws.SynAcked+ws.GuardDropped != ws.Misses {
+		add("conservation", "enqueued %d + ring drops %d + guard consumed %d+%d != misses %d",
+			ws.Enqueued, ws.RingDrops, ws.SynAcked, ws.GuardDropped, ws.Misses)
 	}
 	if ws.Enqueued != ws.Emitted+ws.DroppedBenign+ws.DroppedSuspect+uint64(ws.Backlog) {
 		add("conservation", "enqueued %d != emitted %d + dropped %d+%d + backlog %d",
@@ -115,12 +116,13 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 	if ws.Emitted != ws.Replayed {
 		add("conservation", "cache emitted %d != sink replayed %d", ws.Emitted, ws.Replayed)
 	}
-	if ws.Replayed != ws.BenignReplayed+ws.AttackReplayed {
-		add("conservation", "replayed %d != benign %d + attack %d", ws.Replayed, ws.BenignReplayed, ws.AttackReplayed)
+	if ws.Replayed != ws.BenignReplayed+ws.AttackReplayed+ws.TCPReplayed {
+		add("conservation", "replayed %d != benign %d + attack %d + tcp %d",
+			ws.Replayed, ws.BenignReplayed, ws.AttackReplayed, ws.TCPReplayed)
 	}
-	if ws.Misses != ws.CumBenignMissInj+ws.CumInjAttack {
-		add("conservation", "misses %d != ground-truth cold benign %d + attack %d (a hot flow missed)",
-			ws.Misses, ws.CumBenignMissInj, ws.CumInjAttack)
+	if ws.Misses != ws.CumBenignMissInj+ws.CumInjAttack+ws.CumInjTCP {
+		add("conservation", "misses %d != ground-truth cold benign %d + attack %d + tcp %d (a hot flow missed)",
+			ws.Misses, ws.CumBenignMissInj, ws.CumInjAttack, ws.CumInjTCP)
 	}
 	if ws.Forwarded != ws.CumBenignHotInj {
 		add("conservation", "forwarded %d != ground-truth hot benign %d (rule churn misrouted a flow)",
@@ -149,6 +151,23 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 	if lim := 9 * c.cfg.QueueCapacity; ws.Backlog > lim {
 		add("memory", "cache backlog %d > structural bound %d", ws.Backlog, lim)
 	}
+	// The SYN-proxy connection table stays under its fixed budget no
+	// matter how many half-open handshakes the adversary offers — the
+	// watermark catches intra-window excursions the barrier snapshot
+	// would miss.
+	if c.cfg.TCPGuardOn {
+		if ws.ConnEntries > ws.ConnBudget {
+			add("memory", "guard conn entries %d > budget %d", ws.ConnEntries, ws.ConnBudget)
+		}
+		if ws.ConnWatermark > ws.ConnBudget {
+			add("memory", "guard conn watermark %d > budget %d", ws.ConnWatermark, ws.ConnBudget)
+		}
+		// The tier's core promise: cookie SYN-ACKs are answered in the
+		// data plane; none ride the replay path to the controller.
+		if ws.SynAckReplayed != 0 {
+			add("tcpguard", "%d cookie SYN-ACKs replayed to the controller", ws.SynAckReplayed)
+		}
+	}
 
 	// --- FSM liveness. ---
 	for _, p := range benignBlamed {
@@ -167,6 +186,11 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 			if blamed {
 				add("liveness", "slow-DDoS port %d blamed below the rate floor", a.port)
 			}
+			continue
+		}
+		if exemptFromDetection(a.profile) {
+			// Stealthy TCP profiles are judged by per-source handshake
+			// evidence, not the port-rate deadline.
 			continue
 		}
 		// Detection: an above-floor attacker cannot run unblamed for more
@@ -207,10 +231,11 @@ func (c *checker) check(w int, ws *WindowStats, attackerBlamed []bool, benignBla
 
 // detectionConfirmed reports whether every above-floor attacker was
 // blamed at least once — the run-level complement of the per-window
-// detection deadline.
+// detection deadline. Evidence-judged TCP profiles and attackers whose
+// peak never crosses the blame floor are out of scope by design.
 func (c *checker) detectionConfirmed() bool {
 	for i, a := range c.atks {
-		if a.profile == ProfileSlow {
+		if exemptFromDetection(a.profile) || a.peak < c.floorPPS {
 			continue
 		}
 		if !c.everBlamed[i] {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math/bits"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"floodguard/internal/attrib"
@@ -14,6 +16,7 @@ import (
 	"floodguard/internal/netpkt"
 	"floodguard/internal/openflow"
 	"floodguard/internal/rtc"
+	"floodguard/internal/tcpguard"
 	"floodguard/internal/telemetry"
 )
 
@@ -28,9 +31,11 @@ type WindowStats struct {
 
 	InjBenign uint64
 	InjAttack uint64
+	InjTCP    uint64 // this window's benign TCP handshake packets (SYNs + closed-loop ACKs)
 
 	CumInjBenign     uint64
 	CumInjAttack     uint64
+	CumInjTCP        uint64
 	CumBenignHotInj  uint64 // benign injections covered by an installed rule
 	CumBenignMissInj uint64 // benign injections bound for the cache tier
 
@@ -51,6 +56,19 @@ type WindowStats struct {
 	Replayed       uint64
 	BenignReplayed uint64
 	AttackReplayed uint64
+	TCPReplayed    uint64 // replays from the 172.16/12 TCP client plan
+	SynAckReplayed uint64 // SYN|ACK-flagged replays (must stay 0 with the tier on)
+
+	// SYN-proxy tier accounting (zero when tcpguard=off): cumulative
+	// guard-consumed packets, completed handshakes, and the bounded
+	// connection table's occupancy against its fixed budget.
+	SynAcked      uint64
+	GuardDropped  uint64
+	Established   uint64
+	ConnEntries   int
+	ConnWatermark int
+	ConnBudget    int
+	TCPOffenders  int
 
 	BenignLoss float64 // cumulative ground-truth benign loss fraction
 	BenignLost uint64  // cumulative ground-truth benign packets lost
@@ -110,8 +128,10 @@ type pipeline interface {
 // by the harness at window barriers (the SetSimTarget/SimReached atomic
 // pair orders the accesses).
 type replayTally struct {
-	benign uint64
-	attack uint64
+	benign  uint64
+	attack  uint64
+	tcp     uint64 // TCP client-plan sources (172.16/12)
+	synacks uint64 // SYN|ACK-flagged replays — cookie leakage detector
 	// winWait is the window-local histogram of virtual replay-queue
 	// residence, log2-millisecond buckets; the harness reads the p99 and
 	// resets it every barrier.
@@ -120,10 +140,16 @@ type replayTally struct {
 }
 
 func (t *replayTally) observe(_ uint64, _ uint16, pkt netpkt.Packet, queued time.Duration) {
-	if isBenignSrc(pkt.NwSrc) {
+	switch {
+	case isBenignSrc(pkt.NwSrc):
 		t.benign++
-	} else {
+	case isTCPClientSrc(pkt.NwSrc):
+		t.tcp++
+	default:
 		t.attack++
+	}
+	if pkt.TCPFlags&(netpkt.TCPSyn|netpkt.TCPAck) == netpkt.TCPSyn|netpkt.TCPAck {
+		t.synacks++
 	}
 	ms := queued.Milliseconds()
 	b := bits.Len64(uint64(ms)) // 0ms -> 0, 1ms -> 1, 2-3ms -> 2, ...
@@ -159,6 +185,76 @@ func (t *replayTally) p99Reset() float64 {
 		return 0
 	}
 	return float64(uint64(1) << (out - 1)) // bucket lower bound in ms
+}
+
+// soakConnCapacity is the SYN-proxy tier's fixed per-shard connection
+// budget — the memory invariant asserts occupancy and watermark against
+// shards x this value every window.
+const soakConnCapacity = 1024
+
+// synackBox collects the guard's cookie SYN-ACKs. The callback runs on
+// shard goroutines (hence the mutex); the harness drains it at window
+// barriers, after shard quiescence, so every SYN offered this window
+// has its answer in the box. Records are sorted before use — collection
+// order across shards is scheduling-dependent, the completed set is not.
+type synackBox struct {
+	mu  sync.Mutex
+	got []synackRec
+}
+
+type synackRec struct {
+	inPort uint16
+	pkt    netpkt.Packet
+}
+
+func (b *synackBox) collect(_ uint64, inPort uint16, sa netpkt.Packet) {
+	b.mu.Lock()
+	b.got = append(b.got, synackRec{inPort: inPort, pkt: sa})
+	b.mu.Unlock()
+}
+
+// takeClientAcks drains the box and returns the closed-loop completing
+// ACKs for the benign TCP client plan (attacker SYN-ACKs are discarded
+// — attackers never complete), in deterministic order.
+func (b *synackBox) takeClientAcks() []synackRec {
+	b.mu.Lock()
+	got := b.got
+	b.got = nil
+	b.mu.Unlock()
+	var out []synackRec
+	for _, r := range got {
+		sa := r.pkt
+		if !isTCPClientSrc(sa.NwDst) { // SYN-ACK's destination is the client
+			continue
+		}
+		out = append(out, synackRec{inPort: r.inPort, pkt: netpkt.Packet{
+			EthSrc:   sa.EthDst,
+			EthDst:   sa.EthSrc,
+			EthType:  netpkt.EtherTypeIPv4,
+			NwSrc:    sa.NwDst,
+			NwDst:    sa.NwSrc,
+			NwProto:  netpkt.ProtoTCP,
+			TpSrc:    sa.TpDst,
+			TpDst:    sa.TpSrc,
+			TCPFlags: netpkt.TCPAck,
+			TCPSeq:   sa.TCPAck,
+			TCPAck:   sa.TCPSeq + 1,
+		}})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.inPort != b.inPort {
+			return a.inPort < b.inPort
+		}
+		if a.pkt.NwSrc != b.pkt.NwSrc {
+			return a.pkt.NwSrc < b.pkt.NwSrc
+		}
+		if a.pkt.TpSrc != b.pkt.TpSrc {
+			return a.pkt.TpSrc < b.pkt.TpSrc
+		}
+		return a.pkt.TCPAck < b.pkt.TCPAck
+	})
+	return out
 }
 
 // attribConfigFor derives attribution thresholds from the traffic
@@ -203,6 +299,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Journal && !cfg.Baseline {
 		jnl = journal.ForEngine(cfg.Shards)
 	}
+	box := &synackBox{}
 	rcfg := rtc.Config{
 		Shards:            cfg.Shards,
 		MicroSize:         soakMicroSize,
@@ -216,6 +313,14 @@ func Run(cfg Config) (*Result, error) {
 		ReplayObserver:    tally.observe,
 		Journal:           jnl,
 	}
+	if cfg.TCPGuardOn {
+		rcfg.TCPGuard = &tcpguard.Config{
+			Secret:           uint64(cfg.Seed) ^ 0x7cfb_51a9,
+			PerShardCapacity: soakConnCapacity,
+			IdleWindows:      4,
+			SynAck:           box.collect,
+		}
+	}
 	var pipe pipeline
 	var eng *rtc.Engine
 	if cfg.Baseline {
@@ -226,6 +331,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	gen := newBenignGen(&cfg)
+	tgen := &tcpConnGen{cfg: &cfg}
 	atks := buildAttackers(&cfg)
 	plan := chaosPlan(&cfg)
 	acfg := attribConfigFor(&cfg)
@@ -248,7 +354,16 @@ func Run(cfg Config) (*Result, error) {
 	windows := cfg.Windows()
 	winSecs := cfg.Window.Seconds()
 	benignAcc := 0.0
-	var cumInjBenign, cumInjAttack uint64
+	var cumInjBenign, cumInjAttack, cumInjTCP uint64
+	// guardConsumed is the guard's miss-path take — part of every
+	// handoff-quiescence equation once the tier is armed.
+	guardConsumed := func() uint64 {
+		if eng == nil || eng.TCPGuard() == nil {
+			return 0
+		}
+		syn, drop := eng.GuardCounters()
+		return syn + drop
+	}
 	attackerBlamed := make([]bool, len(atks))
 	attackerInj := make([]int, len(atks))
 	var slots []uint8
@@ -395,7 +510,7 @@ func Run(cfg Config) (*Result, error) {
 			if i%512 == 511 {
 				if err := waitFor(func() bool {
 					_, _, m, rd := pipe.Counters()
-					return m-(pipe.CacheStats().Enqueued+rd) <= 2048
+					return m-(pipe.CacheStats().Enqueued+rd+guardConsumed()) <= 2048
 				}, "cache handoff backpressure"); err != nil {
 					return fail(err)
 				}
@@ -406,19 +521,52 @@ func Run(cfg Config) (*Result, error) {
 			cumInjAttack += uint64(n)
 		}
 
-		// Quiesce: every offered packet processed, every miss handed over.
-		injected := cumInjBenign + cumInjAttack
-		if err := waitFor(func() bool {
-			p, _, _, _ := pipe.Counters()
-			return p == injected
-		}, "shard quiescence"); err != nil {
+		// Benign TCP connection attempts: this window's SYNs. Their
+		// cookie SYN-ACKs land in the box by shard quiescence; the
+		// closed-loop ACKs go in after it.
+		var winTCP uint64
+		for i := 0; i < cfg.TCPConns; i++ {
+			pkt, port := tgen.syn()
+			for !pipe.InjectItem(rtc.Item{Pkt: pkt, InPort: port}) {
+				runtime.Gosched()
+			}
+			winTCP++
+		}
+		cumInjTCP += winTCP
+
+		// Quiesce: every offered packet processed, every miss handed over
+		// or consumed by the guard.
+		quiesce := func() error {
+			injected := cumInjBenign + cumInjAttack + cumInjTCP
+			if err := waitFor(func() bool {
+				p, _, _, _ := pipe.Counters()
+				return p == injected
+			}, "shard quiescence"); err != nil {
+				return err
+			}
+			return waitFor(func() bool {
+				_, _, m, rd := pipe.Counters()
+				return pipe.CacheStats().Enqueued+rd+guardConsumed() == m
+			}, "cache ingest quiescence")
+		}
+		if err := quiesce(); err != nil {
 			return fail(err)
 		}
-		if err := waitFor(func() bool {
-			_, _, m, rd := pipe.Counters()
-			return pipe.CacheStats().Enqueued+rd == m
-		}, "cache ingest quiescence"); err != nil {
-			return fail(err)
+
+		// Closed-loop handshake completion: answer every client cookie
+		// SYN-ACK with its valid ACK, then re-quiesce so the established
+		// flows are in the cache before the barrier snapshot.
+		if acks := box.takeClientAcks(); len(acks) > 0 {
+			for _, a := range acks {
+				for !pipe.InjectItem(rtc.Item{Pkt: a.pkt, InPort: a.inPort}) {
+					runtime.Gosched()
+				}
+			}
+			winTCP += uint64(len(acks))
+			cumInjTCP += uint64(len(acks))
+			if err := quiesce(); err != nil {
+				return fail(err)
+			}
 		}
 
 		// Merge the shard attribution deltas, in shard order so the
@@ -446,6 +594,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Close the detection window and collect the barrier snapshot.
+		// The guard's cookie window advances in lockstep with the
+		// detection window: a cookie minted in window N validates through
+		// N+1 and is rejected from N+2.
+		if eng != nil && eng.TCPGuard() != nil {
+			eng.TCPGuard().AdvanceWindow()
+		}
 		verdicts := pipe.Attributor().Roll(cfg.Window)
 		blamedPorts := 0
 		var benignBlamed []uint16
@@ -480,8 +634,10 @@ func Run(cfg Config) (*Result, error) {
 
 		ws := collectWindow(w, &cfg, pipe, eng, gen, tally)
 		ws.InjBenign = uint64(benignN)
+		ws.InjTCP = winTCP
 		ws.CumInjBenign = cumInjBenign
 		ws.CumInjAttack = cumInjAttack
+		ws.CumInjTCP = cumInjTCP
 		for _, n := range attackerInj {
 			ws.InjAttack += uint64(n)
 		}
@@ -609,6 +765,11 @@ func renderDump(jnl *journal.Journal, cfg *Config, res *Result, slos []string, t
 		"tracked_ports":   float64(last.TrackedPorts),
 		"violations":      float64(len(res.Violations)),
 		"detected":        detected,
+		"tcp_replayed":    float64(last.TCPReplayed),
+		"syn_acked":       float64(last.SynAcked),
+		"guard_dropped":   float64(last.GuardDropped),
+		"established":     float64(last.Established),
+		"conn_watermark":  float64(last.ConnWatermark),
 	})
 	if err := w.Flush(); err != nil {
 		return nil, err
@@ -633,33 +794,44 @@ func collectWindow(w int, cfg *Config, pipe pipeline, eng *rtc.Engine, gen *beni
 	cs := pipe.CacheStats()
 	attr := pipe.Attributor()
 	ws := WindowStats{
-		Window:           w,
-		SimMillis:        (time.Duration(w+1) * cfg.Window).Milliseconds(),
-		CumBenignHotInj:  gen.hotInj,
-		CumBenignMissInj: gen.missInj,
-		Processed:        p,
-		Forwarded:        f,
-		Misses:           m,
-		RingDrops:        rd,
-		Enqueued:         cs.Enqueued,
-		Emitted:          cs.Emitted,
-		DroppedBenign:    cs.BenignDropped,
-		DroppedSuspect:   cs.SuspectDropped,
-		Requeued:         cs.Requeued,
-		Backlog:          cs.Backlog,
-		SuspectBacklog:   cs.SuspectBacklog,
-		MaxBacklog:       cs.MaxBacklog,
-		Replayed:         pipe.ReplayedTotal(),
-		BenignReplayed:   tally.benign,
-		AttackReplayed:   tally.attack,
-		TrackedPorts:     attr.TrackedPorts(),
-		TrackedSources:   attr.TrackedSources(),
-		SampleTotal:      attr.SampleTotal(),
+		Window:              w,
+		SimMillis:           (time.Duration(w+1) * cfg.Window).Milliseconds(),
+		CumBenignHotInj:     gen.hotInj,
+		CumBenignMissInj:    gen.missInj,
+		Processed:           p,
+		Forwarded:           f,
+		Misses:              m,
+		RingDrops:           rd,
+		Enqueued:            cs.Enqueued,
+		Emitted:             cs.Emitted,
+		DroppedBenign:       cs.BenignDropped,
+		DroppedSuspect:      cs.SuspectDropped,
+		Requeued:            cs.Requeued,
+		Backlog:             cs.Backlog,
+		SuspectBacklog:      cs.SuspectBacklog,
+		MaxBacklog:          cs.MaxBacklog,
+		Replayed:            pipe.ReplayedTotal(),
+		BenignReplayed:      tally.benign,
+		AttackReplayed:      tally.attack,
+		TCPReplayed:         tally.tcp,
+		SynAckReplayed:      tally.synacks,
+		TrackedPorts:        attr.TrackedPorts(),
+		TrackedSources:      attr.TrackedSources(),
+		SampleTotal:         attr.SampleTotal(),
 		ReplayWaitP99Millis: tally.p99Reset(),
 	}
 	if eng != nil {
 		ws.MicroEntries = eng.MicroEntries()
 		ws.TableRules = eng.TableRules()
+		if g := eng.TCPGuard(); g != nil {
+			ws.SynAcked, ws.GuardDropped = eng.GuardCounters()
+			gs := g.Stats()
+			ws.Established = gs.Established
+			ws.ConnEntries = gs.Entries
+			ws.ConnWatermark = gs.Watermark
+			ws.ConnBudget = gs.EntryBudget
+		}
+		ws.TCPOffenders = attr.TCPOffenders()
 	} else {
 		ws.TableRules = cfg.HotFlows
 	}
@@ -698,6 +870,9 @@ func memFrac(ws *WindowStats, cfg *Config, attackers, microBudget int) float64 {
 	if f := frac(ws.Backlog, 9*cfg.QueueCapacity); f > out {
 		out = f
 	}
+	if f := frac(ws.ConnEntries, ws.ConnBudget); f > out {
+		out = f
+	}
 	return out
 }
 
@@ -734,6 +909,10 @@ func (r *Result) Print(w io.Writer) {
 	fmt.Fprintf(w, "  replay     benign %d  attack %d  dropped %d/%d (benign/suspect)\n",
 		last.BenignReplayed, last.AttackReplayed, last.DroppedBenign, last.DroppedSuspect)
 	fmt.Fprintf(w, "  benign loss %.5f   max mem frac %.3f   detected=%v\n", r.BenignLoss, r.MaxMemFrac, r.Detected)
+	if r.Config.TCPGuardOn {
+		fmt.Fprintf(w, "  tcpguard   synacked %d  dropped %d  established %d  conn watermark %d/%d  offenders %d\n",
+			last.SynAcked, last.GuardDropped, last.Established, last.ConnWatermark, last.ConnBudget, last.TCPOffenders)
+	}
 	fmt.Fprintf(w, "  invariants  %d violations", len(r.Violations))
 	if len(r.Violations) > 0 {
 		fmt.Fprintf(w, " (first: %s)", r.Violations[0])

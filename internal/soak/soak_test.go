@@ -146,13 +146,15 @@ func TestSoakFlowModChurn(t *testing.T) {
 
 // TestSoakScenarioRoundTrip pins the parser on a representative string.
 func TestSoakScenarioRoundTrip(t *testing.T) {
-	cfg, err := ParseScenario("profile=rotate,duration=3s,window=50ms,flows=1000,ports=4,seed=0x7,chaos=on,benign_pps=8000,flowmods=16")
+	cfg, err := ParseScenario("profile=rotate,duration=3s,window=50ms,flows=1000,ports=4,seed=0x7,chaos=on,benign_pps=8000,flowmods=16," +
+		"tcpguard=on,synflood=160,slowshake=5,malformed=10,tcp_conns=32")
 	if err != nil {
 		t.Fatalf("ParseScenario: %v", err)
 	}
 	if cfg.Profile != ProfileRotate || cfg.Duration != 3*time.Second || cfg.Window != 50*time.Millisecond ||
 		cfg.Flows != 1000 || cfg.Ports != 4 || cfg.Seed != 7 || !cfg.Chaos || cfg.BenignPPS != 8000 ||
-		cfg.FlowModsPerWindow != 16 {
+		cfg.FlowModsPerWindow != 16 || !cfg.TCPGuardOn || cfg.SynFloodPPS != 160 ||
+		cfg.SlowShakePPS != 5 || cfg.MalformedPPS != 10 || cfg.TCPConns != 32 {
 		t.Fatalf("ParseScenario round-trip mismatch: %+v", cfg)
 	}
 	for _, bad := range []string{
@@ -160,6 +162,8 @@ func TestSoakScenarioRoundTrip(t *testing.T) {
 		"flows=0", "ports=200", "profile=nope", "garbage", "chaos=maybe",
 		"duration=50ms,window=1s", "zipf_s=0.5", "loss_ceiling=2",
 		"flowmods=-1", "flowmods=x",
+		"tcpguard=maybe", "tcpguard=on,baseline=on", "synflood=-1",
+		"slowshake=nan", "malformed=-0.5", "tcp_conns=-1",
 	} {
 		if _, err := ParseScenario(bad); err == nil {
 			t.Errorf("ParseScenario(%q) accepted a malformed scenario", bad)

@@ -50,9 +50,29 @@ type memoSlot struct {
 	rules []ProactiveRule
 }
 
+// matchKey is the comparable header view a match predicate can read:
+// every scalar Packet field. TCPOptions is a slice and deliberately
+// excluded — no path condition references option bytes.
 type matchKey struct {
-	pkt    netpkt.Packet
+	pkt    netpkt.FlowKey
+	arpOp  uint16
+	nwTOS  uint8
+	flags  uint8
+	hasVL  bool
+	vlanID uint16
 	inPort uint16
+}
+
+func newMatchKey(p *netpkt.Packet, inPort uint16) matchKey {
+	return matchKey{
+		pkt:    p.Key(),
+		arpOp:  p.ARPOp,
+		nwTOS:  p.NwTOS,
+		flags:  p.TCPFlags,
+		hasVL:  p.HasVLAN,
+		vlanID: p.VLANID,
+		inPort: inPort,
+	}
 }
 
 // NewMemo prepares a memo over the given paths, extracting each path's
@@ -194,7 +214,7 @@ func (m *Memo) MatchPath(st *appir.State, pkt *netpkt.Packet, inPort uint16) (*P
 		clear(m.match)
 		m.matchVers = append(m.matchVers[:0], cur...)
 	}
-	key := matchKey{pkt: *pkt, inPort: inPort}
+	key := newMatchKey(pkt, inPort)
 	if p, ok := m.match[key]; ok {
 		m.hits.Add(1)
 		return p, nil

@@ -98,7 +98,7 @@ func TestMemoDeriveMatchesDirectAcrossMutations(t *testing.T) {
 			// Mutate whatever globals the app reads.
 			for _, g := range StateSensitiveVariables(paths) {
 				st.Learn(g, appir.MACValue(netpkt.MAC{0, 0, 0, 9, byte(round), byte(i)}),
-					appir.U16Value(uint16(round + 1)))
+					appir.U16Value(uint16(round+1)))
 			}
 		}
 	}
